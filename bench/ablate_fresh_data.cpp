@@ -1,0 +1,83 @@
+// Ablation A8: fresh data — the paper's core motivation, quantified.
+//
+// §1: central data gathering is attractive "to access fresh data", but
+// scales poorly; decentralized schemes keep learning where the data is
+// born. Here every vehicle SENSES data continuously (data_arrival_per_s)
+// instead of holding it all at t=0. Centralized ML uploads each vehicle's
+// data once (whatever had arrived by upload time) and trains on that
+// snapshot; FL keeps retraining on-board, so every round sees the samples
+// sensed since the last one. The accuracy-over-time curves cross: the
+// snapshot strategy plateaus while FL keeps climbing.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "strategy/centralized.hpp"
+#include "strategy/federated.hpp"
+#include "util/ascii_plot.hpp"
+
+using namespace roadrunner;
+
+int main(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  const double horizon = args.get_double("horizon", 6000.0);
+
+  auto cfg = bench::ablation_scenario(
+      static_cast<std::uint64_t>(args.get_int("seed", 28)));
+  cfg.samples_per_vehicle = 80;
+  cfg.train_pool_size = 12000;
+  cfg.partition = "iid";  // isolate data freshness from distribution skew
+  // Samples trickle in over most of the horizon: 80 samples in ~3200 s.
+  cfg.data_arrival_per_s = args.get_double("rate", 0.025);
+  cfg.horizon_s = horizon;
+  scenario::Scenario scenario{cfg};
+
+  std::printf("=== A8: continuously sensed (fresh) data — snapshot upload "
+              "vs on-board FL ===\n");
+  std::printf("arrival rate %.3f samples/s/vehicle, horizon %.0f s\n\n",
+              cfg.data_arrival_per_s, horizon);
+
+  strategy::CentralizedConfig central_cfg;
+  central_cfg.duration_s = horizon - 50.0;
+  central_cfg.train_interval_s = 200.0;
+  const auto central = scenario.run(
+      std::make_shared<strategy::CentralizedStrategy>(central_cfg));
+
+  strategy::RoundConfig round;
+  round.rounds = static_cast<int>((horizon - 400.0) / 200.0);
+  round.participants = 8;
+  round.round_duration_s = 160.0;
+  const auto fl =
+      scenario.run(std::make_shared<strategy::FederatedStrategy>(round));
+
+  auto to_points = [](const metrics::Registry& reg) {
+    std::vector<std::pair<double, double>> pts;
+    for (const auto& p : reg.series("accuracy")) {
+      pts.emplace_back(p.time_s, p.value);
+    }
+    return pts;
+  };
+  std::printf("%s\n",
+              util::ascii_chart(
+                  {{"centralized (snapshot upload)", 'c',
+                    to_points(central.metrics)},
+                   {"federated (fresh on-board data)", 'f',
+                    to_points(fl.metrics)}})
+                  .c_str());
+
+  std::printf("final accuracy: centralized %.4f | FL %.4f\n",
+              central.final_accuracy, fl.final_accuracy);
+  std::printf("V2C delivered:  centralized %.2f MB | FL %.2f MB\n",
+              bench::mb(central.channel(comm::ChannelKind::kV2C)
+                            .bytes_delivered),
+              bench::mb(fl.channel(comm::ChannelKind::kV2C)
+                            .bytes_delivered));
+  std::printf(
+      "\nExpected shape: centralized converges quickly on its per-vehicle "
+      "upload\nsnapshots, then plateaus — it never sees later samples "
+      "without paying for\nre-uploads; FL's curve keeps rising as fresh "
+      "on-board data enters every round\nand crosses above (the paper's §1 "
+      "argument for edge learning). The V2C totals\nshow the other side of "
+      "the trade: FL pays model-sized traffic every round,\nwhich is the "
+      "price of staying fresh.\n");
+  return 0;
+}

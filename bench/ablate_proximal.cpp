@@ -1,0 +1,58 @@
+// Ablation A7: proximal (FedProx-style) local training under heavy skew.
+//
+// The paper's Fig. 4 data distribution ("highly skewed ... highly
+// personalized") is exactly the regime where vanilla FedAvg suffers client
+// drift: each vehicle's local epochs pull the model toward its own class
+// slice, and the round average wobbles. The proximal term μ(w - w_global)
+// anchors local training to the received global model. This ablation runs
+// FL under 1-class-per-vehicle skew for a μ sweep and reports final and
+// time-averaged accuracy plus curve jitter — quantifying a design remedy
+// for the exact pathology the paper's experiment exhibits.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/analysis.hpp"
+#include "strategy/federated.hpp"
+
+using namespace roadrunner;
+
+int main(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  const int rounds = static_cast<int>(args.get_int("rounds", 16));
+
+  auto cfg = bench::ablation_scenario(
+      static_cast<std::uint64_t>(args.get_int("seed", 27)));
+  cfg.classes_per_vehicle = 1;  // the harshest skew
+  scenario::Scenario scenario{cfg};
+
+  std::printf("=== A7: proximal-term sweep under 1-class-per-vehicle skew "
+              "(%d rounds) ===\n",
+              rounds);
+  std::printf("%10s %12s %12s %12s\n", "mu", "final acc", "time-avg acc",
+              "jitter");
+
+  for (double mu : {0.0, 0.01, 0.05, 0.2, 1.0}) {
+    auto run_cfg = cfg;
+    run_cfg.train.proximal_mu = static_cast<float>(mu);
+    run_cfg.train.epochs = 5;  // more local work => more client drift
+
+    scenario::Scenario s{run_cfg};
+    strategy::RoundConfig round;
+    round.rounds = rounds;
+    round.participants = 5;
+    round.round_duration_s = 30.0;
+    const auto result =
+        s.run(std::make_shared<strategy::FederatedStrategy>(round));
+    const auto summary =
+        metrics::summarize(result.metrics.series("accuracy"));
+    std::printf("%10.2f %12.4f %12.4f %12.4f\n", mu, summary.final_value,
+                summary.time_avg, summary.jitter);
+  }
+
+  std::printf(
+      "\nExpected shape: moderate mu lifts final accuracy over mu=0 under "
+      "extreme skew\n(less client drift per round); very large mu "
+      "over-anchors — the curve flattens\n(jitter collapses) and accuracy "
+      "drops.\n");
+  return 0;
+}

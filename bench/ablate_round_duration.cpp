@@ -1,0 +1,51 @@
+// Ablation A1 (DESIGN.md): round duration for OPP.
+//
+// §5.2's intuition: "a longer round duration will give more opportunities
+// for local aggregation of weights. Simultaneously, it will also increase
+// the duration of the whole learning process, and increase the probability
+// that a reporter vehicle is turned off by the driver before a round ends."
+// This bench sweeps the round duration and reports exactly those three
+// quantities: V2X exchanges per round, total duration, and reporter losses.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "strategy/opportunistic.hpp"
+
+using namespace roadrunner;
+
+int main(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  const int rounds = static_cast<int>(args.get_int("rounds", 12));
+  scenario::Scenario scenario{bench::ablation_scenario(
+      static_cast<std::uint64_t>(args.get_int("seed", 21)))};
+
+  std::printf("=== A1: OPP round-duration sweep (%d rounds each) ===\n",
+              rounds);
+  std::printf("%10s %14s %12s %14s %12s %10s\n", "round[s]", "avg V2X/round",
+              "accuracy", "sim end [s]", "lost reps", "returnsX");
+
+  for (double duration : {30.0, 60.0, 100.0, 200.0, 400.0}) {
+    strategy::OpportunisticConfig cfg;
+    cfg.round.rounds = rounds;
+    cfg.round.participants = 5;
+    cfg.round.round_duration_s = duration;
+    auto opp = std::make_shared<strategy::OpportunisticStrategy>(cfg);
+    const auto result = scenario.run(opp);
+
+    double exchange_sum = 0.0;
+    const auto& bars = result.metrics.series("v2x_exchanges_per_round");
+    for (const auto& p : bars) exchange_sum += p.value;
+    const double avg =
+        bars.empty() ? 0.0 : exchange_sum / static_cast<double>(bars.size());
+
+    std::printf("%10.0f %14.2f %12.4f %14.0f %12.0f %10.0f\n", duration, avg,
+                result.final_accuracy, result.report.sim_end_time_s,
+                result.metrics.counter("trainings_discarded"),
+                result.metrics.counter("opp_returns_discarded"));
+  }
+  std::printf(
+      "\nExpected shape: exchanges/round and accuracy grow with round "
+      "duration;\ntotal duration grows linearly; discarded work grows too "
+      "(the paper's stated trade-off).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation A4 (DESIGN.md): data distribution in the fleet.
+//
+// §1 lists "the data distribution in the fleet [9]" among the system
+// dimensions that forbid a one-size-fits-all learning strategy. The sweep
+// runs FL and OPP under IID, class-skewed, and Dirichlet partitions and
+// reports the measured partition skewness next to the reached accuracy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/partition.hpp"
+#include "strategy/federated.hpp"
+#include "strategy/opportunistic.hpp"
+
+using namespace roadrunner;
+
+namespace {
+
+struct PartitionSpec {
+  const char* label;
+  const char* partition;
+  std::size_t classes_per_vehicle = 2;
+  double alpha = 1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  const int rounds = static_cast<int>(args.get_int("rounds", 12));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 24));
+
+  const PartitionSpec specs[] = {
+      {"iid", "iid"},
+      {"dirichlet(a=100)", "dirichlet", 2, 100.0},
+      {"dirichlet(a=1)", "dirichlet", 2, 1.0},
+      {"dirichlet(a=0.1)", "dirichlet", 2, 0.1},
+      {"class-skew(2/vehicle)", "class_skew", 2},
+      {"class-skew(1/vehicle)", "class_skew", 1},
+  };
+
+  std::printf("=== A4: data-distribution sweep (%d rounds each) ===\n",
+              rounds);
+  std::printf("%-24s %10s %12s %12s %12s\n", "distribution", "skewness",
+              "FL acc", "OPP acc", "OPP/FL");
+
+  for (const auto& spec : specs) {
+    auto cfg = bench::ablation_scenario(seed);
+    cfg.partition = spec.partition;
+    cfg.classes_per_vehicle = spec.classes_per_vehicle;
+    cfg.dirichlet_alpha = spec.alpha;
+    scenario::Scenario scenario{cfg};
+
+    // Measured non-IID-ness of the actual per-vehicle datasets.
+    std::vector<ml::DatasetView> parts = scenario.vehicle_data();
+    ml::DatasetView pool = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      pool = pool.merged_with(parts[i]);
+    }
+    const double skewness = data::partition_skewness(parts, pool);
+
+    strategy::RoundConfig fl_cfg;
+    fl_cfg.rounds = rounds;
+    fl_cfg.participants = 5;
+    fl_cfg.round_duration_s = 30.0;
+    const auto fl =
+        scenario.run(std::make_shared<strategy::FederatedStrategy>(fl_cfg));
+
+    strategy::OpportunisticConfig opp_cfg;
+    opp_cfg.round.rounds = rounds;
+    opp_cfg.round.participants = 5;
+    opp_cfg.round.round_duration_s = 200.0;
+    const auto opp = scenario.run(
+        std::make_shared<strategy::OpportunisticStrategy>(opp_cfg));
+
+    std::printf("%-24s %10.3f %12.4f %12.4f %11.2fx\n", spec.label, skewness,
+                fl.final_accuracy, opp.final_accuracy,
+                opp.final_accuracy / std::max(1e-9, fl.final_accuracy));
+  }
+
+  std::printf(
+      "\nExpected shape: accuracy of both strategies degrades as skewness "
+      "grows;\nOPP's relative advantage is largest under heavy skew, where "
+      "more contributions\nper round widen each round's class coverage.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared configuration helpers for the ablation benches. Ablations run on
+// the fast Gaussian-blob learning problem with an MLP so a full parameter
+// sweep stays in seconds-to-minutes; the Fig. 4 bench uses the paper's full
+// CNN configuration.
+#pragma once
+
+#include <cstdio>
+
+#include "scenario/scenario.hpp"
+#include "util/cli.hpp"
+
+namespace roadrunner::bench {
+
+/// Mid-size urban scenario for ablations: 60 vehicles, non-IID blobs, MLP.
+inline scenario::ScenarioConfig ablation_scenario(std::uint64_t seed = 21) {
+  scenario::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.vehicles = 60;
+  cfg.dataset = "blobs";
+  cfg.blob_config.num_classes = 10;
+  cfg.blob_config.dimensions = 24;
+  cfg.blob_config.center_radius = 2.2;  // overlapping classes: non-trivial
+  cfg.blob_config.spread = 1.0;
+  cfg.train_pool_size = 9000;
+  cfg.test_size = 1500;
+  cfg.partition = "class_skew";
+  cfg.samples_per_vehicle = 60;
+  cfg.classes_per_vehicle = 2;
+  cfg.model = "mlp";
+  cfg.train.learning_rate = 0.02F;
+
+  cfg.city.city_size_m = 3400.0;
+  cfg.city.dwell_mean_s = 250.0;
+  cfg.city.initial_on_probability = 0.75;
+  cfg.city.dwell_on_probability = 0.15;
+  cfg.city.duration_s = 30000.0;
+  cfg.horizon_s = 30000.0;
+  return cfg;
+}
+
+inline double mb(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / 1e6;
+}
+
+/// Prints the standard per-run summary row used by all ablation benches.
+inline void print_run_row(const char* label, const scenario::RunResult& r) {
+  std::printf(
+      "%-28s acc=%.4f  sim_end=%8.0fs  V2C=%8.2fMB  V2X=%8.2fMB  "
+      "wall=%5.1fs\n",
+      label, r.final_accuracy, r.report.sim_end_time_s,
+      mb(r.channel(comm::ChannelKind::kV2C).bytes_delivered),
+      mb(r.channel(comm::ChannelKind::kV2X).bytes_delivered),
+      r.report.wall_seconds);
+}
+
+}  // namespace roadrunner::bench

@@ -1,0 +1,108 @@
+// Micro-benchmarks for the Core Simulator substrates: event queue
+// throughput, the mobility tick (trace interpolation + spatial hashing +
+// encounter diff), and channel link checks. These set the floor for Req. 6.
+#include <benchmark/benchmark.h>
+
+#include "comm/network.hpp"
+#include "core/event_queue.hpp"
+#include "mobility/city_model.hpp"
+#include "mobility/spatial_index.hpp"
+
+namespace {
+
+using namespace roadrunner;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::EventQueue q;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.schedule(static_cast<double>((i * 7919) % batch),
+                 [&sink, i] { sink += i; });
+    }
+    while (!q.empty()) q.run_next();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+mobility::FleetModel bench_fleet(std::size_t vehicles) {
+  mobility::CityModelConfig cfg;
+  cfg.duration_s = 2000.0;
+  cfg.seed = 9;
+  return mobility::make_city_fleet(vehicles, cfg);
+}
+
+void BM_FleetSnapshot(benchmark::State& state) {
+  const auto fleet = bench_fleet(static_cast<std::size_t>(state.range(0)));
+  double t = 0.0;
+  for (auto _ : state) {
+    auto snap = fleet.snapshot(t);
+    benchmark::DoNotOptimize(snap.positions.data());
+    t += 1.0;
+    if (t > 1900.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_FleetSnapshot)->Arg(100)->Arg(1000);
+
+void BM_EncounterDetection(benchmark::State& state) {
+  const auto fleet = bench_fleet(static_cast<std::size_t>(state.range(0)));
+  double t = 0.0;
+  for (auto _ : state) {
+    auto pairs = fleet.encounters(t, 200.0);
+    benchmark::DoNotOptimize(pairs.data());
+    t += 1.0;
+    if (t > 1900.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_EncounterDetection)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_SpatialIndexBuildQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{11};
+  std::vector<mobility::Position> pts(n);
+  for (auto& p : pts) {
+    p = {rng.uniform(0.0, 4000.0), rng.uniform(0.0, 4000.0)};
+  }
+  for (auto _ : state) {
+    mobility::SpatialIndex index{pts, 200.0};
+    auto pairs = index.pairs_within(200.0);
+    benchmark::DoNotOptimize(pairs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpatialIndexBuildQuery)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_LinkCheck(benchmark::State& state) {
+  const auto fleet = bench_fleet(50);
+  comm::Network net{fleet, comm::Network::Config{}, util::Rng{1}};
+  double t = 0.0;
+  for (auto _ : state) {
+    auto check = net.check_link(3, 17, comm::ChannelKind::kV2X, t);
+    benchmark::DoNotOptimize(check.status);
+    t += 0.5;
+    if (t > 1900.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_LinkCheck);
+
+void BM_TraceInterpolationSequential(benchmark::State& state) {
+  const auto fleet = bench_fleet(1);
+  const auto& trace = fleet.vehicle(0).trace;
+  double t = 0.0;
+  for (auto _ : state) {
+    auto p = trace.position_at(t);
+    benchmark::DoNotOptimize(p.x);
+    t += 0.37;
+    if (t > 1900.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_TraceInterpolationSequential);
+
+}  // namespace
+
+BENCHMARK_MAIN();

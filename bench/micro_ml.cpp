@@ -1,0 +1,139 @@
+// Micro-benchmarks for the ML substrate: tensor matmul, the paper CNN's
+// forward/backward, FedAvg aggregation, and model serialization. These
+// bound the per-agent training cost that dominates learning experiments.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic_images.hpp"
+#include "ml/fedavg.hpp"
+#include "ml/loss.hpp"
+#include "ml/models.hpp"
+#include "ml/serialize.hpp"
+#include "ml/trainer.hpp"
+
+namespace {
+
+using namespace roadrunner;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{1};
+  ml::Tensor a{{n, n}}, b{{n, n}};
+  for (float& v : a.values()) v = static_cast<float>(rng.uniform());
+  for (float& v : b.values()) v = static_cast<float>(rng.uniform());
+  ml::Tensor c{{n, n}};
+  for (auto _ : state) {
+    ml::matmul_into(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(128)->Arg(256);
+
+ml::Dataset small_images(std::size_t n) {
+  data::SyntheticImageConfig cfg;
+  cfg.seed = 5;
+  return data::make_synthetic_images(n, cfg);
+}
+
+void BM_PaperCnnForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  auto ds = std::make_shared<ml::Dataset>(small_images(batch));
+  util::Rng rng{2};
+  ml::Network net = ml::make_paper_cnn();
+  ml::prime_and_init(net, {3, 32, 32}, rng);
+  auto view = ml::DatasetView::all(ds);
+  ml::Tensor x;
+  std::vector<std::int32_t> y;
+  view.gather_batch(0, batch, x, y);
+  for (auto _ : state) {
+    ml::Tensor out = net.forward(x);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_PaperCnnForward)->Arg(1)->Arg(16);
+
+void BM_PaperCnnTrainStep(benchmark::State& state) {
+  auto ds = std::make_shared<ml::Dataset>(small_images(16));
+  util::Rng rng{3};
+  ml::Network net = ml::make_paper_cnn();
+  ml::prime_and_init(net, {3, 32, 32}, rng);
+  auto view = ml::DatasetView::all(ds);
+  ml::Tensor x;
+  std::vector<std::int32_t> y;
+  view.gather_batch(0, 16, x, y);
+  for (auto _ : state) {
+    net.zero_grad();
+    ml::Tensor logits = net.forward(x);
+    auto loss = ml::softmax_cross_entropy(logits, y);
+    net.backward(loss.grad);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_PaperCnnTrainStep);
+
+void BM_VehicleRetrain(benchmark::State& state) {
+  // The paper's per-vehicle unit of work: 2 epochs of SGD on 80 samples.
+  auto ds = std::make_shared<ml::Dataset>(small_images(80));
+  util::Rng rng{4};
+  ml::Network net = ml::make_paper_cnn();
+  ml::prime_and_init(net, {3, 32, 32}, rng);
+  auto view = ml::DatasetView::all(ds);
+  ml::TrainConfig cfg;
+  cfg.epochs = 2;
+  for (auto _ : state) {
+    ml::Network local = net;
+    util::Rng job{42};
+    auto report = ml::train_sgd(local, view, cfg, job);
+    benchmark::DoNotOptimize(report.final_loss);
+  }
+}
+BENCHMARK(BM_VehicleRetrain);
+
+void BM_FedAvg(benchmark::State& state) {
+  const auto contributors = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{5};
+  ml::Network net = ml::make_paper_cnn();
+  ml::prime_and_init(net, {3, 32, 32}, rng);
+  std::vector<ml::WeightedModel> contributions;
+  for (std::size_t i = 0; i < contributors; ++i) {
+    net.init_params(rng);
+    contributions.push_back(ml::WeightedModel{net.weights(), 80.0});
+  }
+  for (auto _ : state) {
+    auto merged = ml::fed_avg(contributions);
+    benchmark::DoNotOptimize(merged.weights.data());
+  }
+}
+BENCHMARK(BM_FedAvg)->Arg(5)->Arg(15)->Arg(50);
+
+void BM_SerializeWeights(benchmark::State& state) {
+  util::Rng rng{6};
+  ml::Network net = ml::make_paper_cnn();
+  ml::prime_and_init(net, {3, 32, 32}, rng);
+  const auto w = net.weights();
+  for (auto _ : state) {
+    auto bytes = ml::serialize_weights(w);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ml::weights_byte_size(w)));
+}
+BENCHMARK(BM_SerializeWeights);
+
+void BM_SyntheticImageGeneration(benchmark::State& state) {
+  data::SyntheticImageConfig cfg;
+  util::Rng rng{7};
+  for (auto _ : state) {
+    auto img = data::render_synthetic_image(3, cfg, rng);
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_SyntheticImageGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// R6 (DESIGN.md): Requirement 6 — "the framework should realize a
+// significant speed-up over an experiment in a real VCPS". Measures
+// simulated-seconds per wall-second across configurations, with and
+// without the ML workload (the ML computation is real, so it bounds the
+// speed-up for learning experiments; pure fleet/communication simulation
+// runs orders of magnitude faster).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "strategy/federated.hpp"
+#include "strategy/learning_strategy.hpp"
+
+using namespace roadrunner;
+
+namespace {
+
+/// A strategy that does nothing: isolates the core+mobility+comm cost.
+struct IdleStrategy final : strategy::LearningStrategy {
+  [[nodiscard]] std::string name() const override { return "idle"; }
+};
+
+void report(const char* label, const scenario::RunResult& r) {
+  const double speedup =
+      r.report.sim_end_time_s / std::max(1e-9, r.report.wall_seconds);
+  std::printf("%-36s sim %8.0f s | wall %7.2f s | speed-up %9.0fx | "
+              "%8llu events\n",
+              label, r.report.sim_end_time_s, r.report.wall_seconds, speedup,
+              static_cast<unsigned long long>(r.report.events_executed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  std::printf("=== R6: simulation speed-up over real time ===\n\n");
+
+  // 1. Pure fleet + encounter simulation, no learning.
+  for (std::size_t vehicles : {50U, 200U}) {
+    auto cfg = bench::ablation_scenario(31);
+    cfg.vehicles = vehicles;
+    cfg.train_pool_size = std::max<std::size_t>(9000, vehicles * 60 * 2);
+    cfg.horizon_s = 20000.0;
+    scenario::Scenario scenario{cfg};
+    const auto result = scenario.run(std::make_shared<IdleStrategy>());
+    char label[64];
+    std::snprintf(label, sizeof label, "mobility only, %zu vehicles",
+                  vehicles);
+    report(label, result);
+  }
+
+  // 2. Full learning workload (FL over the MLP problem).
+  {
+    auto cfg = bench::ablation_scenario(31);
+    scenario::Scenario scenario{cfg};
+    strategy::RoundConfig round;
+    round.rounds = 20;
+    round.participants = 5;
+    round.round_duration_s = 30.0;
+    const auto result =
+        scenario.run(std::make_shared<strategy::FederatedStrategy>(round));
+    report("FL, MLP problem, 60 vehicles", result);
+  }
+
+  // 3. Full learning workload with the paper's CNN (heaviest realistic mix).
+  {
+    auto cfg = bench::ablation_scenario(31);
+    cfg.dataset = "images";
+    cfg.train_pool_size = 6000;
+    cfg.test_size = 500;
+    cfg.vehicles = 40;
+    cfg.samples_per_vehicle = 80;
+    cfg.model = "paper_cnn";
+    cfg.train.learning_rate = 0.005F;
+    scenario::Scenario scenario{cfg};
+    strategy::RoundConfig round;
+    round.rounds = 8;
+    round.participants = 5;
+    round.round_duration_s = 30.0;
+    const auto result =
+        scenario.run(std::make_shared<strategy::FederatedStrategy>(round));
+    report("FL, paper CNN, 40 vehicles", result);
+  }
+
+  std::printf(
+      "\nReading: the BASE experiment of Fig. 4 covers 3 600 simulated "
+      "seconds; at the\nmeasured speed-ups an analyst iterates a learning "
+      "strategy in minutes instead\nof hours-on-the-road (Req. 6).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// A5 (DESIGN.md): the Req.-5 demonstration — Centralized ML, Federated
+// Learning, Gossip Learning, OPP, and the RSU-assisted hybrid compared on
+// one identical fleet, data distribution, and simulated period. This is
+// the framework's raison d'être: "quantifying trade-offs between metrics
+// such as data volumes, accuracy and duration ... is the core contribution
+// of any framework abiding by the requirements" (§5.2).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "strategy/centralized.hpp"
+#include "strategy/federated.hpp"
+#include "strategy/gossip.hpp"
+#include "strategy/opportunistic.hpp"
+#include "strategy/rsu_assisted.hpp"
+
+using namespace roadrunner;
+
+int main(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  const int rounds = static_cast<int>(args.get_int("rounds", 12));
+  const double window = args.get_double("window", 3000.0);
+
+  auto cfg = bench::ablation_scenario(
+      static_cast<std::uint64_t>(args.get_int("seed", 25)));
+  cfg.rsus = 25;  // the hybrid needs road-side units (paper Fig. 1)
+  scenario::Scenario scenario{cfg};
+  std::printf("model size %.0f KB | raw data per vehicle %.0f KB\n",
+              static_cast<double>(scenario.model_bytes()) / 1e3,
+              static_cast<double>(cfg.samples_per_vehicle *
+                                  cfg.blob_config.dimensions *
+                                  sizeof(float)) /
+                  1e3);
+
+  std::printf(
+      "=== A5: strategy comparison on one fleet (60 vehicles, non-IID) "
+      "===\n\n");
+
+  strategy::RoundConfig round;
+  round.rounds = rounds;
+  round.participants = 5;
+  round.round_duration_s = 30.0;
+
+  const auto fl =
+      scenario.run(std::make_shared<strategy::FederatedStrategy>(round));
+  bench::print_run_row("federated (BASE)", fl);
+
+  strategy::OpportunisticConfig opp_cfg;
+  opp_cfg.round = round;
+  opp_cfg.round.round_duration_s = 200.0;
+  const auto opp = scenario.run(
+      std::make_shared<strategy::OpportunisticStrategy>(opp_cfg));
+  bench::print_run_row("opportunistic (OPP)", opp);
+
+  strategy::RsuAssistedConfig rsu_cfg;
+  rsu_cfg.round = round;
+  const auto rsu = scenario.run(
+      std::make_shared<strategy::RsuAssistedStrategy>(rsu_cfg));
+  bench::print_run_row("rsu-assisted hybrid", rsu);
+
+  strategy::GossipConfig gossip_cfg;
+  gossip_cfg.duration_s = window;
+  gossip_cfg.retrain_interval_s = 120.0;
+  gossip_cfg.eval_interval_s = 500.0;
+  const auto gossip =
+      scenario.run(std::make_shared<strategy::GossipStrategy>(gossip_cfg));
+  bench::print_run_row("gossip (decentral)", gossip);
+
+  strategy::CentralizedConfig central_cfg;
+  central_cfg.duration_s = window;
+  central_cfg.train_interval_s = 120.0;
+  const auto central = scenario.run(
+      std::make_shared<strategy::CentralizedStrategy>(central_cfg));
+  bench::print_run_row("centralized (raw data)", central);
+
+  std::printf(
+      "\nExpected shape (the §1 trade-off space): centralized reaches the "
+      "highest\naccuracy and — for this low-dimensional problem — even the "
+      "lowest one-shot V2C\nvolume, but exposes raw user data and its "
+      "volume scales with data size and\nupload frequency (rerun with "
+      "higher blob dimensions to see it cross over the\nmodel size); FL "
+      "pays model-sized V2C every round; OPP and the RSU hybrid shift\n"
+      "traffic to free V2X; gossip needs no server at all but converges "
+      "slowest.\n");
+  return 0;
+}

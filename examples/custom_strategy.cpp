@@ -1,0 +1,145 @@
+// Implementing a custom learning strategy — the extension point Req. 5
+// demands ("the framework should allow the flexible implementation and
+// parametrization of learning strategies").
+//
+// The example defines AdaptiveFl, a small twist on FL written entirely
+// against the public strategy API: the server monitors round-over-round
+// accuracy improvement and triples the participant count while progress
+// stalls (a crude budget-adaptive policy), then compares it against
+// vanilla FL over the same rounds.
+//
+//   ./examples/custom_strategy [--rounds=14] [--seed=8]
+#include <cstdio>
+#include <map>
+
+#include "scenario/scenario.hpp"
+#include "strategy/federated.hpp"
+#include "strategy/round_base.hpp"
+#include "util/cli.hpp"
+
+using namespace roadrunner;
+
+namespace {
+
+/// FL whose server widens the per-round selection when accuracy stalls.
+/// Everything else — rounds, transport, failure handling, FedAvg,
+/// metrics — is inherited from the framework's round machinery.
+class AdaptiveFl final : public strategy::RoundBasedStrategy {
+ public:
+  AdaptiveFl(strategy::RoundConfig config, std::size_t boosted_participants)
+      : RoundBasedStrategy{config},
+        base_participants_{config.participants},
+        boosted_participants_{boosted_participants} {}
+
+  [[nodiscard]] std::string name() const override { return "adaptive-fl"; }
+
+  void on_training_complete(strategy::StrategyContext& ctx,
+                            strategy::AgentId id,
+                            const strategy::TrainingOutcome& o) override {
+    (void)ctx;
+    trained_round_[id] = o.round_tag;
+  }
+
+ protected:
+  // Vehicle-side protocol: identical to stock FL.
+  void on_vehicle_message(strategy::StrategyContext& ctx,
+                          const strategy::Message& msg) override {
+    if (msg.tag == kTagGlobal) {
+      ctx.set_model(msg.to, msg.model, 0.0);
+      trained_round_.erase(msg.to);
+      ctx.start_training(msg.to, msg.round);
+    } else if (msg.tag == kTagRequest) {
+      const auto it = trained_round_.find(msg.to);
+      if (it == trained_round_.end() || it->second != msg.round) return;
+      strategy::Message reply;
+      reply.from = msg.to;
+      reply.to = ctx.cloud_id();
+      reply.channel = comm::ChannelKind::kV2C;
+      reply.tag = kTagReply;
+      reply.round = msg.round;
+      reply.model = ctx.agent(msg.to).model;
+      reply.data_amount = ctx.agent(msg.to).model_data_amount;
+      ctx.send(std::move(reply));
+    }
+  }
+
+  // The adaptive part: one override.
+  [[nodiscard]] std::size_t participants_this_round(
+      strategy::StrategyContext& ctx, int /*round*/) const override {
+    if (boosting_) ctx.metrics().increment("adaptive_boost_rounds");
+    return boosting_ ? boosted_participants_ : base_participants_;
+  }
+
+  void on_global_updated(strategy::StrategyContext& ctx, int round,
+                         std::size_t /*contributions*/) override {
+    const double acc =
+        ctx.metrics().last_value(round_config().accuracy_series);
+    if (round > 1 && acc - last_accuracy_ < kStallThreshold) {
+      ++stalled_rounds_;
+    } else {
+      stalled_rounds_ = 0;
+    }
+    boosting_ = stalled_rounds_ >= 2;
+    last_accuracy_ = acc;
+  }
+
+ private:
+  static constexpr double kStallThreshold = 0.005;
+  std::size_t base_participants_;
+  std::size_t boosted_participants_;
+  std::map<strategy::AgentId, int> trained_round_;
+  double last_accuracy_ = 0.0;
+  int stalled_rounds_ = 0;
+  bool boosting_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  const int rounds = static_cast<int>(args.get_int("rounds", 14));
+
+  scenario::ScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
+  cfg.vehicles = 40;
+  cfg.dataset = "blobs";
+  cfg.blob_config.num_classes = 10;
+  cfg.blob_config.dimensions = 24;
+  cfg.blob_config.center_radius = 2.2;
+  cfg.train_pool_size = 6000;
+  cfg.test_size = 1200;
+  cfg.partition = "class_skew";
+  cfg.samples_per_vehicle = 50;
+  cfg.classes_per_vehicle = 2;
+  cfg.model = "mlp";
+  cfg.city.duration_s = 20000.0;
+  scenario::Scenario scenario{cfg};
+
+  strategy::RoundConfig round;
+  round.rounds = rounds;
+  round.participants = 4;
+  round.round_duration_s = 30.0;
+
+  const auto vanilla =
+      scenario.run(std::make_shared<strategy::FederatedStrategy>(round));
+  const auto adaptive =
+      scenario.run(std::make_shared<AdaptiveFl>(round, 12));
+
+  std::printf("%-22s %12s %12s\n", "", "vanilla FL", "adaptive FL");
+  std::printf("%-22s %12.4f %12.4f\n", "final accuracy",
+              vanilla.final_accuracy, adaptive.final_accuracy);
+  std::printf("%-22s %12.2f %12.2f\n", "V2C delivered [MB]",
+              static_cast<double>(
+                  vanilla.channel(comm::ChannelKind::kV2C).bytes_delivered) /
+                  1e6,
+              static_cast<double>(
+                  adaptive.channel(comm::ChannelKind::kV2C).bytes_delivered) /
+                  1e6);
+  std::printf("%-22s %12s %12.0f\n", "boosted rounds", "-",
+              adaptive.metrics.counter("adaptive_boost_rounds"));
+  std::printf(
+      "\nThe point: a policy change this small needed one subclass with two "
+      "real\noverrides — the framework supplied rounds, selection, "
+      "transport, failure\nhandling, aggregation, and metrics (Req. 5).\n");
+  return 0;
+}

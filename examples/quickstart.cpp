@@ -1,0 +1,63 @@
+// Quickstart: the smallest complete Roadrunner experiment.
+//
+// Simulates a 20-vehicle fleet in a synthetic city, distributes a fast
+// Gaussian-blob classification problem non-IID over the vehicles, and runs
+// 15 rounds of Federated Learning, printing the global model's accuracy
+// over simulated time and the cellular traffic the run cost.
+//
+//   ./examples/quickstart [--vehicles=20] [--rounds=15] [--seed=1]
+#include <cstdio>
+
+#include "scenario/scenario.hpp"
+#include "strategy/federated.hpp"
+#include "util/cli.hpp"
+
+using namespace roadrunner;
+
+int main(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+
+  // 1. Describe the experiment.
+  scenario::ScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.vehicles = static_cast<std::size_t>(args.get_int("vehicles", 20));
+  cfg.dataset = "blobs";          // 4-class Gaussian problem, trains in ms
+  cfg.train_pool_size = 4000;
+  cfg.test_size = 1000;
+  cfg.partition = "class_skew";   // non-IID: 2 of 4 classes per vehicle
+  cfg.samples_per_vehicle = 40;
+  cfg.classes_per_vehicle = 2;
+  cfg.model = "mlp";
+  cfg.city.duration_s = 4000.0;   // generate ~67 min of urban mobility
+
+  scenario::Scenario scenario{cfg};
+
+  // 2. Pick a learning strategy.
+  strategy::RoundConfig round;
+  round.rounds = static_cast<int>(args.get_int("rounds", 15));
+  round.participants = 5;
+  round.round_duration_s = 30.0;
+  auto fl = std::make_shared<strategy::FederatedStrategy>(round);
+
+  // 3. Run and inspect the metrics.
+  const scenario::RunResult result = scenario.run(fl);
+
+  std::printf("round-end accuracy over simulated time:\n");
+  std::printf("%10s  %8s\n", "time[s]", "accuracy");
+  for (const auto& p : result.metrics.series("accuracy")) {
+    std::printf("%10.1f  %8.4f\n", p.time_s, p.value);
+  }
+
+  const auto& v2c = result.channel(comm::ChannelKind::kV2C);
+  std::printf("\nfinal accuracy: %.4f\n", result.final_accuracy);
+  std::printf("V2C traffic:    %.2f MB delivered in %llu transfers "
+              "(%llu failed)\n",
+              static_cast<double>(v2c.bytes_delivered) / 1e6,
+              static_cast<unsigned long long>(v2c.transfers_delivered),
+              static_cast<unsigned long long>(v2c.transfers_failed));
+  std::printf("simulated %.0f s in %.2f s wall (%.0fx speed-up)\n",
+              result.report.sim_end_time_s, result.report.wall_seconds,
+              result.report.sim_end_time_s /
+                  std::max(1e-9, result.report.wall_seconds));
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "comm/coverage.hpp"
+
+#include <stdexcept>
+
+namespace roadrunner::comm {
+
+CoverageModel::CoverageModel(std::vector<DeadZone> dead_zones)
+    : dead_zones_{std::move(dead_zones)} {
+  for (const auto& z : dead_zones_) {
+    if (z.radius_m < 0.0) {
+      throw std::invalid_argument{"CoverageModel: negative radius"};
+    }
+  }
+}
+
+bool CoverageModel::has_coverage(const mobility::Position& p) const {
+  for (const auto& z : dead_zones_) {
+    if (mobility::distance_squared(p, z.center) <= z.radius_m * z.radius_m) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace roadrunner::comm

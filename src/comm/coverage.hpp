@@ -1,0 +1,34 @@
+// Cellular coverage model for V2C. The paper notes the cloud can connect to
+// any powered-on vehicle "barring coverage issues stemming from e.g.
+// tunnels" (§3) — we model those as circular dead zones in the city plane.
+#pragma once
+
+#include <vector>
+
+#include "mobility/geo.hpp"
+
+namespace roadrunner::comm {
+
+struct DeadZone {
+  mobility::Position center;
+  double radius_m = 0.0;
+};
+
+class CoverageModel {
+ public:
+  /// Full coverage everywhere.
+  CoverageModel() = default;
+
+  explicit CoverageModel(std::vector<DeadZone> dead_zones);
+
+  [[nodiscard]] bool has_coverage(const mobility::Position& p) const;
+
+  [[nodiscard]] const std::vector<DeadZone>& dead_zones() const {
+    return dead_zones_;
+  }
+
+ private:
+  std::vector<DeadZone> dead_zones_;
+};
+
+}  // namespace roadrunner::comm

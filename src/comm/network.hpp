@@ -1,0 +1,92 @@
+// The Communication module (paper §4): decides link viability between any
+// two endpoints at a point in simulated time, converts payload bytes into
+// transfer durations, and keeps the per-channel volume accounting the Core
+// Simulator exposes as metrics ("The Communication module also keeps track
+// of the data volumes transmitted", §4).
+//
+// Endpoints are mobility NodeIds plus one virtual endpoint, the cloud
+// server (kCloudEndpoint), which has no position and is always on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "comm/channel.hpp"
+#include "comm/coverage.hpp"
+#include "mobility/fleet_model.hpp"
+#include "util/rng.hpp"
+
+namespace roadrunner::comm {
+
+/// The cloud server as a communication endpoint.
+inline constexpr mobility::NodeId kCloudEndpoint =
+    std::numeric_limits<mobility::NodeId>::max();
+
+struct LinkCheck {
+  LinkStatus status = LinkStatus::kOk;
+  [[nodiscard]] bool ok() const { return status == LinkStatus::kOk; }
+};
+
+/// Per-channel traffic statistics, in bytes and transfer counts.
+struct ChannelStats {
+  std::uint64_t transfers_attempted = 0;
+  std::uint64_t transfers_delivered = 0;
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t bytes_attempted = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  struct Config {
+    ChannelConfig v2c = default_v2c();
+    ChannelConfig v2x = default_v2x();
+    ChannelConfig wired = default_wired();
+    CoverageModel coverage;  ///< full coverage by default
+  };
+
+  /// `fleet` must outlive the network.
+  Network(const mobility::FleetModel& fleet, Config config, util::Rng rng);
+
+  /// Is a transfer from `from` to `to` on `kind` viable at `time_s`?
+  /// Validates endpoint kinds (V2C requires exactly one cloud endpoint;
+  /// V2X forbids the cloud; wired connects RSU/cloud only), power state,
+  /// range, and V2C coverage. Does NOT roll random loss — that happens at
+  /// delivery via roll_delivery().
+  [[nodiscard]] LinkCheck check_link(mobility::NodeId from,
+                                     mobility::NodeId to, ChannelKind kind,
+                                     double time_s) const;
+
+  /// Delivery-time check: revalidates the link (endpoints may have moved or
+  /// powered off mid-transfer, §5.1) and rolls the channel's random loss.
+  [[nodiscard]] LinkCheck roll_delivery(mobility::NodeId from,
+                                        mobility::NodeId to, ChannelKind kind,
+                                        double time_s);
+
+  [[nodiscard]] double duration(ChannelKind kind, std::uint64_t bytes) const;
+
+  /// Transfer duration between two concrete endpoints at `time_s`; applies
+  /// distance-dependent bandwidth degradation on range-limited channels.
+  [[nodiscard]] double duration_between(mobility::NodeId from,
+                                        mobility::NodeId to, ChannelKind kind,
+                                        std::uint64_t bytes,
+                                        double time_s) const;
+
+  [[nodiscard]] const ChannelConfig& channel(ChannelKind kind) const;
+
+  // Accounting hooks, called by the Core Simulator around each transfer.
+  void record_attempt(ChannelKind kind, std::uint64_t bytes);
+  void record_delivery(ChannelKind kind, std::uint64_t bytes);
+  void record_failure(ChannelKind kind);
+
+  [[nodiscard]] const ChannelStats& stats(ChannelKind kind) const;
+
+ private:
+  const mobility::FleetModel* fleet_;
+  Config config_;
+  util::Rng rng_;
+  std::array<ChannelStats, kChannelKindCount> stats_{};
+};
+
+}  // namespace roadrunner::comm

@@ -1,0 +1,14 @@
+#include "core/agent.hpp"
+
+namespace roadrunner::core {
+
+std::string to_string(AgentKind kind) {
+  switch (kind) {
+    case AgentKind::kVehicle: return "vehicle";
+    case AgentKind::kRoadsideUnit: return "rsu";
+    case AgentKind::kCloudServer: return "cloud";
+  }
+  return "?";
+}
+
+}  // namespace roadrunner::core

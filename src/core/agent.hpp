@@ -1,0 +1,46 @@
+// Simulated agents: vehicles, road-side units, and the cloud server
+// (paper Fig. 1). An agent couples a communication endpoint (mobility
+// NodeId or the virtual cloud endpoint), a Hardware Unit, an optional local
+// dataset, and the agent's current ML model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/network.hpp"
+#include "hu/hardware_unit.hpp"
+#include "ml/dataset.hpp"
+#include "ml/net.hpp"
+
+namespace roadrunner::core {
+
+using AgentId = std::size_t;
+inline constexpr AgentId kNoAgent = static_cast<AgentId>(-1);
+
+enum class AgentKind : std::uint8_t { kVehicle, kRoadsideUnit, kCloudServer };
+
+std::string to_string(AgentKind kind);
+
+struct Agent {
+  AgentId id = kNoAgent;
+  AgentKind kind = AgentKind::kVehicle;
+  /// Communication endpoint: a fleet NodeId, or comm::kCloudEndpoint for
+  /// the cloud server.
+  mobility::NodeId node = comm::kCloudEndpoint;
+  hu::HardwareUnit hu;
+  /// Local training data (empty for agents that only aggregate).
+  ml::DatasetView data;
+  /// Current model; empty until the strategy assigns one.
+  ml::Weights model;
+  /// Data amount "behind" the current model (FedAvg weighting, §3).
+  double model_data_amount = 0.0;
+  /// True while a training operation occupies the agent (§4: "while an
+  /// agent is busy training, it may not be available for other operations").
+  bool training = false;
+
+  Agent(AgentId id_, AgentKind kind_, mobility::NodeId node_,
+        hu::DeviceClass device)
+      : id{id_}, kind{kind_}, node{node_}, hu{std::move(device)} {}
+};
+
+}  // namespace roadrunner::core

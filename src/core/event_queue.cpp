@@ -1,0 +1,32 @@
+#include "core/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace roadrunner::core {
+
+void EventQueue::schedule(SimTime at, Handler handler) {
+  if (!handler) throw std::invalid_argument{"EventQueue: null handler"};
+  if (at < current_time_) {
+    throw std::logic_error{"EventQueue: scheduling into the past"};
+  }
+  heap_.push(Entry{at, next_seq_++, std::move(handler)});
+}
+
+SimTime EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time: empty"};
+  return heap_.top().at;
+}
+
+void EventQueue::run_next() {
+  if (heap_.empty()) throw std::logic_error{"EventQueue::run_next: empty"};
+  // priority_queue::top() is const; moving the handler out is safe because
+  // we pop immediately after.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  current_time_ = entry.at;
+  ++executed_;
+  entry.handler();
+}
+
+}  // namespace roadrunner::core

@@ -1,0 +1,57 @@
+// Discrete-event queue: the Core Simulator "proceeds in discrete steps
+// through the simulation time" (§4). Events at equal times execute in
+// scheduling order (FIFO tie-break via a sequence number), which is what
+// makes whole runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/sim_time.hpp"
+
+namespace roadrunner::core {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `at`. Scheduling in the past
+  /// (before the last popped event) throws std::logic_error — it would
+  /// violate causality.
+  void schedule(SimTime at, Handler handler);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the next event; empty() must be false.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and runs the next event; advances the causality watermark.
+  void run_next();
+
+  /// Time of the most recently executed event (0 before any).
+  [[nodiscard]] SimTime current_time() const { return current_time_; }
+
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  SimTime current_time_ = 0.0;
+};
+
+}  // namespace roadrunner::core

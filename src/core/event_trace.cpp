@@ -1,0 +1,51 @@
+#include "core/event_trace.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+
+namespace roadrunner::core {
+
+std::string to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kMessageSent: return "message-sent";
+    case TraceKind::kMessageDelivered: return "message-delivered";
+    case TraceKind::kMessageFailed: return "message-failed";
+    case TraceKind::kTrainingStarted: return "training-started";
+    case TraceKind::kTrainingCompleted: return "training-completed";
+    case TraceKind::kTrainingDiscarded: return "training-discarded";
+    case TraceKind::kEncounterBegin: return "encounter-begin";
+    case TraceKind::kEncounterEnd: return "encounter-end";
+    case TraceKind::kPowerOn: return "power-on";
+    case TraceKind::kPowerOff: return "power-off";
+  }
+  return "?";
+}
+
+void EventTrace::record(SimTime time_s, TraceKind kind, AgentId a, AgentId b,
+                        std::string detail) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{time_s, kind, a, b, std::move(detail)});
+}
+
+std::vector<TraceEvent> EventTrace::filter(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+void EventTrace::export_csv(std::ostream& out) const {
+  util::CsvWriter w{out};
+  w.write_row({"time_s", "kind", "a", "b", "detail"});
+  auto agent_field = [](AgentId id) {
+    return id == kNoAgent ? std::string{"-"} : std::to_string(id);
+  };
+  for (const auto& e : events_) {
+    w.write_row({util::CsvWriter::field(e.time_s), to_string(e.kind),
+                 agent_field(e.a), agent_field(e.b), e.detail});
+  }
+}
+
+}  // namespace roadrunner::core

@@ -1,0 +1,77 @@
+#include "core/ml_service.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace roadrunner::core {
+
+MlService::MlService(ml::Network prototype, ml::DatasetView test_set)
+    : prototype_{std::move(prototype)}, test_set_{std::move(test_set)} {
+  if (prototype_.layer_count() == 0) {
+    throw std::invalid_argument{"MlService: empty prototype network"};
+  }
+  model_bytes_ = ml::weights_byte_size(prototype_.weights());
+  param_count_ = prototype_.parameter_count();
+  flops_per_sample_ = prototype_.flops_per_sample();
+  if (flops_per_sample_ == 0) {
+    throw std::invalid_argument{
+        "MlService: prototype not primed (run a forward pass; see "
+        "ml::prime_and_init)"};
+  }
+}
+
+std::uint64_t MlService::estimate_train_flops(std::size_t samples,
+                                              int epochs) const {
+  return 3 * flops_per_sample_ * static_cast<std::uint64_t>(samples) *
+         static_cast<std::uint64_t>(epochs);
+}
+
+TrainResult MlService::train(ml::Weights start, ml::DatasetView data,
+                             const ml::TrainConfig& config,
+                             util::Rng job_rng) const {
+  ml::Network net = prototype_;
+  net.set_weights(start);
+  TrainResult result;
+  result.report = ml::train_sgd(net, data, config, job_rng);
+  result.weights = net.weights();
+  return result;
+}
+
+std::future<TrainResult> MlService::train_async(ml::Weights start,
+                                                ml::DatasetView data,
+                                                ml::TrainConfig config,
+                                                util::Rng job_rng) const {
+  // std::async with the launch::async policy gives one thread per in-flight
+  // training; concurrent trainings per round are bounded by round fan-out,
+  // which is small (tens). Evaluation inside stays single-threaded to avoid
+  // nested pool deadlocks.
+  return std::async(std::launch::async,
+                    [this, start = std::move(start), data = std::move(data),
+                     config, job_rng]() mutable {
+                      return train(std::move(start), std::move(data), config,
+                                   job_rng);
+                    });
+}
+
+ml::EvalReport MlService::test(const ml::Weights& weights) const {
+  if (test_set_.empty()) {
+    throw std::logic_error{"MlService::test: no test set configured"};
+  }
+  return test_on(weights, test_set_);
+}
+
+ml::EvalReport MlService::test_on(const ml::Weights& weights,
+                                  const ml::DatasetView& data) const {
+  ml::Network net = prototype_;
+  net.set_weights(weights);
+  return ml::evaluate(net, data);
+}
+
+ml::Weights MlService::fresh_weights(util::Rng& rng) const {
+  ml::Network net = prototype_;
+  net.init_params(rng);
+  return net.weights();
+}
+
+}  // namespace roadrunner::core

@@ -1,0 +1,78 @@
+// The ML module (paper §4): holds the learning problem's model architecture
+// prototype and server test set, and provides train/test/aggregate
+// operations on agents' weights. Training executes for real (genuine
+// gradients and accuracy) on the process's thread pool, emulating the HUs'
+// ability to "run multiple operations in parallel to speed up the
+// simulation" (§4); the *simulated* duration is charged analytically by
+// hu::HardwareUnit from the FLOP estimate, so results are deterministic
+// regardless of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <future>
+
+#include "ml/dataset.hpp"
+#include "ml/net.hpp"
+#include "ml/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace roadrunner::core {
+
+struct TrainResult {
+  ml::Weights weights;
+  ml::TrainReport report;
+};
+
+class MlService {
+ public:
+  /// `prototype` defines the architecture; it is primed with a dummy
+  /// forward pass so FLOP estimates are valid. `test_set` may be empty if
+  /// the experiment never calls test().
+  MlService(ml::Network prototype, ml::DatasetView test_set);
+
+  /// Serialized byte size of one model of this architecture.
+  [[nodiscard]] std::uint64_t model_bytes() const { return model_bytes_; }
+
+  [[nodiscard]] std::uint64_t parameter_count() const { return param_count_; }
+
+  /// Forward+backward FLOPs for training `samples` for `epochs` epochs —
+  /// the number the Hardware Unit converts into simulated duration. Matches
+  /// what ml::train_sgd will report.
+  [[nodiscard]] std::uint64_t estimate_train_flops(std::size_t samples,
+                                                   int epochs) const;
+
+  /// Launches a real training job on the global thread pool. The job
+  /// derives all randomness from `job_rng`, so the result is deterministic
+  /// no matter when the future is consumed.
+  [[nodiscard]] std::future<TrainResult> train_async(
+      ml::Weights start, ml::DatasetView data, ml::TrainConfig config,
+      util::Rng job_rng) const;
+
+  /// Synchronous variant (used by tests and the centralized strategy's
+  /// in-server training).
+  [[nodiscard]] TrainResult train(ml::Weights start, ml::DatasetView data,
+                                  const ml::TrainConfig& config,
+                                  util::Rng job_rng) const;
+
+  /// Accuracy of `weights` on the server test set (parallel internally).
+  [[nodiscard]] ml::EvalReport test(const ml::Weights& weights) const;
+
+  /// Accuracy of `weights` on an arbitrary dataset view.
+  [[nodiscard]] ml::EvalReport test_on(const ml::Weights& weights,
+                                       const ml::DatasetView& data) const;
+
+  /// Fresh randomly-initialized weights for this architecture.
+  [[nodiscard]] ml::Weights fresh_weights(util::Rng& rng) const;
+
+  [[nodiscard]] const ml::DatasetView& test_set() const { return test_set_; }
+  [[nodiscard]] const ml::Network& prototype() const { return prototype_; }
+
+ private:
+  ml::Network prototype_;
+  ml::DatasetView test_set_;
+  std::uint64_t model_bytes_ = 0;
+  std::uint64_t param_count_ = 0;
+  std::uint64_t flops_per_sample_ = 0;
+};
+
+}  // namespace roadrunner::core

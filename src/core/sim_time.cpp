@@ -1,0 +1,21 @@
+#include "core/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace roadrunner::core {
+
+std::string format_time(SimTime t) {
+  const bool negative = t < 0;
+  double abs_t = std::abs(t);
+  const auto hours = static_cast<long>(abs_t / 3600.0);
+  abs_t -= static_cast<double>(hours) * 3600.0;
+  const auto minutes = static_cast<int>(abs_t / 60.0);
+  abs_t -= minutes * 60.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%ld:%02d:%06.3f", negative ? "-" : "",
+                hours, minutes, abs_t);
+  return buf;
+}
+
+}  // namespace roadrunner::core

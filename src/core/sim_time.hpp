@@ -1,0 +1,15 @@
+// Simulated time: seconds since experiment start, as double. The paper's
+// metrics are "timestamped in simulated time" (§4); wall-clock time appears
+// only in the Req.-6 speed-up benches.
+#pragma once
+
+#include <string>
+
+namespace roadrunner::core {
+
+using SimTime = double;
+
+/// "h:mm:ss.mmm" formatting for logs.
+std::string format_time(SimTime t);
+
+}  // namespace roadrunner::core

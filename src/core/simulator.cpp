@@ -1,0 +1,505 @@
+#include "core/simulator.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace roadrunner::core {
+
+Simulator::Simulator(const mobility::FleetModel& fleet,
+                     comm::Network::Config netcfg, MlService ml,
+                     SimulatorConfig config)
+    : fleet_{&fleet},
+      network_{fleet, std::move(netcfg),
+               util::Rng{config.seed}.fork("network")},
+      ml_{std::move(ml)},
+      config_{config},
+      trace_{config.trace_events},
+      master_rng_{config.seed},
+      strategy_rng_{master_rng_.fork("strategy")} {
+  if (config_.mobility_tick_s <= 0.0) {
+    throw std::invalid_argument{"Simulator: mobility_tick_s <= 0"};
+  }
+  node_to_agent_.assign(fleet.node_count(), kNoAgent);
+}
+
+AgentId Simulator::add_cloud(hu::DeviceClass device) {
+  if (ran_ || running_) throw std::logic_error{"Simulator: already run"};
+  if (cloud_id_ != kNoAgent) {
+    throw std::logic_error{"Simulator: cloud already added"};
+  }
+  const AgentId id = agents_.size();
+  agents_.emplace_back(id, AgentKind::kCloudServer, comm::kCloudEndpoint,
+                       std::move(device));
+  cloud_id_ = id;
+  return id;
+}
+
+AgentId Simulator::add_vehicle(mobility::NodeId node, ml::DatasetView data,
+                               hu::DeviceClass device) {
+  if (ran_ || running_) throw std::logic_error{"Simulator: already run"};
+  if (node >= fleet_->node_count() || !fleet_->is_vehicle(node)) {
+    throw std::invalid_argument{"Simulator::add_vehicle: bad node"};
+  }
+  if (node_to_agent_[node] != kNoAgent) {
+    throw std::invalid_argument{"Simulator::add_vehicle: node already bound"};
+  }
+  const AgentId id = agents_.size();
+  agents_.emplace_back(id, AgentKind::kVehicle, node, std::move(device));
+  agents_.back().data = std::move(data);
+  vehicle_ids_.push_back(id);
+  node_to_agent_[node] = id;
+  return id;
+}
+
+AgentId Simulator::add_rsu(mobility::NodeId node, hu::DeviceClass device) {
+  if (ran_ || running_) throw std::logic_error{"Simulator: already run"};
+  if (node >= fleet_->node_count() || fleet_->is_vehicle(node)) {
+    throw std::invalid_argument{"Simulator::add_rsu: bad node"};
+  }
+  if (node_to_agent_[node] != kNoAgent) {
+    throw std::invalid_argument{"Simulator::add_rsu: node already bound"};
+  }
+  const AgentId id = agents_.size();
+  agents_.emplace_back(id, AgentKind::kRoadsideUnit, node, std::move(device));
+  rsu_ids_.push_back(id);
+  node_to_agent_[node] = id;
+  return id;
+}
+
+void Simulator::set_strategy(
+    std::shared_ptr<strategy::LearningStrategy> strategy) {
+  if (!strategy) throw std::invalid_argument{"Simulator: null strategy"};
+  strategy_ = std::move(strategy);
+}
+
+// ----- observation ---------------------------------------------------------
+
+SimTime Simulator::now() const { return queue_.current_time(); }
+
+std::size_t Simulator::agent_count() const { return agents_.size(); }
+
+const Agent& Simulator::agent(AgentId id) const {
+  if (id >= agents_.size()) throw std::out_of_range{"Simulator::agent"};
+  return agents_[id];
+}
+
+Agent& Simulator::agent_mut(AgentId id) {
+  if (id >= agents_.size()) throw std::out_of_range{"Simulator::agent"};
+  return agents_[id];
+}
+
+AgentId Simulator::cloud_id() const {
+  if (cloud_id_ == kNoAgent) {
+    throw std::logic_error{"Simulator::cloud_id: no cloud agent"};
+  }
+  return cloud_id_;
+}
+
+const std::vector<AgentId>& Simulator::vehicle_ids() const {
+  return vehicle_ids_;
+}
+
+const std::vector<AgentId>& Simulator::rsu_ids() const { return rsu_ids_; }
+
+bool Simulator::is_on(AgentId id) const {
+  const Agent& a = agent(id);
+  if (a.kind == AgentKind::kCloudServer) return true;
+  return fleet_->is_on(a.node, now());
+}
+
+bool Simulator::is_busy(AgentId id) const {
+  const Agent& a = agent(id);
+  return a.training || !a.hu.available(now());
+}
+
+mobility::Position Simulator::position_of(AgentId id) const {
+  const Agent& a = agent(id);
+  if (a.kind == AgentKind::kCloudServer) {
+    throw std::logic_error{"Simulator::position_of: cloud has no position"};
+  }
+  return fleet_->position_of(a.node, now());
+}
+
+std::uint64_t Simulator::model_bytes() const { return ml_.model_bytes(); }
+
+double Simulator::v2x_range_m() const {
+  return network_.channel(comm::ChannelKind::kV2X).range_m;
+}
+
+const ml::TrainConfig& Simulator::train_config() const {
+  return config_.train;
+}
+
+ml::DatasetView Simulator::available_data(AgentId id) const {
+  const Agent& a = agent(id);
+  if (config_.data_arrival_per_s <= 0.0 || a.data.empty() ||
+      a.kind != AgentKind::kVehicle) {
+    return a.data;
+  }
+  const auto arrived = static_cast<std::size_t>(
+      std::floor(config_.data_arrival_per_s * now()));
+  const std::size_t count = std::min(arrived, a.data.size());
+  std::vector<std::uint32_t> prefix(
+      a.data.indices().begin(),
+      a.data.indices().begin() + static_cast<std::ptrdiff_t>(count));
+  return ml::DatasetView{a.data.base_ptr(), std::move(prefix)};
+}
+
+// ----- actions -------------------------------------------------------------
+
+bool Simulator::send(Message msg) {
+  if (msg.from >= agents_.size() || msg.to >= agents_.size()) {
+    throw std::invalid_argument{"Simulator::send: bad agent id"};
+  }
+  const std::size_t limit =
+      network_.channel(msg.channel).max_concurrent_per_agent;
+  if (limit > 0) {
+    const auto key = std::pair{msg.from, msg.channel};
+    if (active_transfers_[key] >= limit) {
+      // Radio busy: the message is accepted and queued; it starts when a
+      // slot frees (failures then arrive via on_message_failed).
+      send_backlog_[key].push_back(std::move(msg));
+      metrics_.increment("transfers_queued");
+      return true;
+    }
+  }
+  return begin_transfer(std::move(msg), /*queued=*/false);
+}
+
+bool Simulator::begin_transfer(Message msg, bool queued) {
+  const mobility::NodeId from_node = agents_[msg.from].node;
+  const mobility::NodeId to_node = agents_[msg.to].node;
+  const std::uint64_t bytes = msg.wire_bytes();
+
+  network_.record_attempt(msg.channel, bytes);
+  const comm::LinkCheck check =
+      network_.check_link(from_node, to_node, msg.channel, now());
+  if (!check.ok()) {
+    network_.record_failure(msg.channel);
+    if (queued) {
+      // The caller was told "accepted" at queue time; report the broken
+      // link the same way a mid-transfer failure would surface.
+      trace_.record(now(), TraceKind::kMessageFailed, msg.from, msg.to,
+                    comm::to_string(check.status));
+      strategy_->on_message_failed(*this, msg, check.status);
+    }
+    return false;
+  }
+
+  const double duration =
+      network_.duration_between(from_node, to_node, msg.channel, bytes, now());
+  const SimTime at = now() + duration;
+  trace_.record(now(), TraceKind::kMessageSent, msg.from, msg.to, msg.tag);
+  if (network_.channel(msg.channel).max_concurrent_per_agent > 0) {
+    ++active_transfers_[std::pair{msg.from, msg.channel}];
+  }
+  queue_.schedule(at, [this, msg = std::move(msg)]() mutable {
+    deliver(std::move(msg));
+  });
+  return true;
+}
+
+void Simulator::transfer_finished(AgentId sender, comm::ChannelKind kind) {
+  if (network_.channel(kind).max_concurrent_per_agent == 0) return;
+  const auto key = std::pair{sender, kind};
+  auto active = active_transfers_.find(key);
+  if (active != active_transfers_.end() && active->second > 0) {
+    --active->second;
+  }
+  auto backlog = send_backlog_.find(key);
+  while (backlog != send_backlog_.end() && !backlog->second.empty() &&
+         active_transfers_[key] <
+             network_.channel(kind).max_concurrent_per_agent) {
+    Message next = std::move(backlog->second.front());
+    backlog->second.pop_front();
+    // A failed start does not occupy a slot; keep draining.
+    begin_transfer(std::move(next), /*queued=*/true);
+  }
+}
+
+void Simulator::deliver(Message msg) {
+  const mobility::NodeId from_node = agents_[msg.from].node;
+  const mobility::NodeId to_node = agents_[msg.to].node;
+  const std::uint64_t bytes = msg.wire_bytes();
+  transfer_finished(msg.from, msg.channel);
+  const comm::LinkCheck check =
+      network_.roll_delivery(from_node, to_node, msg.channel, now());
+  if (check.ok()) {
+    network_.record_delivery(msg.channel, bytes);
+    metrics_.increment("messages_delivered");
+    trace_.record(now(), TraceKind::kMessageDelivered, msg.from, msg.to,
+                  msg.tag);
+    strategy_->on_message(*this, msg);
+  } else {
+    network_.record_failure(msg.channel);
+    metrics_.increment("messages_failed");
+    trace_.record(now(), TraceKind::kMessageFailed, msg.from, msg.to,
+                  comm::to_string(check.status));
+    strategy_->on_message_failed(*this, msg, check.status);
+  }
+}
+
+bool Simulator::start_training(AgentId id, int round_tag) {
+  return start_training(id, round_tag, config_.train);
+}
+
+bool Simulator::start_training(AgentId id, int round_tag,
+                               const ml::TrainConfig& config) {
+  Agent& a = agent_mut(id);
+  if (!is_on(id) || a.training || a.model.empty()) {
+    return false;
+  }
+  const ml::DatasetView data = available_data(id);
+  if (data.empty()) return false;
+
+  const std::uint64_t flops =
+      ml_.estimate_train_flops(data.size(), config.epochs);
+  const double duration = a.hu.operation_duration(flops);
+  if (!a.hu.reserve(now(), duration)) return false;
+  a.training = true;
+
+  // Job randomness forks deterministically from the master seed and an
+  // invocation counter, so thread scheduling cannot change results.
+  util::Rng job_rng = master_rng_.fork(
+      "train-" + std::to_string(id) + "-" +
+      std::to_string(train_job_counter_++));
+
+  std::shared_future<TrainResult> job;
+  if (config_.async_training) {
+    job = ml_.train_async(a.model, data, config, job_rng).share();
+  } else {
+    std::promise<TrainResult> ready;
+    ready.set_value(ml_.train(a.model, data, config, job_rng));
+    job = ready.get_future().share();
+  }
+
+  const double data_amount = static_cast<double>(data.size());
+  queue_.schedule(now() + duration,
+                  [this, id, round_tag, duration, data_amount, job] {
+                    finish_training(id, round_tag, duration, data_amount,
+                                    job);
+                  });
+  metrics_.increment("trainings_started");
+  trace_.record(now(), TraceKind::kTrainingStarted, id, kNoAgent,
+                "round=" + std::to_string(round_tag));
+  return true;
+}
+
+void Simulator::finish_training(AgentId id, int round_tag, double duration_s,
+                                double data_amount,
+                                std::shared_future<TrainResult> job) {
+  Agent& a = agent_mut(id);
+  a.training = false;
+  if (!is_on(id)) {
+    // The driver powered the vehicle off mid-training: the result is lost
+    // (paper §5.2: a reporter turning off "effectively discards" its work).
+    metrics_.increment("trainings_discarded");
+    trace_.record(now(), TraceKind::kTrainingDiscarded, id);
+    strategy_->on_training_failed(*this, id, round_tag);
+    return;
+  }
+  TrainResult result = job.get();  // blocks only if the job is still running
+  a.model = std::move(result.weights);
+  a.model_data_amount = data_amount;
+
+  strategy::TrainingOutcome outcome;
+  outcome.round_tag = round_tag;
+  outcome.duration_s = duration_s;
+  outcome.report = result.report;
+  outcome.data_amount = data_amount;
+  metrics_.increment("trainings_completed");
+  metrics_.increment("compute_seconds", duration_s);
+  trace_.record(now(), TraceKind::kTrainingCompleted, id);
+  strategy_->on_training_complete(*this, id, outcome);
+}
+
+void Simulator::set_model(AgentId id, ml::Weights weights,
+                          double data_amount) {
+  Agent& a = agent_mut(id);
+  a.model = std::move(weights);
+  a.model_data_amount = data_amount;
+}
+
+void Simulator::set_data(AgentId id, ml::DatasetView data) {
+  agent_mut(id).data = std::move(data);
+}
+
+ml::Weights Simulator::fresh_model() {
+  return ml_.fresh_weights(strategy_rng_);
+}
+
+double Simulator::test_accuracy(const ml::Weights& weights) {
+  return ml_.test(weights).accuracy;
+}
+
+const ml::DatasetView& Simulator::test_set() const { return ml_.test_set(); }
+
+bool Simulator::start_computation(
+    AgentId id, std::uint64_t flops,
+    std::function<void(strategy::StrategyContext&, bool)> work) {
+  if (!work) {
+    throw std::invalid_argument{"start_computation: null work"};
+  }
+  Agent& a = agent_mut(id);
+  if (!is_on(id) || a.training) return false;
+  const double duration = a.hu.operation_duration(flops);
+  if (!a.hu.reserve(now(), duration)) return false;
+  a.training = true;
+  queue_.schedule(now() + duration,
+                  [this, id, duration, work = std::move(work)] {
+                    Agent& agent = agent_mut(id);
+                    agent.training = false;
+                    const bool success = is_on(id);
+                    metrics_.increment(success ? "computations_completed"
+                                               : "computations_discarded");
+                    if (success) metrics_.increment("compute_seconds", duration);
+                    work(*this, success);
+                  });
+  return true;
+}
+
+void Simulator::schedule_timer(AgentId id, double delay_s, int timer_id) {
+  if (delay_s < 0.0) {
+    throw std::invalid_argument{"schedule_timer: negative delay"};
+  }
+  queue_.schedule(now() + delay_s, [this, id, timer_id] {
+    strategy_->on_timer(*this, id, timer_id);
+  });
+}
+
+void Simulator::request_stop() { stop_requested_ = true; }
+
+// ----- mobility coupling ---------------------------------------------------
+
+void Simulator::mobility_tick() {
+  const SimTime t = now();
+
+  // Power-state diff for vehicles.
+  for (std::size_t i = 0; i < vehicle_ids_.size(); ++i) {
+    const AgentId id = vehicle_ids_[i];
+    const bool on = fleet_->is_on(agents_[id].node, t);
+    if (on != last_power_[i]) {
+      last_power_[i] = on;
+      trace_.record(t, on ? TraceKind::kPowerOn : TraceKind::kPowerOff, id);
+      if (on) {
+        strategy_->on_power_on(*this, id);
+      } else {
+        strategy_->on_power_off(*this, id);
+      }
+    }
+  }
+
+  // Encounter diff, restricted to nodes that are bound to agents.
+  const double range = network_.channel(comm::ChannelKind::kV2X).range_m;
+  std::set<std::pair<AgentId, AgentId>> current;
+  if (range > 0.0) {
+    for (const auto& [na, nb] : fleet_->encounters(t, range)) {
+      const AgentId a = node_to_agent_[na];
+      const AgentId b = node_to_agent_[nb];
+      if (a == kNoAgent || b == kNoAgent) continue;
+      current.emplace(std::min(a, b), std::max(a, b));
+    }
+  }
+  for (const auto& pair : current) {
+    if (!active_encounters_.contains(pair)) {
+      metrics_.increment("encounters");
+      trace_.record(t, TraceKind::kEncounterBegin, pair.first, pair.second);
+      strategy_->on_encounter_begin(*this, pair.first, pair.second);
+    }
+  }
+  for (const auto& pair : active_encounters_) {
+    if (!current.contains(pair)) {
+      trace_.record(t, TraceKind::kEncounterEnd, pair.first, pair.second);
+      strategy_->on_encounter_end(*this, pair.first, pair.second);
+    }
+  }
+  active_encounters_ = std::move(current);
+}
+
+void Simulator::schedule_next_tick(double at) {
+  if (at > config_.horizon_s) return;
+  queue_.schedule(at, [this, at] {
+    mobility_tick();
+    schedule_next_tick(at + config_.mobility_tick_s);
+  });
+}
+
+void Simulator::export_channel_counters() {
+  for (std::size_t k = 0; k < comm::kChannelKindCount; ++k) {
+    const auto kind = static_cast<comm::ChannelKind>(k);
+    const auto& s = network_.stats(kind);
+    const std::string prefix = "bytes_" + comm::to_string(kind);
+    metrics_.set_counter(prefix + "_attempted",
+                         static_cast<double>(s.bytes_attempted));
+    metrics_.set_counter(prefix + "_delivered",
+                         static_cast<double>(s.bytes_delivered));
+    metrics_.set_counter("transfers_" + comm::to_string(kind) + "_failed",
+                         static_cast<double>(s.transfers_failed));
+  }
+}
+
+// ----- run loop ------------------------------------------------------------
+
+Simulator::RunReport Simulator::run() {
+  if (ran_) throw std::logic_error{"Simulator::run: already run"};
+  if (!strategy_) throw std::logic_error{"Simulator::run: no strategy set"};
+  if (cloud_id_ == kNoAgent && vehicle_ids_.empty()) {
+    throw std::logic_error{"Simulator::run: no agents"};
+  }
+  running_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  last_power_.resize(vehicle_ids_.size());
+  for (std::size_t i = 0; i < vehicle_ids_.size(); ++i) {
+    last_power_[i] = fleet_->is_on(agents_[vehicle_ids_[i]].node, 0.0);
+  }
+
+  strategy_->on_start(*this);
+  schedule_next_tick(config_.mobility_tick_s);
+
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > config_.horizon_s) break;
+    queue_.run_next();
+  }
+
+  strategy_->on_finish(*this);
+  export_channel_counters();
+
+  // Per-vehicle computational workload (Req. 4): cumulative HU-busy time.
+  double max_compute = 0.0;
+  double total_compute = 0.0;
+  for (AgentId v : vehicle_ids_) {
+    const double busy = agents_[v].hu.total_busy_time();
+    metrics_.set_counter("compute_s_vehicle_" + std::to_string(v), busy);
+    max_compute = std::max(max_compute, busy);
+    total_compute += busy;
+  }
+  metrics_.set_counter("compute_s_vehicle_max", max_compute);
+  metrics_.set_counter("compute_s_vehicle_total", total_compute);
+
+  running_ = false;
+  ran_ = true;
+
+  RunReport report;
+  report.sim_end_time_s = queue_.current_time();
+  report.events_executed = queue_.executed_count();
+  report.stopped_by_strategy = stop_requested_;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  // Simulated-time metrics only: wall time lives in the RunReport so the
+  // registry stays byte-identical across reruns of the same seed.
+  metrics_.set_counter("events_executed",
+                       static_cast<double>(report.events_executed));
+  RR_LOG_INFO("core") << "run finished at sim time "
+                      << format_time(report.sim_end_time_s) << " after "
+                      << report.events_executed << " events ("
+                      << report.wall_seconds << " s wall)";
+  return report;
+}
+
+}  // namespace roadrunner::core

@@ -1,0 +1,184 @@
+// The Core Simulator (paper §4, Fig. 2): creates virtual agents, proceeds
+// in discrete steps through simulation time, and orchestrates the mobility,
+// communication, ML, and learning-strategy modules.
+//
+// Responsibilities:
+//  * agent registry (vehicles bound to fleet nodes, RSUs, the cloud);
+//  * message passing through comm::Network with realistic durations and
+//    mid-transfer failure (§5.1);
+//  * local training through MlService + hu::HardwareUnit (real computation,
+//    simulated duration, busy tracking);
+//  * mobility ticks that diff encounter sets and power states into
+//    strategy events;
+//  * metrics output timestamped in simulated time.
+#pragma once
+
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/agent.hpp"
+#include "core/event_queue.hpp"
+#include "core/event_trace.hpp"
+#include "core/message.hpp"
+#include "core/ml_service.hpp"
+#include "strategy/learning_strategy.hpp"
+
+namespace roadrunner::core {
+
+struct SimulatorConfig {
+  /// Hard stop for the run; infinity means "until the queue drains or the
+  /// strategy requests a stop". The fleet's trace duration is a natural
+  /// choice.
+  double horizon_s = std::numeric_limits<double>::infinity();
+  /// Mobility sampling step for encounter/power detection (paper: "at each
+  /// point in simulated time, the Core Simulator will change the state of
+  /// participating agents according to their current position and state").
+  double mobility_tick_s = 1.0;
+  /// Default local-training configuration (paper §5.2: 2 epochs SGD).
+  ml::TrainConfig train;
+  /// Master seed; all component randomness forks from it.
+  std::uint64_t seed = 1;
+  /// Execute training jobs on background threads (identical results either
+  /// way; false aids debugging).
+  bool async_training = true;
+  /// Record a structured event trace (messages, trainings, encounters,
+  /// power flips) retrievable via Simulator::trace(). Off by default.
+  bool trace_events = false;
+  /// Data-arrival rate in samples per second per vehicle: an agent's
+  /// available training data at time t is the first min(all, floor(rate*t))
+  /// samples of its assignment. 0 (default) = all data present from t=0.
+  double data_arrival_per_s = 0.0;
+};
+
+class Simulator final : public strategy::StrategyContext {
+ public:
+  /// `fleet` must outlive the simulator. Network and MlService are owned.
+  Simulator(const mobility::FleetModel& fleet, comm::Network::Config netcfg,
+            MlService ml, SimulatorConfig config);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // ----- scenario assembly (before run()) ---------------------------------
+  /// Registers the cloud server agent; exactly one per simulation.
+  AgentId add_cloud(hu::DeviceClass device = hu::cloud_device());
+
+  /// Registers a vehicle agent bound to fleet node `node` with its local
+  /// training data.
+  AgentId add_vehicle(mobility::NodeId node, ml::DatasetView data,
+                      hu::DeviceClass device = hu::obu_device());
+
+  /// Registers a road-side unit bound to a static fleet node.
+  AgentId add_rsu(mobility::NodeId node,
+                  hu::DeviceClass device = hu::rsu_device());
+
+  void set_strategy(std::shared_ptr<strategy::LearningStrategy> strategy);
+
+  // ----- execution ---------------------------------------------------------
+  struct RunReport {
+    double sim_end_time_s = 0.0;
+    std::uint64_t events_executed = 0;
+    double wall_seconds = 0.0;  ///< for the Req.-6 speed-up metric
+    bool stopped_by_strategy = false;
+  };
+  /// Runs to completion. May be called once.
+  RunReport run();
+
+  [[nodiscard]] const comm::Network& network() const { return network_; }
+  [[nodiscard]] const MlService& ml() const { return ml_; }
+  [[nodiscard]] const metrics::Registry& metrics_view() const {
+    return metrics_;
+  }
+  [[nodiscard]] const EventTrace& trace() const { return trace_; }
+  [[nodiscard]] const SimulatorConfig& config() const { return config_; }
+
+  // ----- StrategyContext implementation ------------------------------------
+  [[nodiscard]] SimTime now() const override;
+  [[nodiscard]] std::size_t agent_count() const override;
+  [[nodiscard]] const Agent& agent(AgentId id) const override;
+  [[nodiscard]] AgentId cloud_id() const override;
+  [[nodiscard]] const std::vector<AgentId>& vehicle_ids() const override;
+  [[nodiscard]] const std::vector<AgentId>& rsu_ids() const override;
+  [[nodiscard]] bool is_on(AgentId id) const override;
+  [[nodiscard]] bool is_busy(AgentId id) const override;
+  [[nodiscard]] mobility::Position position_of(AgentId id) const override;
+  [[nodiscard]] std::uint64_t model_bytes() const override;
+  [[nodiscard]] double v2x_range_m() const override;
+  [[nodiscard]] const ml::TrainConfig& train_config() const override;
+  [[nodiscard]] ml::DatasetView available_data(AgentId id) const override;
+  bool send(Message msg) override;
+  bool start_training(AgentId id, int round_tag) override;
+  bool start_training(AgentId id, int round_tag,
+                      const ml::TrainConfig& config) override;
+  void set_model(AgentId id, ml::Weights weights, double data_amount) override;
+  void set_data(AgentId id, ml::DatasetView data) override;
+  [[nodiscard]] ml::Weights fresh_model() override;
+  [[nodiscard]] double test_accuracy(const ml::Weights& weights) override;
+  [[nodiscard]] const ml::DatasetView& test_set() const override;
+  bool start_computation(
+      AgentId id, std::uint64_t flops,
+      std::function<void(strategy::StrategyContext&, bool)> work) override;
+  void schedule_timer(AgentId id, double delay_s, int timer_id) override;
+  void request_stop() override;
+  [[nodiscard]] metrics::Registry& metrics() override { return metrics_; }
+  [[nodiscard]] util::Rng& rng() override { return strategy_rng_; }
+
+ private:
+  Agent& agent_mut(AgentId id);
+  void mobility_tick();
+  void schedule_next_tick(double at);
+  /// Starts the wire transfer for `msg` (link check, duration, delivery
+  /// event). Returns false and records a failed attempt if the link is not
+  /// viable now. `queued` selects the failure notification path: queued
+  /// sends report asynchronously via on_message_failed.
+  bool begin_transfer(Message msg, bool queued);
+  /// Called when a transfer leaves the wire (delivered or failed): frees
+  /// the sender's slot and drains its backlog.
+  void transfer_finished(AgentId sender, comm::ChannelKind kind);
+  void deliver(Message msg);
+  void finish_training(AgentId id, int round_tag, double duration_s,
+                       double data_amount,
+                       std::shared_future<TrainResult> job);
+  void export_channel_counters();
+
+  const mobility::FleetModel* fleet_;
+  comm::Network network_;
+  MlService ml_;
+  SimulatorConfig config_;
+
+  EventQueue queue_;
+  std::vector<Agent> agents_;
+  std::vector<AgentId> vehicle_ids_;
+  std::vector<AgentId> rsu_ids_;
+  AgentId cloud_id_ = kNoAgent;
+  /// NodeId -> AgentId for encounter mapping.
+  std::vector<AgentId> node_to_agent_;
+
+  std::shared_ptr<strategy::LearningStrategy> strategy_;
+  metrics::Registry metrics_;
+  EventTrace trace_;
+
+  util::Rng master_rng_{1};
+  util::Rng strategy_rng_{2};
+  std::uint64_t train_job_counter_ = 0;
+
+  std::set<std::pair<AgentId, AgentId>> active_encounters_;
+  std::vector<bool> last_power_;  // per vehicle_ids_ index
+
+  /// Sender-side radio occupancy per (agent, channel) and the FIFO of
+  /// messages waiting for a free slot.
+  std::map<std::pair<AgentId, comm::ChannelKind>, std::size_t>
+      active_transfers_;
+  std::map<std::pair<AgentId, comm::ChannelKind>, std::deque<Message>>
+      send_backlog_;
+
+  bool running_ = false;
+  bool ran_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace roadrunner::core

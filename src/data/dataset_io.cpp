@@ -1,0 +1,92 @@
+#include "data/dataset_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace roadrunner::data {
+
+namespace {
+constexpr char kMagic[4] = {'R', 'R', 'D', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  char buf[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.write(buf, 4);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  unsigned char buf[4];
+  in.read(reinterpret_cast<char*>(buf), 4);
+  if (!in) throw std::runtime_error{"load_dataset: truncated file"};
+  return static_cast<std::uint32_t>(buf[0]) |
+         (static_cast<std::uint32_t>(buf[1]) << 8) |
+         (static_cast<std::uint32_t>(buf[2]) << 16) |
+         (static_cast<std::uint32_t>(buf[3]) << 24);
+}
+}  // namespace
+
+void save_dataset(const ml::Dataset& dataset, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"save_dataset: cannot open " + path};
+  out.write(kMagic, 4);
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(dataset.num_classes()));
+  const auto& shape = dataset.features().shape();
+  write_u32(out, static_cast<std::uint32_t>(shape.size()));
+  for (std::size_t d : shape) write_u32(out, static_cast<std::uint32_t>(d));
+  for (std::int32_t y : dataset.labels()) {
+    write_u32(out, static_cast<std::uint32_t>(y));
+  }
+  out.write(reinterpret_cast<const char*>(dataset.features().data()),
+            static_cast<std::streamsize>(dataset.features().size() *
+                                         sizeof(float)));
+  if (!out) throw std::runtime_error{"save_dataset: write failed to " + path};
+}
+
+ml::Dataset load_dataset(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"load_dataset: cannot open " + path};
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error{"load_dataset: bad magic in " + path};
+  }
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error{"load_dataset: unsupported version"};
+  }
+  const std::uint32_t num_classes = read_u32(in);
+  const std::uint32_t rank = read_u32(in);
+  if (rank == 0 || rank > 8) {
+    throw std::runtime_error{"load_dataset: bad rank"};
+  }
+  std::vector<std::size_t> shape(rank);
+  for (auto& d : shape) d = read_u32(in);
+  const std::size_t n = shape[0];
+  std::vector<std::int32_t> labels(n);
+  for (auto& y : labels) y = static_cast<std::int32_t>(read_u32(in));
+  ml::Tensor x{shape};
+  in.read(reinterpret_cast<char*>(x.data()),
+          static_cast<std::streamsize>(x.size() * sizeof(float)));
+  if (!in) throw std::runtime_error{"load_dataset: truncated payload"};
+  return ml::Dataset{std::move(x), std::move(labels), num_classes};
+}
+
+std::string dataset_summary(const ml::Dataset& dataset) {
+  std::ostringstream os;
+  os << dataset.size() << " samples, shape "
+     << dataset.features().shape_string() << ", " << dataset.num_classes()
+     << " classes, histogram [";
+  const auto hist = dataset.class_histogram();
+  for (std::size_t c = 0; c < hist.size(); ++c) {
+    if (c > 0) os << ' ';
+    os << hist[c];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace roadrunner::data

@@ -1,0 +1,25 @@
+// Binary dataset persistence: lets generated datasets (or converted external
+// ones, e.g. real CIFAR-10 when available) be stored once and replayed across
+// experiment runs — the paper's prototype likewise keeps "vehicle data ...
+// stored as files on disk" (§5.1).
+//
+// Format (little-endian): magic "RRDS", u32 version, u32 num_classes,
+// u32 rank, u32 dims[rank], u32 N labels as i32, float32 payload.
+#pragma once
+
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace roadrunner::data {
+
+/// Writes the dataset to `path`. Throws std::runtime_error on I/O failure.
+void save_dataset(const ml::Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by save_dataset.
+ml::Dataset load_dataset(const std::string& path);
+
+/// One-line human-readable summary: size, shape, class histogram.
+std::string dataset_summary(const ml::Dataset& dataset);
+
+}  // namespace roadrunner::data

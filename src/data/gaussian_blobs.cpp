@@ -1,0 +1,47 @@
+#include "data/gaussian_blobs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roadrunner::data {
+
+ml::Dataset make_gaussian_blobs(std::size_t count,
+                                const GaussianBlobConfig& config) {
+  if (config.num_classes == 0) {
+    throw std::invalid_argument{"make_gaussian_blobs: num_classes == 0"};
+  }
+  if (config.dimensions == 0) {
+    throw std::invalid_argument{"make_gaussian_blobs: dimensions == 0"};
+  }
+  util::Rng rng{config.seed};
+
+  // Class means: random directions scaled to center_radius.
+  const std::size_t d = config.dimensions;
+  std::vector<std::vector<double>> means(config.num_classes,
+                                         std::vector<double>(d));
+  for (auto& mean : means) {
+    double norm2 = 0.0;
+    for (double& m : mean) {
+      m = rng.normal();
+      norm2 += m * m;
+    }
+    const double scale = config.center_radius / std::sqrt(norm2);
+    for (double& m : mean) m *= scale;
+  }
+
+  ml::Tensor x{{count, d}};
+  std::vector<std::int32_t> labels(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    const auto label =
+        static_cast<std::int32_t>(rng.next_below(config.num_classes));
+    labels[n] = label;
+    float* row = x.data() + n * d;
+    const auto& mean = means[static_cast<std::size_t>(label)];
+    for (std::size_t j = 0; j < d; ++j) {
+      row[j] = static_cast<float>(mean[j] + config.spread * rng.normal());
+    }
+  }
+  return ml::Dataset{std::move(x), std::move(labels), config.num_classes};
+}
+
+}  // namespace roadrunner::data

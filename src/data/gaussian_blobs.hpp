@@ -1,0 +1,26 @@
+// Gaussian-blob classification dataset: K well- or poorly-separated classes
+// in D dimensions. The fast learning problem for unit/integration tests and
+// quick strategy iterations (the framework's Req. 6 — quick experiment
+// repetition — is exercised with this problem).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace roadrunner::data {
+
+struct GaussianBlobConfig {
+  std::size_t dimensions = 16;
+  std::size_t num_classes = 4;
+  double center_radius = 3.0;  ///< class means drawn on a sphere this size
+  double spread = 1.0;         ///< within-class standard deviation
+  std::uint64_t seed = 7;
+};
+
+/// `count` samples with uniformly distributed labels; sample shape [D].
+ml::Dataset make_gaussian_blobs(std::size_t count,
+                                const GaussianBlobConfig& config = {});
+
+}  // namespace roadrunner::data

@@ -1,0 +1,131 @@
+#include "data/synthetic_images.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace roadrunner::data {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+/// Pattern intensity in roughly [-1, 1] for class `label` at pixel (i, j),
+/// with per-sample nuisance parameters phase (radians) and frequency scale.
+double pattern_value(std::int32_t label, double i, double j, double side,
+                     double phase, double freq) {
+  const double u = i / side, v = j / side;  // [0, 1) coordinates
+  const double cu = u - 0.5, cv = v - 0.5;  // centred
+  switch (label) {
+    case 0:  // horizontal stripes
+      return std::sin(kTau * freq * u + phase);
+    case 1:  // vertical stripes
+      return std::sin(kTau * freq * v + phase);
+    case 2:  // diagonal stripes
+      return std::sin(kTau * freq * (u + v) * 0.7071 + phase);
+    case 3:  // anti-diagonal stripes
+      return std::sin(kTau * freq * (u - v) * 0.7071 + phase);
+    case 4:  // checkerboard
+      return std::sin(kTau * freq * u + phase) *
+             std::sin(kTau * freq * v + phase);
+    case 5: {  // concentric rings
+      const double r = std::sqrt(cu * cu + cv * cv);
+      return std::sin(kTau * freq * 1.5 * r + phase);
+    }
+    case 6: {  // central Gaussian blob (bright centre, dark rim)
+      const double r2 = cu * cu + cv * cv;
+      return 2.0 * std::exp(-r2 / 0.05) - 1.0;
+    }
+    case 7:  // smooth corner-to-corner gradient, direction set by phase
+      return 2.0 * (u * std::cos(phase) + v * std::sin(phase)) - 1.0;
+    case 8: {  // four bumps at quadrant centres
+      double acc = -1.0;
+      for (double qi : {0.25, 0.75}) {
+        for (double qj : {0.25, 0.75}) {
+          const double du = u - qi, dv = v - qj;
+          acc += 1.2 * std::exp(-(du * du + dv * dv) / 0.02);
+        }
+      }
+      return std::clamp(acc, -1.0, 1.0);
+    }
+    case 9: {  // bright plus-sign cross through the centre
+      const double bar = 0.08;
+      const bool on = std::abs(cu) < bar || std::abs(cv) < bar;
+      return on ? 1.0 : -1.0;
+    }
+    default:
+      throw std::invalid_argument{"pattern_value: label out of range"};
+  }
+}
+
+}  // namespace
+
+ml::Tensor render_synthetic_image(std::int32_t label,
+                                  const SyntheticImageConfig& config,
+                                  util::Rng& rng) {
+  if (label < 0 ||
+      static_cast<std::size_t>(label) >= config.num_classes) {
+    throw std::invalid_argument{"render_synthetic_image: bad label"};
+  }
+  const std::size_t s = config.side, c = config.channels;
+  ml::Tensor img{{c, s, s}};
+
+  const double phase = rng.uniform(0.0, kTau);
+  const double freq = rng.uniform(2.5, 4.5);
+  const int shift_i = static_cast<int>(
+      rng.uniform_int(-config.max_shift, config.max_shift));
+  const int shift_j = static_cast<int>(
+      rng.uniform_int(-config.max_shift, config.max_shift));
+
+  std::vector<double> gains(c);
+  for (double& g : gains) {
+    g = 1.0 + config.gain_jitter * rng.normal();
+  }
+
+  const auto side_d = static_cast<double>(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      // Toroidal shift keeps statistics stationary across the image.
+      const double pi_shift =
+          static_cast<double>((static_cast<int>(i) + shift_i % static_cast<int>(s) +
+                               static_cast<int>(s)) %
+                              static_cast<int>(s));
+      const double pj_shift =
+          static_cast<double>((static_cast<int>(j) + shift_j % static_cast<int>(s) +
+                               static_cast<int>(s)) %
+                              static_cast<int>(s));
+      const double base =
+          pattern_value(label, pi_shift, pj_shift, side_d, phase, freq);
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        const double value =
+            gains[ch] * base + config.noise_sigma * rng.normal();
+        img.data()[(ch * s + i) * s + j] = static_cast<float>(value);
+      }
+    }
+  }
+  return img;
+}
+
+ml::Dataset make_synthetic_images(std::size_t count,
+                                  const SyntheticImageConfig& config) {
+  if (config.num_classes == 0 || config.num_classes > 10) {
+    throw std::invalid_argument{
+        "make_synthetic_images: num_classes must be in [1, 10]"};
+  }
+  util::Rng rng{config.seed};
+  const std::size_t s = config.side, c = config.channels;
+  ml::Tensor x{{count, c, s, s}};
+  std::vector<std::int32_t> labels(count);
+  const std::size_t sample_size = c * s * s;
+  for (std::size_t n = 0; n < count; ++n) {
+    const auto label =
+        static_cast<std::int32_t>(rng.next_below(config.num_classes));
+    labels[n] = label;
+    ml::Tensor img = render_synthetic_image(label, config, rng);
+    std::copy_n(img.data(), sample_size, x.data() + n * sample_size);
+  }
+  return ml::Dataset{std::move(x), std::move(labels), config.num_classes};
+}
+
+}  // namespace roadrunner::data

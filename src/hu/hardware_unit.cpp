@@ -1,0 +1,75 @@
+#include "hu/hardware_unit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace roadrunner::hu {
+
+DeviceClass obu_device() {
+  return DeviceClass{
+      .name = "obu",
+      .flops_per_s = 2.0e9,
+      .dispatch_overhead_s = 1.0,
+      .parallel_slots = 1,
+  };
+}
+
+DeviceClass rsu_device() {
+  return DeviceClass{
+      .name = "rsu",
+      .flops_per_s = 1.0e10,
+      .dispatch_overhead_s = 0.5,
+      .parallel_slots = 2,
+  };
+}
+
+DeviceClass cloud_device() {
+  return DeviceClass{
+      .name = "cloud",
+      .flops_per_s = 1.0e11,
+      .dispatch_overhead_s = 0.2,
+      .parallel_slots = 16,
+  };
+}
+
+HardwareUnit::HardwareUnit(DeviceClass device) : device_{std::move(device)} {
+  if (device_.flops_per_s <= 0.0) {
+    throw std::invalid_argument{"HardwareUnit: flops_per_s <= 0"};
+  }
+  if (device_.parallel_slots == 0) {
+    throw std::invalid_argument{"HardwareUnit: zero parallel slots"};
+  }
+  if (device_.dispatch_overhead_s < 0.0) {
+    throw std::invalid_argument{"HardwareUnit: negative overhead"};
+  }
+}
+
+double HardwareUnit::operation_duration(std::uint64_t flops) const {
+  return device_.dispatch_overhead_s +
+         static_cast<double>(flops) / device_.flops_per_s;
+}
+
+std::size_t HardwareUnit::busy_slots(double time_s) const {
+  return static_cast<std::size_t>(
+      std::count_if(slot_ends_.begin(), slot_ends_.end(),
+                    [&](double end) { return end > time_s; }));
+}
+
+bool HardwareUnit::available(double time_s) const {
+  return busy_slots(time_s) < device_.parallel_slots;
+}
+
+bool HardwareUnit::reserve(double time_s, double duration_s) {
+  if (duration_s < 0.0) {
+    throw std::invalid_argument{"HardwareUnit::reserve: negative duration"};
+  }
+  // Compact expired reservations.
+  std::erase_if(slot_ends_, [&](double end) { return end <= time_s; });
+  if (slot_ends_.size() >= device_.parallel_slots) return false;
+  slot_ends_.push_back(time_s + duration_s);
+  total_busy_ += duration_s;
+  return true;
+}
+
+}  // namespace roadrunner::hu

@@ -1,0 +1,54 @@
+#include "metrics/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadrunner::metrics {
+
+std::optional<double> time_to_threshold(const std::vector<Point>& series,
+                                        double threshold) {
+  for (const Point& p : series) {
+    if (p.value >= threshold) return p.time_s;
+  }
+  return std::nullopt;
+}
+
+double time_average(const std::vector<Point>& series) {
+  if (series.empty()) return 0.0;
+  if (series.size() == 1) return series.front().value;
+  double area = 0.0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const double dt = series[i].time_s - series[i - 1].time_s;
+    area += 0.5 * (series[i].value + series[i - 1].value) * dt;
+  }
+  const double span = series.back().time_s - series.front().time_s;
+  return span > 0.0 ? area / span : series.back().value;
+}
+
+double peak_value(const std::vector<Point>& series) {
+  double peak = 0.0;
+  for (const Point& p : series) peak = std::max(peak, p.value);
+  return peak;
+}
+
+double mean_absolute_change(const std::vector<Point>& series) {
+  if (series.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    total += std::abs(series[i].value - series[i - 1].value);
+  }
+  return total / static_cast<double>(series.size() - 1);
+}
+
+StrategySummary summarize(const std::vector<Point>& series) {
+  StrategySummary s;
+  if (series.empty()) return s;
+  s.final_value = series.back().value;
+  s.peak = peak_value(series);
+  s.time_avg = time_average(series);
+  s.jitter = mean_absolute_change(series);
+  s.time_to_half_peak = time_to_threshold(series, 0.5 * s.peak);
+  return s;
+}
+
+}  // namespace roadrunner::metrics

@@ -1,0 +1,43 @@
+// Analysis helpers over metric series — the questions an analyst actually
+// asks of an experiment run (§5.2: "quantifying trade-offs between metrics
+// such as data volumes, accuracy and duration ... is crucial for an analyst
+// to make informed decisions about a learning strategy").
+#pragma once
+
+#include <optional>
+
+#include "metrics/registry.hpp"
+
+namespace roadrunner::metrics {
+
+/// First simulated time at which the series reaches `threshold` (value >=
+/// threshold); nullopt if it never does. The canonical "time-to-accuracy"
+/// metric for comparing strategies at a target quality.
+std::optional<double> time_to_threshold(const std::vector<Point>& series,
+                                        double threshold);
+
+/// Trapezoidal area under the series over its own time span, normalized by
+/// the span (i.e. the time-average value). Summarizes a whole
+/// accuracy-over-time curve in one number: higher = learned more, earlier.
+/// Returns the single value for 1-point series, 0 for empty ones.
+double time_average(const std::vector<Point>& series);
+
+/// Largest value in the series (peak accuracy); 0 for empty series.
+double peak_value(const std::vector<Point>& series);
+
+/// Mean absolute round-to-round change — the "jitter" of a learning curve,
+/// which grows under heavy non-IID skew. 0 for series shorter than 2.
+double mean_absolute_change(const std::vector<Point>& series);
+
+struct StrategySummary {
+  double final_value = 0.0;
+  double peak = 0.0;
+  double time_avg = 0.0;
+  double jitter = 0.0;
+  std::optional<double> time_to_half_peak;
+};
+
+/// One-call digest of an accuracy series.
+StrategySummary summarize(const std::vector<Point>& series);
+
+}  // namespace roadrunner::metrics

@@ -1,0 +1,83 @@
+#include "metrics/registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace roadrunner::metrics {
+
+void Registry::add_point(const std::string& series, double time_s,
+                         double value) {
+  series_[series].push_back(Point{time_s, value});
+}
+
+void Registry::increment(const std::string& counter, double delta) {
+  counters_[counter] += delta;
+}
+
+void Registry::set_counter(const std::string& counter, double value) {
+  counters_[counter] = value;
+}
+
+const std::vector<Point>& Registry::series(const std::string& name) const {
+  const auto it = series_.find(name);
+  if (it == series_.end()) {
+    throw std::out_of_range{"Registry::series: unknown series " + name};
+  }
+  return it->second;
+}
+
+bool Registry::has_series(const std::string& name) const {
+  return series_.contains(name);
+}
+
+std::vector<std::string> Registry::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, points] : series_) names.push_back(name);
+  return names;
+}
+
+double Registry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) names.push_back(name);
+  return names;
+}
+
+double Registry::last_value(const std::string& series, double fallback) const {
+  const auto it = series_.find(series);
+  if (it == series_.end() || it->second.empty()) return fallback;
+  return it->second.back().value;
+}
+
+void Registry::export_csv(std::ostream& out) const {
+  util::CsvWriter w{out};
+  w.write_row({"kind", "name", "time_s", "value"});
+  double final_time = 0.0;
+  for (const auto& [name, points] : series_) {
+    for (const auto& p : points) {
+      final_time = std::max(final_time, p.time_s);
+      w.write_row({"series", name, util::CsvWriter::field(p.time_s),
+                   util::CsvWriter::field(p.value)});
+    }
+  }
+  for (const auto& [name, value] : counters_) {
+    w.write_row({"counter", name, util::CsvWriter::field(final_time),
+                 util::CsvWriter::field(value)});
+  }
+}
+
+void Registry::clear() {
+  series_.clear();
+  counters_.clear();
+}
+
+}  // namespace roadrunner::metrics

@@ -1,0 +1,56 @@
+// Metrics registry (paper Req. 4): timestamped-in-simulated-time series and
+// monotonic counters, exported as long-format CSV. The Core Simulator
+// "outputs an experiment run's metrics timestamped in simulated time to
+// enable analysis of the system's evolution" (§4); custom metrics are just
+// new series names.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace roadrunner::metrics {
+
+struct Point {
+  double time_s = 0.0;
+  double value = 0.0;
+};
+
+class Registry {
+ public:
+  /// Appends (time, value) to the named series. Times need not be
+  /// monotonic per series (they are in practice); export preserves order.
+  void add_point(const std::string& series, double time_s, double value);
+
+  /// Adds `delta` to a named counter (created at 0).
+  void increment(const std::string& counter, double delta = 1.0);
+
+  /// Sets a counter to an absolute value.
+  void set_counter(const std::string& counter, double value);
+
+  [[nodiscard]] const std::vector<Point>& series(
+      const std::string& name) const;
+  [[nodiscard]] bool has_series(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> series_names() const;
+
+  [[nodiscard]] double counter(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+
+  /// Last value of a series, or fallback when empty/absent.
+  [[nodiscard]] double last_value(const std::string& series,
+                                  double fallback = 0.0) const;
+
+  /// Long-format CSV: kind,name,time_s,value — counters emitted with the
+  /// final simulated time (or 0) as their timestamp.
+  void export_csv(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  std::map<std::string, std::vector<Point>> series_;
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace roadrunner::metrics

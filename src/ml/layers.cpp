@@ -1,0 +1,471 @@
+#include "ml/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace roadrunner::ml {
+
+namespace {
+
+void he_init(Tensor& w, std::size_t fan_in, util::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& v : w.values()) {
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void require_rank(const Tensor& x, std::size_t rank, const char* layer) {
+  if (x.rank() != rank) {
+    throw std::invalid_argument{std::string{layer} + ": expected rank-" +
+                                std::to_string(rank) + " input, got " +
+                                x.shape_string()};
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Linear --
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : in_{in_features},
+      out_{out_features},
+      w_{{out_features, in_features}},
+      b_{{out_features}},
+      dw_{{out_features, in_features}},
+      db_{{out_features}} {
+  if (in_ == 0 || out_ == 0) {
+    throw std::invalid_argument{"Linear: zero-sized dimension"};
+  }
+}
+
+void Linear::init_params(util::Rng& rng) {
+  he_init(w_, in_, rng);
+  b_.fill(0.0F);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  require_rank(x, 2, "Linear");
+  if (x.dim(1) != in_) {
+    throw std::invalid_argument{"Linear: input feature mismatch"};
+  }
+  cached_x_ = x;
+  Tensor y = matmul_bt(x, w_);  // [N, out]
+  const std::size_t n = y.dim(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = y.data() + i * out_;
+    for (std::size_t j = 0; j < out_; ++j) row[j] += b_[j];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  require_rank(grad_out, 2, "Linear::backward");
+  const std::size_t n = grad_out.dim(0);
+  if (grad_out.dim(1) != out_ || cached_x_.empty() || cached_x_.dim(0) != n) {
+    throw std::logic_error{"Linear::backward: no matching forward"};
+  }
+  // dW[out, in] += grad_out^T[out, N] * x[N, in]
+  dw_.add_(matmul_at(grad_out, cached_x_));
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = grad_out.data() + i * out_;
+    for (std::size_t j = 0; j < out_; ++j) db_[j] += row[j];
+  }
+  // dX[N, in] = grad_out[N, out] * W[out, in]
+  return matmul(grad_out, w_);
+}
+
+std::uint64_t Linear::flops_per_sample() const {
+  return static_cast<std::uint64_t>(in_) * out_;
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  auto copy = std::make_unique<Linear>(in_, out_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+// ---------------------------------------------------------------- Conv2D --
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding)
+    : cin_{in_channels},
+      cout_{out_channels},
+      k_{kernel},
+      stride_{stride},
+      padding_{padding},
+      w_{{out_channels, in_channels, kernel, kernel}},
+      b_{{out_channels}},
+      dw_{{out_channels, in_channels, kernel, kernel}},
+      db_{{out_channels}} {
+  if (cin_ == 0 || cout_ == 0 || k_ == 0 || stride_ == 0) {
+    throw std::invalid_argument{"Conv2D: zero-sized dimension"};
+  }
+  if (padding_ >= k_) {
+    throw std::invalid_argument{"Conv2D: padding must be < kernel"};
+  }
+}
+
+void Conv2D::init_params(util::Rng& rng) {
+  he_init(w_, cin_ * k_ * k_, rng);
+  b_.fill(0.0F);
+}
+
+namespace {
+
+struct ConvGeometry {
+  std::size_t h, w, k, stride, pad, oh, ow;
+};
+
+ConvGeometry conv_geometry(std::size_t h, std::size_t w, std::size_t k,
+                           std::size_t stride, std::size_t pad) {
+  if (h + 2 * pad < k || w + 2 * pad < k) {
+    throw std::invalid_argument{"Conv2D: input smaller than kernel"};
+  }
+  return ConvGeometry{h,      w,
+                      k,      stride,
+                      pad,    (h + 2 * pad - k) / stride + 1,
+                      (w + 2 * pad - k) / stride + 1};
+}
+
+/// Expands one sample [Cin, H, W] into columns [Cin*K*K, OH*OW], honouring
+/// stride and zero padding. The fast contiguous-copy path is kept for the
+/// common stride-1/no-padding configuration (the paper's CNN).
+void im2col(const float* x, std::size_t cin, const ConvGeometry& g,
+            float* cols) {
+  const std::size_t out_hw = g.oh * g.ow;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < cin; ++c) {
+    const float* plane = x + c * g.h * g.w;
+    for (std::size_t ki = 0; ki < g.k; ++ki) {
+      for (std::size_t kj = 0; kj < g.k; ++kj, ++row) {
+        float* dst = cols + row * out_hw;
+        if (g.stride == 1 && g.pad == 0) {
+          for (std::size_t oi = 0; oi < g.oh; ++oi) {
+            const float* src = plane + (oi + ki) * g.w + kj;
+            std::memcpy(dst + oi * g.ow, src, g.ow * sizeof(float));
+          }
+          continue;
+        }
+        for (std::size_t oi = 0; oi < g.oh; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t oj = 0; oj < g.ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * g.stride + kj) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            const bool inside =
+                ii >= 0 && jj >= 0 &&
+                ii < static_cast<std::ptrdiff_t>(g.h) &&
+                jj < static_cast<std::ptrdiff_t>(g.w);
+            dst[oi * g.ow + oj] =
+                inside ? plane[static_cast<std::size_t>(ii) * g.w +
+                               static_cast<std::size_t>(jj)]
+                       : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Scatter-adds columns [Cin*K*K, OH*OW] back into a gradient image
+/// [Cin, H, W] (the transpose of im2col; padding cells are discarded).
+void col2im_add(const float* cols, std::size_t cin, const ConvGeometry& g,
+                float* dx) {
+  const std::size_t out_hw = g.oh * g.ow;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < cin; ++c) {
+    float* plane = dx + c * g.h * g.w;
+    for (std::size_t ki = 0; ki < g.k; ++ki) {
+      for (std::size_t kj = 0; kj < g.k; ++kj, ++row) {
+        const float* src = cols + row * out_hw;
+        for (std::size_t oi = 0; oi < g.oh; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(g.h)) continue;
+          for (std::size_t oj = 0; oj < g.ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * g.stride + kj) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(g.w)) continue;
+            plane[static_cast<std::size_t>(ii) * g.w +
+                  static_cast<std::size_t>(jj)] += src[oi * g.ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Conv2D::forward(const Tensor& x) {
+  require_rank(x, 4, "Conv2D");
+  if (x.dim(1) != cin_) {
+    throw std::invalid_argument{"Conv2D: channel mismatch"};
+  }
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const ConvGeometry g = conv_geometry(h, w, k_, stride_, padding_);
+  cached_x_ = x;
+  last_h_ = h;
+  last_w_ = w;
+  const std::size_t out_hw = g.oh * g.ow;
+  const std::size_t ckk = cin_ * k_ * k_;
+
+  Tensor y{{n, cout_, g.oh, g.ow}};
+  Tensor cols{{ckk, out_hw}};
+  Tensor w2d = w_.reshaped({cout_, ckk});
+  Tensor out2d{{cout_, out_hw}};
+  for (std::size_t s = 0; s < n; ++s) {
+    im2col(x.data() + s * cin_ * h * w, cin_, g, cols.data());
+    matmul_into(w2d, cols, out2d);
+    float* dst = y.data() + s * cout_ * out_hw;
+    const float* src = out2d.data();
+    for (std::size_t c = 0; c < cout_; ++c) {
+      const float bias = b_[c];
+      for (std::size_t p = 0; p < out_hw; ++p) {
+        dst[c * out_hw + p] = src[c * out_hw + p] + bias;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  require_rank(grad_out, 4, "Conv2D::backward");
+  if (cached_x_.empty()) {
+    throw std::logic_error{"Conv2D::backward: no matching forward"};
+  }
+  const std::size_t n = cached_x_.dim(0), h = last_h_, w = last_w_;
+  const ConvGeometry g = conv_geometry(h, w, k_, stride_, padding_);
+  const std::size_t out_hw = g.oh * g.ow;
+  const std::size_t ckk = cin_ * k_ * k_;
+  if (grad_out.dim(0) != n || grad_out.dim(1) != cout_ ||
+      grad_out.dim(2) != g.oh || grad_out.dim(3) != g.ow) {
+    throw std::invalid_argument{"Conv2D::backward: grad shape mismatch"};
+  }
+
+  Tensor dx{cached_x_.shape()};
+  Tensor cols{{ckk, out_hw}};
+  Tensor dcols{{ckk, out_hw}};
+  Tensor w2d = w_.reshaped({cout_, ckk});
+  Tensor dw2d{{cout_, ckk}};
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* go = grad_out.data() + s * cout_ * out_hw;
+    // Bias gradient: sum over spatial positions.
+    for (std::size_t c = 0; c < cout_; ++c) {
+      float acc = 0.0F;
+      for (std::size_t p = 0; p < out_hw; ++p) acc += go[c * out_hw + p];
+      db_[c] += acc;
+    }
+    // Weight gradient: dW2d += grad_out_s [Cout, OHW] * cols^T [OHW, CKK].
+    im2col(cached_x_.data() + s * cin_ * h * w, cin_, g, cols.data());
+    {
+      Tensor go_t{{cout_, out_hw},
+                  std::vector<float>(go, go + cout_ * out_hw)};
+      dw2d.add_(matmul_bt(go_t, cols));
+      // Input gradient: dcols = W^T [CKK, Cout] * grad_out_s [Cout, OHW].
+      dcols = matmul_at(w2d, go_t);
+    }
+    col2im_add(dcols.data(), cin_, g, dx.data() + s * cin_ * h * w);
+  }
+  dw_.add_(dw2d.reshaped({cout_, cin_, k_, k_}));
+  return dx;
+}
+
+std::uint64_t Conv2D::flops_per_sample() const {
+  // Uses the most recent input spatial dims (0 before any forward).
+  if (last_h_ + 2 * padding_ < k_ || last_w_ + 2 * padding_ < k_ ||
+      last_h_ == 0) {
+    return 0;
+  }
+  const std::uint64_t oh = (last_h_ + 2 * padding_ - k_) / stride_ + 1;
+  const std::uint64_t ow = (last_w_ + 2 * padding_ - k_) / stride_ + 1;
+  return static_cast<std::uint64_t>(cout_) * cin_ * k_ * k_ * oh * ow;
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  auto copy = std::make_unique<Conv2D>(cin_, cout_, k_, stride_, padding_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  copy->last_h_ = last_h_;
+  copy->last_w_ = last_w_;
+  return copy;
+}
+
+// ------------------------------------------------------------- MaxPool2D --
+
+Tensor MaxPool2D::forward(const Tensor& x) {
+  require_rank(x, 4, "MaxPool2D");
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = h / 2, ow = w / 2;
+  if (oh == 0 || ow == 0) {
+    throw std::invalid_argument{"MaxPool2D: input too small"};
+  }
+  in_shape_ = x.shape();
+  Tensor y{{n, c, oh, ow}};
+  argmax_.resize(y.size());
+  last_out_volume_ = c * oh * ow;
+  const float* px = x.data();
+  float* py = y.data();
+  std::size_t out = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (s * c + ch) * h * w;
+      const std::size_t plane_base = (s * c + ch) * h * w;
+      for (std::size_t oi = 0; oi < oh; ++oi) {
+        for (std::size_t oj = 0; oj < ow; ++oj, ++out) {
+          const std::size_t i0 = oi * 2, j0 = oj * 2;
+          std::size_t best = i0 * w + j0;
+          float best_v = plane[best];
+          const std::size_t candidates[3] = {i0 * w + j0 + 1,
+                                             (i0 + 1) * w + j0,
+                                             (i0 + 1) * w + j0 + 1};
+          for (std::size_t cand : candidates) {
+            if (plane[cand] > best_v) {
+              best_v = plane[cand];
+              best = cand;
+            }
+          }
+          py[out] = best_v;
+          argmax_[out] = static_cast<std::uint32_t>(plane_base + best);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  if (in_shape_.empty() || grad_out.size() != argmax_.size()) {
+    throw std::logic_error{"MaxPool2D::backward: no matching forward"};
+  }
+  Tensor dx{in_shape_};
+  const float* go = grad_out.data();
+  float* dst = dx.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    dst[argmax_[i]] += go[i];
+  }
+  return dx;
+}
+
+std::uint64_t MaxPool2D::flops_per_sample() const {
+  return last_out_volume_ * 3;  // three comparisons per output element
+}
+
+std::unique_ptr<Layer> MaxPool2D::clone() const {
+  return std::make_unique<MaxPool2D>();
+}
+
+// ------------------------------------------------------------------ ReLU --
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_x_ = x;
+  Tensor y = x;
+  for (float& v : y.values()) v = v > 0.0F ? v : 0.0F;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (!grad_out.same_shape(cached_x_)) {
+    throw std::logic_error{"ReLU::backward: no matching forward"};
+  }
+  Tensor dx = grad_out;
+  const float* px = cached_x_.data();
+  float* pd = dx.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    if (px[i] <= 0.0F) pd[i] = 0.0F;
+  }
+  return dx;
+}
+
+std::uint64_t ReLU::flops_per_sample() const {
+  return cached_x_.empty() ? 0
+                           : cached_x_.size() / std::max<std::size_t>(
+                                                    1, cached_x_.dim(0));
+}
+
+std::unique_ptr<Layer> ReLU::clone() const {
+  return std::make_unique<ReLU>();
+}
+
+// --------------------------------------------------------------- Dropout --
+
+Dropout::Dropout(float p) : p_{p} {
+  if (p < 0.0F || p >= 1.0F) {
+    throw std::invalid_argument{"Dropout: p outside [0, 1)"};
+  }
+}
+
+void Dropout::init_params(util::Rng& rng) { rng_ = rng.fork("dropout"); }
+
+Tensor Dropout::forward(const Tensor& x) {
+  last_batch_ = x.rank() > 0 ? x.dim(0) : 0;
+  if (!training_ || p_ == 0.0F) {
+    mask_ = Tensor{};
+    return x;
+  }
+  mask_ = Tensor{x.shape()};
+  Tensor y = x;
+  const float scale = 1.0F / (1.0F - p_);
+  float* pm = mask_.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const bool keep = !rng_.bernoulli(p_);
+    pm[i] = keep ? scale : 0.0F;
+    py[i] *= pm[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;  // was an identity forward
+  if (!grad_out.same_shape(mask_)) {
+    throw std::logic_error{"Dropout::backward: no matching forward"};
+  }
+  Tensor dx = grad_out;
+  const float* pm = mask_.data();
+  float* pd = dx.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) pd[i] *= pm[i];
+  return dx;
+}
+
+std::uint64_t Dropout::flops_per_sample() const {
+  if (mask_.empty() || last_batch_ == 0) return 0;
+  return mask_.size() / last_batch_;
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  auto copy = std::make_unique<Dropout>(p_);
+  copy->training_ = training_;
+  copy->rng_ = rng_;
+  return copy;
+}
+
+// --------------------------------------------------------------- Flatten --
+
+Tensor Flatten::forward(const Tensor& x) {
+  if (x.rank() < 2) throw std::invalid_argument{"Flatten: rank < 2"};
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0);
+  return x.reshaped({n, x.size() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  if (in_shape_.empty() || grad_out.size() != shape_volume(in_shape_)) {
+    throw std::logic_error{"Flatten::backward: no matching forward"};
+  }
+  return grad_out.reshaped(in_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  return std::make_unique<Flatten>();
+}
+
+}  // namespace roadrunner::ml

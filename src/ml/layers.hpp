@@ -1,0 +1,182 @@
+// Neural-network layers with hand-written backpropagation.
+//
+// Contract shared by all layers:
+//  * forward(x) consumes a batch-first tensor and caches whatever the
+//    backward pass needs;
+//  * backward(grad_out) must follow a forward with a matching batch, returns
+//    the gradient w.r.t. the layer input, and ACCUMULATES parameter
+//    gradients (callers zero them between optimizer steps via
+//    Network::zero_grad);
+//  * every layer reports flops_per_sample() so the hu::HardwareUnit can
+//    charge realistic simulated training time (DESIGN.md substitution 3).
+//
+// All layers are gradient-checked against finite differences in
+// tests/ml_layers_test.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace roadrunner::ml {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters and their gradient buffers, same order and shapes.
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  /// Re-randomizes parameters (no-op for parameterless layers).
+  virtual void init_params(util::Rng& /*rng*/) {}
+
+  /// Switches between training and inference behaviour (only stochastic
+  /// layers such as Dropout care). Default: no-op.
+  virtual void set_training(bool /*training*/) {}
+
+  /// Forward-pass multiply-accumulate count for one sample; the trainer
+  /// charges ~3x this for forward+backward.
+  [[nodiscard]] virtual std::uint64_t flops_per_sample() const { return 0; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy, including current parameter values.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+/// Fully connected: y = x W^T + b, with x [N, in], W [out, in], b [out].
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
+  void init_params(util::Rng& rng) override;
+  [[nodiscard]] std::uint64_t flops_per_sample() const override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Tensor w_, b_, dw_, db_;
+  Tensor cached_x_;
+};
+
+/// 2-D convolution with square kernels, configurable stride and zero
+/// padding. Input [N, Cin, H, W], kernel [Cout, Cin, K, K], output
+/// [N, Cout, OH, OW] with OH = (H + 2*padding - K)/stride + 1 (floor).
+/// Defaults (stride 1, padding 0, "valid") match the paper's LeNet-style
+/// CNN. Implemented via per-sample im2col + matmul.
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride = 1, std::size_t padding = 0);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
+  void init_params(util::Rng& rng) override;
+  [[nodiscard]] std::uint64_t flops_per_sample() const override;
+  [[nodiscard]] std::string name() const override { return "Conv2D"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] std::size_t in_channels() const { return cin_; }
+  [[nodiscard]] std::size_t out_channels() const { return cout_; }
+  [[nodiscard]] std::size_t kernel() const { return k_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] std::size_t padding() const { return padding_; }
+
+ private:
+  std::size_t cin_, cout_, k_, stride_ = 1, padding_ = 0;
+  Tensor w_, b_, dw_, db_;
+  Tensor cached_x_;
+  // Spatial dims of the last forward, for flops and backward bookkeeping.
+  std::size_t last_h_ = 0, last_w_ = 0;
+};
+
+/// 2x2 max pooling with stride 2 (the paper's CNN uses max pooling after
+/// each convolution). Odd trailing rows/columns are dropped, matching
+/// PyTorch's default floor behaviour.
+class MaxPool2D final : public Layer {
+ public:
+  MaxPool2D() = default;
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::uint64_t flops_per_sample() const override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::vector<std::uint32_t> argmax_;  // flat input index per output element
+  std::vector<std::size_t> in_shape_;
+  std::size_t last_out_volume_ = 0;
+};
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::uint64_t flops_per_sample() const override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_x_;
+};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability p and survivors are scaled by 1/(1-p), so inference (where
+/// the layer is the identity) needs no rescaling. The mask randomness
+/// derives from a stream seeded at init_params time, keeping whole-run
+/// determinism.
+class Dropout final : public Layer {
+ public:
+  /// p in [0, 1): drop probability.
+  explicit Dropout(float p);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void init_params(util::Rng& rng) override;
+  void set_training(bool training) override { training_ = training; }
+  [[nodiscard]] std::uint64_t flops_per_sample() const override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] float drop_probability() const { return p_; }
+  [[nodiscard]] bool training_mode() const { return training_; }
+
+ private:
+  float p_;
+  bool training_ = true;
+  util::Rng rng_{0xD0D0ULL};
+  Tensor mask_;
+  std::size_t last_batch_ = 0;
+};
+
+/// Collapses [N, ...] to [N, volume(...)]; shape-only, no arithmetic.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace roadrunner::ml

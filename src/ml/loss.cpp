@@ -1,0 +1,96 @@
+#include "ml/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roadrunner::ml {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int32_t>& labels) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument{"softmax_cross_entropy: logits must be 2-D"};
+  }
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  if (labels.size() != n) {
+    throw std::invalid_argument{"softmax_cross_entropy: label count mismatch"};
+  }
+
+  LossResult result;
+  result.grad = Tensor{{n, c}};
+  double total_loss = 0.0;
+  const float inv_n = 1.0F / static_cast<float>(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* grow = result.grad.data() + i * c;
+    const std::int32_t y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= c) {
+      throw std::invalid_argument{"softmax_cross_entropy: label out of range"};
+    }
+
+    float max_v = row[0];
+    std::size_t arg = 0;
+    for (std::size_t j = 1; j < c; ++j) {
+      if (row[j] > max_v) {
+        max_v = row[j];
+        arg = j;
+      }
+    }
+    if (arg == static_cast<std::size_t>(y)) ++result.correct;
+
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      denom += std::exp(static_cast<double>(row[j] - max_v));
+    }
+    const double log_denom = std::log(denom);
+    total_loss -= static_cast<double>(row[y] - max_v) - log_denom;
+
+    for (std::size_t j = 0; j < c; ++j) {
+      const double p = std::exp(static_cast<double>(row[j] - max_v)) / denom;
+      grow[j] = static_cast<float>(p) * inv_n;
+    }
+    grow[y] -= inv_n;
+  }
+
+  result.loss = total_loss / static_cast<double>(n);
+  return result;
+}
+
+std::vector<std::int32_t> argmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument{"argmax_rows: logits must be 2-D"};
+  }
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<std::int32_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    out[i] = static_cast<std::int32_t>(
+        std::max_element(row, row + c) - row);
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument{"softmax_rows: logits must be 2-D"};
+  }
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  Tensor probs{{n, c}};
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* prow = probs.data() + i * c;
+    const float max_v = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      const double e = std::exp(static_cast<double>(row[j] - max_v));
+      prow[j] = static_cast<float>(e);
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < c; ++j) prow[j] *= inv;
+  }
+  return probs;
+}
+
+}  // namespace roadrunner::ml

@@ -1,0 +1,83 @@
+// Sequential network and the `Weights` value type that agents exchange.
+//
+// In the simulator, a *model* is a Weights value (flat list of parameter
+// tensors). The architecture lives once per learning problem as a Network
+// prototype; agents' weights are loaded into a scratch Network to train or
+// test. This mirrors the paper's ML module, which "keeps tabs on the current
+// model(s) of each agent" and trains/tests/aggregates them (§4), and keeps
+// model exchange cheap and explicit — the byte size of a serialized Weights
+// is exactly what the communication module charges.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/layers.hpp"
+#include "ml/tensor.hpp"
+
+namespace roadrunner::ml {
+
+/// Parameter snapshot: tensors in network layer order.
+using Weights = std::vector<Tensor>;
+
+/// Number of scalar parameters across all tensors.
+std::size_t weights_parameter_count(const Weights& w);
+
+/// Serialized size in bytes (shape headers + float32 payload); what the
+/// comm module charges for a model transfer. Kept in sync with
+/// ml/serialize.* by a round-trip test.
+std::size_t weights_byte_size(const Weights& w);
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::vector<std::unique_ptr<Layer>> layers);
+
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+
+  void append(std::unique_ptr<Layer> layer);
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Runs the batch through all layers.
+  Tensor forward(const Tensor& x);
+
+  /// Backpropagates from the loss gradient; accumulates parameter grads and
+  /// returns the gradient w.r.t. the network input.
+  Tensor backward(const Tensor& grad_out);
+
+  /// All learnable parameters / their gradients, in layer order.
+  [[nodiscard]] std::vector<Tensor*> params();
+  [[nodiscard]] std::vector<Tensor*> grads();
+
+  void zero_grad();
+
+  /// Randomizes all parameters (deterministic given the rng state).
+  void init_params(util::Rng& rng);
+
+  /// Propagates training/inference mode to all layers (Dropout et al.).
+  void set_training(bool training);
+
+  /// Copies parameters out / in. set_weights validates shapes.
+  [[nodiscard]] Weights weights() const;
+  void set_weights(const Weights& w);
+
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  /// Sum of per-layer forward MACs for one sample. Valid after at least one
+  /// forward pass has fixed the spatial dimensions.
+  [[nodiscard]] std::uint64_t flops_per_sample() const;
+
+  /// "Conv2D(3->6,k5) -> MaxPool2D -> ..." for logging.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace roadrunner::ml

@@ -1,0 +1,108 @@
+#include "ml/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace roadrunner::ml {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  if (pos + 4 > in.size()) {
+    throw std::runtime_error{"deserialize_weights: truncated header"};
+  }
+  const std::uint32_t v = static_cast<std::uint32_t>(in[pos]) |
+                          (static_cast<std::uint32_t>(in[pos + 1]) << 8) |
+                          (static_cast<std::uint32_t>(in[pos + 2]) << 16) |
+                          (static_cast<std::uint32_t>(in[pos + 3]) << 24);
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_weights(const Weights& w) {
+  if (w.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument{"serialize_weights: too many tensors"};
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(weights_byte_size(w));
+  put_u32(out, static_cast<std::uint32_t>(w.size()));
+  for (const Tensor& t : w) {
+    put_u32(out, static_cast<std::uint32_t>(t.rank()));
+    for (std::size_t d = 0; d < t.rank(); ++d) {
+      put_u32(out, static_cast<std::uint32_t>(t.dim(d)));
+    }
+    const std::size_t bytes = t.size() * sizeof(float);
+    const std::size_t offset = out.size();
+    out.resize(offset + bytes);
+    std::memcpy(out.data() + offset, t.data(), bytes);
+  }
+  return out;
+}
+
+Weights deserialize_weights(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  const std::uint32_t count = get_u32(bytes, pos);
+  Weights w;
+  w.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t rank = get_u32(bytes, pos);
+    if (rank > 8) throw std::runtime_error{"deserialize_weights: bad rank"};
+    std::vector<std::size_t> shape(rank);
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      shape[d] = get_u32(bytes, pos);
+    }
+    const std::size_t volume = shape_volume(shape);
+    const std::size_t payload = volume * sizeof(float);
+    if (pos + payload > bytes.size()) {
+      throw std::runtime_error{"deserialize_weights: truncated payload"};
+    }
+    std::vector<float> data(volume);
+    std::memcpy(data.data(), bytes.data() + pos, payload);
+    pos += payload;
+    w.emplace_back(std::move(shape), std::move(data));
+  }
+  if (pos != bytes.size()) {
+    throw std::runtime_error{"deserialize_weights: trailing bytes"};
+  }
+  return w;
+}
+
+namespace {
+constexpr char kWeightsMagic[4] = {'R', 'R', 'W', 'T'};
+}  // namespace
+
+void save_weights(const Weights& weights, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"save_weights: cannot open " + path};
+  out.write(kWeightsMagic, 4);
+  const auto bytes = serialize_weights(weights);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error{"save_weights: write failed to " + path};
+}
+
+Weights load_weights(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"load_weights: cannot open " + path};
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kWeightsMagic, 4) != 0) {
+    throw std::runtime_error{"load_weights: bad magic in " + path};
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>{in},
+                                  std::istreambuf_iterator<char>{}};
+  return deserialize_weights(bytes);
+}
+
+}  // namespace roadrunner::ml

@@ -1,0 +1,31 @@
+// Model (de)serialization. The byte format is what the communication module
+// "transmits": little-endian u32 tensor count, then per tensor u32 rank,
+// u32 dims, raw float32 payload. weights_byte_size() in ml/net.hpp is kept
+// in sync with this layout (round-trip tested).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/net.hpp"
+
+namespace roadrunner::ml {
+
+/// Serializes weights into a byte buffer.
+std::vector<std::uint8_t> serialize_weights(const Weights& w);
+
+/// Parses a buffer produced by serialize_weights.
+/// Throws std::runtime_error on truncated or malformed input.
+Weights deserialize_weights(const std::vector<std::uint8_t>& bytes);
+
+/// Persists a model to disk ("RRWT" magic + the wire format above) — the
+/// paper's prototype likewise keeps "models stored as files on disk"
+/// (§5.1), enabling checkpointing and cross-run model hand-off.
+void save_weights(const Weights& weights, const std::string& path);
+
+/// Loads a model written by save_weights. Throws std::runtime_error on
+/// missing or malformed files.
+Weights load_weights(const std::string& path);
+
+}  // namespace roadrunner::ml

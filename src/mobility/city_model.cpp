@@ -1,0 +1,166 @@
+#include "mobility/city_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roadrunner::mobility {
+
+namespace {
+
+struct Intersection {
+  int gx = 0;
+  int gy = 0;
+};
+
+Position to_position(const Intersection& i, double block) {
+  return Position{i.gx * block, i.gy * block};
+}
+
+}  // namespace
+
+VehicleTrack make_city_vehicle(const CityModelConfig& config,
+                               util::Rng& rng) {
+  if (config.block_size_m <= 0 || config.city_size_m < config.block_size_m) {
+    throw std::invalid_argument{"make_city_vehicle: bad city geometry"};
+  }
+  if (config.min_trip_blocks < 1 ||
+      config.max_trip_blocks < config.min_trip_blocks) {
+    throw std::invalid_argument{"make_city_vehicle: bad trip length range"};
+  }
+  const int grid_n =
+      static_cast<int>(config.city_size_m / config.block_size_m) + 1;
+  // A trip can span at most the grid's Manhattan diameter; clamp the
+  // configured range so tiny cities still generate valid trips instead of
+  // rejection-sampling forever.
+  const int max_span = 2 * (grid_n - 1);
+  if (max_span < 1) {
+    throw std::invalid_argument{
+        "make_city_vehicle: city smaller than one block"};
+  }
+  const int max_trip = std::min(config.max_trip_blocks, max_span);
+  const int min_trip = std::min(config.min_trip_blocks, max_trip);
+
+  auto random_intersection = [&] {
+    return Intersection{
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(grid_n))),
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(grid_n))),
+    };
+  };
+
+  // Destination at a Manhattan distance within the trip-length range;
+  // rejection-sample directions until the target stays on the grid.
+  auto random_destination = [&](const Intersection& from) {
+    for (;;) {
+      const int len = static_cast<int>(rng.uniform_int(min_trip, max_trip));
+      const int dx = static_cast<int>(rng.uniform_int(-len, len));
+      const int dy = (len - std::abs(dx)) * (rng.bernoulli(0.5) ? 1 : -1);
+      const Intersection to{from.gx + dx, from.gy + dy};
+      if (to.gx >= 0 && to.gx < grid_n && to.gy >= 0 && to.gy < grid_n &&
+          (to.gx != from.gx || to.gy != from.gy)) {
+        return to;
+      }
+    }
+  };
+
+  VehicleTrack track;
+  std::vector<OnInterval> on_intervals;
+  double t = 0.0;
+  Intersection here = random_intersection();
+  track.trace.append({0.0, to_position(here, config.block_size_m)});
+
+  // Vehicles not driving at t=0 start in a dwell period.
+  bool driving = rng.bernoulli(config.initial_on_probability);
+  if (!driving) {
+    const double dwell =
+        std::max(1e-3, rng.exponential(1.0 / config.dwell_mean_s));
+    const bool stays_on = rng.bernoulli(config.dwell_on_probability);
+    if (stays_on) on_intervals.push_back({t, t + dwell});
+    t += dwell;
+    if (t < config.duration_s) {
+      track.trace.append({t, to_position(here, config.block_size_m)});
+    }
+  }
+
+  while (t < config.duration_s) {
+    // --- Trip: staircase route, one grid segment at a time. ---
+    const double trip_start = t;
+    const Intersection dest = random_destination(here);
+    while (here.gx != dest.gx || here.gy != dest.gy) {
+      // Randomly interleave x and y moves for a staircase path.
+      const bool move_x =
+          here.gy == dest.gy ||
+          (here.gx != dest.gx && rng.bernoulli(0.5));
+      Intersection next = here;
+      if (move_x) {
+        next.gx += dest.gx > here.gx ? 1 : -1;
+      } else {
+        next.gy += dest.gy > here.gy ? 1 : -1;
+      }
+      const double speed = std::clamp(
+          rng.normal(config.speed_mean_mps, config.speed_stddev_mps),
+          0.25 * config.speed_mean_mps, 2.0 * config.speed_mean_mps);
+      t += config.block_size_m / speed;
+      track.trace.append({t, to_position(next, config.block_size_m)});
+      here = next;
+      if (t >= config.duration_s) break;
+    }
+    on_intervals.push_back({trip_start, t});
+    if (t >= config.duration_s) break;
+
+    // --- Dwell: parked, usually off. ---
+    const double dwell =
+        std::max(1e-3, rng.exponential(1.0 / config.dwell_mean_s));
+    const double dwell_end = t + dwell;
+    if (rng.bernoulli(config.dwell_on_probability)) {
+      // Merge with the trip interval just pushed (still on).
+      on_intervals.back().end_s = dwell_end;
+    }
+    t = dwell_end;
+    if (t < config.duration_s) {
+      track.trace.append({t, to_position(here, config.block_size_m)});
+    }
+  }
+
+  // Clamp intervals to the duration and drop empties.
+  std::vector<OnInterval> clamped;
+  for (auto iv : on_intervals) {
+    iv.end_s = std::min(iv.end_s, config.duration_s);
+    if (iv.end_s > iv.start_s) clamped.push_back(iv);
+  }
+  track.ignition = IgnitionSchedule{std::move(clamped)};
+  return track;
+}
+
+FleetModel make_city_fleet(std::size_t vehicle_count,
+                           const CityModelConfig& config) {
+  util::Rng master{config.seed};
+  std::vector<VehicleTrack> tracks;
+  tracks.reserve(vehicle_count);
+  for (std::size_t v = 0; v < vehicle_count; ++v) {
+    util::Rng rng = master.fork("vehicle-" + std::to_string(v));
+    tracks.push_back(make_city_vehicle(config, rng));
+  }
+  return FleetModel{std::move(tracks)};
+}
+
+std::vector<NodeId> add_grid_rsus(FleetModel& fleet,
+                                  const CityModelConfig& config,
+                                  std::size_t count) {
+  std::vector<NodeId> ids;
+  if (count == 0) return ids;
+  // Place RSUs on a sqrt(count) x sqrt(count) sub-grid, centred.
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(count))));
+  const double spacing = config.city_size_m / static_cast<double>(side + 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t gx = i % side, gy = i / side;
+    ids.push_back(fleet.add_static_node(Position{
+        spacing * static_cast<double>(gx + 1),
+        spacing * static_cast<double>(gy + 1),
+    }));
+  }
+  return ids;
+}
+
+}  // namespace roadrunner::mobility

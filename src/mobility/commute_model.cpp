@@ -1,0 +1,190 @@
+#include "mobility/commute_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roadrunner::mobility {
+
+namespace {
+
+struct Grid {
+  int n = 0;
+  double block = 0.0;
+};
+
+struct Cell {
+  int gx = 0, gy = 0;
+};
+
+Position at(const Cell& c, const Grid& g) {
+  return Position{c.gx * g.block, c.gy * g.block};
+}
+
+int manhattan(const Cell& a, const Cell& b) {
+  return std::abs(a.gx - b.gx) + std::abs(a.gy - b.gy);
+}
+
+Cell random_cell(const Grid& g, util::Rng& rng) {
+  return Cell{
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>(g.n))),
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>(g.n))),
+  };
+}
+
+/// Drives a staircase route from `from` to `to`, appending trace samples
+/// and returning the arrival time.
+double drive(Trace& trace, const Grid& grid, Cell from, const Cell& to,
+             double depart_s, const CommuteModelConfig& cfg,
+             util::Rng& rng) {
+  double t = depart_s;
+  Cell here = from;
+  while (here.gx != to.gx || here.gy != to.gy) {
+    const bool move_x =
+        here.gy == to.gy || (here.gx != to.gx && rng.bernoulli(0.5));
+    Cell next = here;
+    if (move_x) {
+      next.gx += to.gx > here.gx ? 1 : -1;
+    } else {
+      next.gy += to.gy > here.gy ? 1 : -1;
+    }
+    const double speed =
+        std::clamp(rng.normal(cfg.speed_mean_mps, cfg.speed_stddev_mps),
+                   0.25 * cfg.speed_mean_mps, 2.0 * cfg.speed_mean_mps);
+    t += grid.block / speed;
+    trace.append({t, at(next, grid)});
+    here = next;
+  }
+  return t;
+}
+
+}  // namespace
+
+VehicleTrack make_commuter(const CommuteModelConfig& cfg, util::Rng& rng) {
+  if (cfg.block_size_m <= 0 || cfg.city_size_m < cfg.block_size_m) {
+    throw std::invalid_argument{"make_commuter: bad city geometry"};
+  }
+  if (cfg.days == 0 || cfg.day_length_s <= 0) {
+    throw std::invalid_argument{"make_commuter: bad day configuration"};
+  }
+  const Grid grid{
+      static_cast<int>(cfg.city_size_m / cfg.block_size_m) + 1,
+      cfg.block_size_m,
+  };
+
+  // Home and work, far enough apart to make a real commute.
+  const Cell home = random_cell(grid, rng);
+  Cell work = random_cell(grid, rng);
+  for (int attempts = 0;
+       manhattan(home, work) < cfg.min_commute_blocks && attempts < 64;
+       ++attempts) {
+    work = random_cell(grid, rng);
+  }
+
+  VehicleTrack track;
+  std::vector<OnInterval> on;
+  track.trace.append({0.0, at(home, grid)});
+  const double total = cfg.day_length_s * static_cast<double>(cfg.days);
+
+  double t = 0.0;
+  for (std::size_t day = 0; day < cfg.days; ++day) {
+    const double day_start = cfg.day_length_s * static_cast<double>(day);
+
+    // Morning commute.
+    const double leave_home = std::max(
+        t + 1.0,
+        day_start + cfg.day_length_s *
+                        rng.normal(cfg.morning_peak, cfg.peak_spread));
+    if (leave_home >= total) break;
+    if (leave_home > t) {
+      track.trace.append({leave_home, at(home, grid)});
+    }
+    double arrive = drive(track.trace, grid, home, work, leave_home, cfg,
+                          rng);
+    on.push_back({leave_home, arrive});
+    t = arrive;
+
+    // Optional midday errand: a short round trip from work.
+    if (rng.bernoulli(cfg.errand_probability)) {
+      const double errand_depart = std::max(
+          t + 1.0, day_start + cfg.day_length_s *
+                                   rng.uniform(cfg.morning_peak + 0.1,
+                                               cfg.evening_peak - 0.1));
+      if (errand_depart < total && errand_depart > t) {
+        Cell errand = work;
+        errand.gx = std::clamp(
+            errand.gx + static_cast<int>(rng.uniform_int(-2, 2)), 0,
+            grid.n - 1);
+        errand.gy = std::clamp(
+            errand.gy + static_cast<int>(rng.uniform_int(-2, 2)), 0,
+            grid.n - 1);
+        if (errand.gx != work.gx || errand.gy != work.gy) {
+          track.trace.append({errand_depart, at(work, grid)});
+          const double at_errand = drive(track.trace, grid, work, errand,
+                                         errand_depart, cfg, rng);
+          const double back_depart = at_errand + 300.0;  // short stop
+          track.trace.append({back_depart, at(errand, grid)});
+          const double back = drive(track.trace, grid, errand, work,
+                                    back_depart, cfg, rng);
+          on.push_back({errand_depart, back});
+          t = back;
+        }
+      }
+    }
+
+    // Evening commute home.
+    const double leave_work = std::max(
+        t + 1.0,
+        day_start + cfg.day_length_s *
+                        rng.normal(cfg.evening_peak, cfg.peak_spread));
+    if (leave_work >= total) break;
+    if (leave_work > t) {
+      track.trace.append({leave_work, at(work, grid)});
+    }
+    const double home_again = drive(track.trace, grid, work, home,
+                                    leave_work, cfg, rng);
+    on.push_back({leave_work, home_again});
+    t = home_again;
+  }
+
+  // Clamp and sort the on-intervals (errands may interleave with bounds).
+  std::sort(on.begin(), on.end(), [](const OnInterval& a, const OnInterval& b) {
+    return a.start_s < b.start_s;
+  });
+  std::vector<OnInterval> merged;
+  for (auto iv : on) {
+    iv.end_s = std::min(iv.end_s, total);
+    if (iv.end_s <= iv.start_s) continue;
+    if (!merged.empty() && iv.start_s < merged.back().end_s) {
+      merged.back().end_s = std::max(merged.back().end_s, iv.end_s);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  track.ignition = IgnitionSchedule{std::move(merged)};
+  return track;
+}
+
+FleetModel make_commute_fleet(std::size_t vehicle_count,
+                              const CommuteModelConfig& config) {
+  util::Rng master{config.seed};
+  std::vector<VehicleTrack> tracks;
+  tracks.reserve(vehicle_count);
+  for (std::size_t v = 0; v < vehicle_count; ++v) {
+    util::Rng rng = master.fork("commuter-" + std::to_string(v));
+    tracks.push_back(make_commuter(config, rng));
+  }
+  return FleetModel{std::move(tracks)};
+}
+
+double fleet_on_fraction(const FleetModel& fleet, double time_s) {
+  if (fleet.vehicle_count() == 0) return 0.0;
+  std::size_t on = 0;
+  for (NodeId v = 0; v < fleet.vehicle_count(); ++v) {
+    if (fleet.is_on(v, time_s)) ++on;
+  }
+  return static_cast<double>(on) /
+         static_cast<double>(fleet.vehicle_count());
+}
+
+}  // namespace roadrunner::mobility

@@ -1,0 +1,50 @@
+// Commuter mobility — structured daily usage patterns.
+//
+// §1 lists "individual vehicle usage patterns dictating when vehicles are
+// turned on and how they are moving about" among the VCPS dimensions. The
+// random-trip CityModel produces stationary traffic; this generator
+// produces the *diurnal* structure real fleets have: every vehicle owns a
+// home and a workplace on the street grid, departs for work inside a
+// morning rush window, sits parked (ignition off) at work, returns inside
+// an evening window, and optionally runs a midday errand. Learning
+// strategies experience the consequences: dense encounter bursts during
+// rush hours, a mostly-offline fleet at night, and bimodal vehicle
+// availability.
+#pragma once
+
+#include "mobility/city_model.hpp"
+
+namespace roadrunner::mobility {
+
+struct CommuteModelConfig {
+  double city_size_m = 4000.0;
+  double block_size_m = 200.0;
+  double day_length_s = 86400.0;  ///< can be compressed for fast experiments
+  std::size_t days = 1;
+  /// Rush-hour centres as fractions of the day (e.g. 8 a.m. = 8/24).
+  double morning_peak = 8.0 / 24.0;
+  double evening_peak = 17.5 / 24.0;
+  /// Standard deviation of individual departure times around each peak,
+  /// as a fraction of the day.
+  double peak_spread = 0.75 / 24.0;
+  double speed_mean_mps = 10.0;
+  double speed_stddev_mps = 2.0;
+  /// Probability of one midday errand trip (short, near the workplace).
+  double errand_probability = 0.3;
+  /// Minimum Manhattan distance home->work in blocks.
+  int min_commute_blocks = 4;
+  std::uint64_t seed = 2;
+};
+
+/// Generates `vehicle_count` commuter tracks. Deterministic given config.
+FleetModel make_commute_fleet(std::size_t vehicle_count,
+                              const CommuteModelConfig& config = {});
+
+/// Single commuter track (exposed for tests).
+VehicleTrack make_commuter(const CommuteModelConfig& config, util::Rng& rng);
+
+/// Fraction of the fleet powered on at `time_s` — the diurnal availability
+/// curve an analyst inspects before sizing FL rounds.
+double fleet_on_fraction(const FleetModel& fleet, double time_s);
+
+}  // namespace roadrunner::mobility

@@ -1,0 +1,102 @@
+#include "mobility/fleet_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roadrunner::mobility {
+
+FleetModel::FleetModel(std::vector<VehicleTrack> vehicles)
+    : vehicles_{std::move(vehicles)} {
+  for (const auto& v : vehicles_) {
+    if (v.trace.empty()) {
+      throw std::invalid_argument{"FleetModel: vehicle with empty trace"};
+    }
+  }
+}
+
+NodeId FleetModel::add_static_node(Position position) {
+  static_nodes_.push_back(position);
+  return vehicles_.size() + static_nodes_.size() - 1;
+}
+
+const VehicleTrack& FleetModel::vehicle(NodeId id) const {
+  if (!is_vehicle(id)) throw std::out_of_range{"FleetModel::vehicle"};
+  return vehicles_[id];
+}
+
+Position FleetModel::position_of(NodeId id, double time_s) const {
+  if (is_vehicle(id)) return vehicles_[id].trace.position_at(time_s);
+  const std::size_t s = id - vehicles_.size();
+  if (s >= static_nodes_.size()) {
+    throw std::out_of_range{"FleetModel::position_of"};
+  }
+  return static_nodes_[s];
+}
+
+bool FleetModel::is_on(NodeId id, double time_s) const {
+  if (is_vehicle(id)) return vehicles_[id].ignition.is_on(time_s);
+  if (id - vehicles_.size() >= static_nodes_.size()) {
+    throw std::out_of_range{"FleetModel::is_on"};
+  }
+  return true;
+}
+
+std::optional<double> FleetModel::next_power_transition(double time_s) const {
+  std::optional<double> best;
+  for (const auto& v : vehicles_) {
+    const auto t = v.ignition.next_transition(time_s);
+    if (t && (!best || *t < *best)) best = t;
+  }
+  return best;
+}
+
+double FleetModel::duration() const {
+  double end = 0.0;
+  for (const auto& v : vehicles_) {
+    end = std::max(end, v.trace.end_time());
+  }
+  return end;
+}
+
+FleetModel::Snapshot FleetModel::snapshot(double time_s) const {
+  Snapshot snap;
+  snap.time_s = time_s;
+  snap.positions.reserve(node_count());
+  snap.on.reserve(node_count());
+  for (const auto& v : vehicles_) {
+    snap.positions.push_back(v.trace.position_at(time_s));
+    snap.on.push_back(v.ignition.is_on(time_s));
+  }
+  for (const auto& p : static_nodes_) {
+    snap.positions.push_back(p);
+    snap.on.push_back(true);
+  }
+  return snap;
+}
+
+std::vector<std::pair<NodeId, NodeId>> FleetModel::encounters(
+    double time_s, double radius) const {
+  const Snapshot snap = snapshot(time_s);
+  // Compact to powered-on nodes, index, then map back.
+  std::vector<Position> on_positions;
+  std::vector<NodeId> on_ids;
+  for (NodeId id = 0; id < snap.positions.size(); ++id) {
+    if (snap.on[id]) {
+      on_positions.push_back(snap.positions[id]);
+      on_ids.push_back(id);
+    }
+  }
+  if (on_positions.size() < 2) return {};
+  SpatialIndex index{on_positions, std::max(radius, 1.0)};
+  auto raw = index.pairs_within(radius);
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(raw.size());
+  for (const auto& [a, b] : raw) {
+    const NodeId ia = on_ids[a], ib = on_ids[b];
+    out.emplace_back(std::min(ia, ib), std::max(ia, ib));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace roadrunner::mobility

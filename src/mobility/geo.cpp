@@ -1,0 +1,29 @@
+#include "mobility/geo.hpp"
+
+#include <numbers>
+
+namespace roadrunner::mobility {
+
+namespace {
+constexpr double kEarthRadiusM = 6371000.0;
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}  // namespace
+
+Position project(const GeoPoint& p, const GeoPoint& ref) {
+  const double lat0 = ref.latitude_deg * kDegToRad;
+  return Position{
+      (p.longitude_deg - ref.longitude_deg) * kDegToRad * kEarthRadiusM *
+          std::cos(lat0),
+      (p.latitude_deg - ref.latitude_deg) * kDegToRad * kEarthRadiusM,
+  };
+}
+
+GeoPoint unproject(const Position& p, const GeoPoint& ref) {
+  const double lat0 = ref.latitude_deg * kDegToRad;
+  return GeoPoint{
+      ref.latitude_deg + p.y / kEarthRadiusM / kDegToRad,
+      ref.longitude_deg + p.x / (kEarthRadiusM * std::cos(lat0)) / kDegToRad,
+  };
+}
+
+}  // namespace roadrunner::mobility

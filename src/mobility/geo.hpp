@@ -1,0 +1,51 @@
+// Planar geometry for vehicle positions.
+//
+// The framework works in a local metric frame (meters, x east / y north).
+// Real GPS traces in latitude/longitude are projected with an
+// equirectangular projection around a reference point — at city scale
+// (tens of km) the distortion is far below the V2X range granularity that
+// matters to the simulation.
+#pragma once
+
+#include <cmath>
+
+namespace roadrunner::mobility {
+
+struct Position {
+  double x = 0.0;  ///< meters east of the local origin
+  double y = 0.0;  ///< meters north of the local origin
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline double distance_squared(const Position& a, const Position& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Linear interpolation between two positions, t in [0, 1].
+inline Position lerp(const Position& a, const Position& b, double t) {
+  return Position{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+/// Equirectangular projection of `p` into the metric frame centred on `ref`.
+Position project(const GeoPoint& p, const GeoPoint& ref);
+
+/// Inverse of project().
+GeoPoint unproject(const Position& p, const GeoPoint& ref);
+
+/// Reference point used by the synthetic city generator; Gothenburg, Sweden
+/// (the city whose real fleet data the paper's experiment replays).
+inline constexpr GeoPoint kGothenburgCenter{57.7089, 11.9746};
+
+}  // namespace roadrunner::mobility

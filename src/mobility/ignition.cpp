@@ -1,0 +1,57 @@
+#include "mobility/ignition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roadrunner::mobility {
+
+IgnitionSchedule::IgnitionSchedule(std::vector<OnInterval> intervals)
+    : intervals_{std::move(intervals)} {
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (intervals_[i].end_s <= intervals_[i].start_s) {
+      throw std::invalid_argument{"IgnitionSchedule: empty interval"};
+    }
+    if (i > 0 && intervals_[i].start_s < intervals_[i - 1].end_s) {
+      throw std::invalid_argument{"IgnitionSchedule: overlapping intervals"};
+    }
+  }
+}
+
+IgnitionSchedule IgnitionSchedule::always_on() {
+  IgnitionSchedule s;
+  s.always_on_ = true;
+  return s;
+}
+
+bool IgnitionSchedule::is_on(double time_s) const {
+  if (always_on_) return true;
+  // Find the last interval starting at or before time_s.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), time_s,
+      [](double t, const OnInterval& iv) { return t < iv.start_s; });
+  if (it == intervals_.begin()) return false;
+  return time_s < std::prev(it)->end_s;
+}
+
+std::optional<double> IgnitionSchedule::next_transition(double time_s) const {
+  if (always_on_) return std::nullopt;
+  for (const auto& iv : intervals_) {
+    if (iv.start_s > time_s) return iv.start_s;
+    if (iv.end_s > time_s) return iv.end_s;
+  }
+  return std::nullopt;
+}
+
+double IgnitionSchedule::on_duration(double from_s, double to_s) const {
+  if (to_s <= from_s) return 0.0;
+  if (always_on_) return to_s - from_s;
+  double total = 0.0;
+  for (const auto& iv : intervals_) {
+    const double lo = std::max(from_s, iv.start_s);
+    const double hi = std::min(to_s, iv.end_s);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+}  // namespace roadrunner::mobility

@@ -1,0 +1,84 @@
+#include "mobility/spatial_index.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roadrunner::mobility {
+
+SpatialIndex::SpatialIndex(const std::vector<Position>& positions,
+                           double cell_size)
+    : positions_{positions}, cell_size_{cell_size} {
+  if (cell_size <= 0.0) {
+    throw std::invalid_argument{"SpatialIndex: cell_size <= 0"};
+  }
+  cells_.reserve(positions_.size());
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    cells_[cell_of(positions_[i])].push_back(i);
+  }
+}
+
+SpatialIndex::CellKey SpatialIndex::cell_of(const Position& p) const {
+  return CellKey{static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+                 static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+}
+
+std::vector<std::size_t> SpatialIndex::within(const Position& query,
+                                              double radius,
+                                              std::size_t exclude) const {
+  if (radius > cell_size_) {
+    throw std::invalid_argument{"SpatialIndex::within: radius > cell_size"};
+  }
+  const double r2 = radius * radius;
+  const CellKey center = cell_of(query);
+  std::vector<std::size_t> out;
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find(CellKey{center.cx + dx, center.cy + dy});
+      if (it == cells_.end()) continue;
+      for (std::size_t i : it->second) {
+        if (i == exclude) continue;
+        if (distance_squared(positions_[i], query) <= r2) out.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> SpatialIndex::pairs_within(
+    double radius) const {
+  if (radius > cell_size_) {
+    throw std::invalid_argument{
+        "SpatialIndex::pairs_within: radius > cell_size"};
+  }
+  const double r2 = radius * radius;
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (const auto& [key, members] : cells_) {
+    // Within-cell pairs.
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        const std::size_t i = members[a], j = members[b];
+        if (distance_squared(positions_[i], positions_[j]) <= r2) {
+          out.emplace_back(std::min(i, j), std::max(i, j));
+        }
+      }
+    }
+    // Cross-cell pairs: scan only the 4 lexicographically-greater
+    // neighbours so each unordered cell pair is visited once.
+    static constexpr std::pair<int, int> kForward[] = {
+        {1, 0}, {-1, 1}, {0, 1}, {1, 1}};
+    for (const auto& [dx, dy] : kForward) {
+      const auto it = cells_.find(CellKey{key.cx + dx, key.cy + dy});
+      if (it == cells_.end()) continue;
+      for (std::size_t i : members) {
+        for (std::size_t j : it->second) {
+          if (distance_squared(positions_[i], positions_[j]) <= r2) {
+            out.emplace_back(std::min(i, j), std::max(i, j));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace roadrunner::mobility

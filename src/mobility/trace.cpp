@@ -1,0 +1,81 @@
+#include "mobility/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roadrunner::mobility {
+
+Trace::Trace(std::vector<TraceSample> samples) : samples_{std::move(samples)} {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].time_s <= samples_[i - 1].time_s) {
+      throw std::invalid_argument{"Trace: samples not strictly increasing"};
+    }
+  }
+}
+
+double Trace::start_time() const {
+  if (samples_.empty()) throw std::logic_error{"Trace::start_time: empty"};
+  return samples_.front().time_s;
+}
+
+double Trace::end_time() const {
+  if (samples_.empty()) throw std::logic_error{"Trace::end_time: empty"};
+  return samples_.back().time_s;
+}
+
+Position Trace::position_at(double time_s) const {
+  if (samples_.empty()) throw std::logic_error{"Trace::position_at: empty"};
+  if (time_s <= samples_.front().time_s) return samples_.front().position;
+  if (time_s >= samples_.back().time_s) return samples_.back().position;
+
+  // The simulator queries near-monotonically; memoize the last segment and
+  // fall back to binary search on rewind/jump.
+  if (cursor_ >= samples_.size() - 1 || samples_[cursor_].time_s > time_s) {
+    cursor_ = 0;
+  }
+  if (samples_[cursor_ + 1].time_s < time_s) {
+    const auto it = std::upper_bound(
+        samples_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+        samples_.end(), time_s,
+        [](double t, const TraceSample& s) { return t < s.time_s; });
+    cursor_ = static_cast<std::size_t>(it - samples_.begin()) - 1;
+  }
+  const TraceSample& a = samples_[cursor_];
+  const TraceSample& b = samples_[cursor_ + 1];
+  const double t = (time_s - a.time_s) / (b.time_s - a.time_s);
+  return lerp(a.position, b.position, t);
+}
+
+double Trace::speed_at(double time_s) const {
+  if (samples_.size() < 2) return 0.0;
+  if (time_s < samples_.front().time_s || time_s > samples_.back().time_s) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), time_s,
+      [](double t, const TraceSample& s) { return t < s.time_s; });
+  const std::size_t hi = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+          1, it - samples_.begin())),
+      samples_.size() - 1);
+  const TraceSample& a = samples_[hi - 1];
+  const TraceSample& b = samples_[hi];
+  return distance(a.position, b.position) / (b.time_s - a.time_s);
+}
+
+double Trace::path_length() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    total += distance(samples_[i - 1].position, samples_[i].position);
+  }
+  return total;
+}
+
+void Trace::append(TraceSample sample) {
+  if (!samples_.empty() && sample.time_s <= samples_.back().time_s) {
+    throw std::invalid_argument{"Trace::append: non-increasing time"};
+  }
+  samples_.push_back(sample);
+}
+
+}  // namespace roadrunner::mobility

@@ -1,0 +1,54 @@
+// Spatial trajectories ("travel paths", paper Fig. 1): a time-ordered list
+// of position samples per vehicle. Trajectories "enter the Core Simulator
+// statically, e.g. as a file of GPS traces" and are replayed — the learning
+// never influences them (§4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/geo.hpp"
+
+namespace roadrunner::mobility {
+
+struct TraceSample {
+  double time_s = 0.0;
+  Position position;
+};
+
+/// One vehicle's trajectory. Samples must be strictly increasing in time;
+/// positions between samples are linearly interpolated, and the trace is
+/// clamped (constant) outside its time span.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceSample> samples);
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<TraceSample>& samples() const {
+    return samples_;
+  }
+
+  [[nodiscard]] double start_time() const;
+  [[nodiscard]] double end_time() const;
+
+  /// Interpolated position at `time_s` (clamped to the span ends).
+  /// Precondition: trace is non-empty.
+  [[nodiscard]] Position position_at(double time_s) const;
+
+  /// Instantaneous speed (m/s) from the surrounding segment; 0 outside the
+  /// span or on a single-sample trace.
+  [[nodiscard]] double speed_at(double time_s) const;
+
+  /// Total path length in meters.
+  [[nodiscard]] double path_length() const;
+
+  void append(TraceSample sample);
+
+ private:
+  std::vector<TraceSample> samples_;
+  mutable std::size_t cursor_ = 0;  // memoized segment for sequential access
+};
+
+}  // namespace roadrunner::mobility

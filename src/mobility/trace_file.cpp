@@ -1,0 +1,135 @@
+#include "mobility/trace_file.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace roadrunner::mobility {
+
+namespace {
+
+using util::CsvWriter;
+
+std::vector<std::vector<std::string>> read_rows(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"trace_file: cannot open " + path};
+  auto rows = util::read_csv(in);
+  // Drop a header row if the first field is non-numeric.
+  if (!rows.empty() && !rows.front().empty()) {
+    const std::string& head = rows.front().front();
+    if (head.find_first_not_of("0123456789") != std::string::npos) {
+      rows.erase(rows.begin());
+    }
+  }
+  return rows;
+}
+
+FleetModel build_fleet(const std::string& traces_path,
+                       const std::string& ignition_path, bool geo,
+                       const GeoPoint& reference) {
+  struct RawSample {
+    double t, a, b;
+  };
+  std::vector<std::vector<RawSample>> samples;
+  for (const auto& row : read_rows(traces_path)) {
+    if (row.size() != 4) {
+      throw std::runtime_error{"trace_file: traces row needs 4 fields"};
+    }
+    const auto id = static_cast<std::size_t>(std::stoull(row[0]));
+    if (id >= samples.size()) samples.resize(id + 1);
+    samples[id].push_back(
+        RawSample{std::stod(row[1]), std::stod(row[2]), std::stod(row[3])});
+  }
+
+  std::vector<std::vector<OnInterval>> intervals(samples.size());
+  for (const auto& row : read_rows(ignition_path)) {
+    if (row.size() != 3) {
+      throw std::runtime_error{"trace_file: ignition row needs 3 fields"};
+    }
+    const auto id = static_cast<std::size_t>(std::stoull(row[0]));
+    if (id >= samples.size()) {
+      throw std::runtime_error{"trace_file: ignition row for unknown vehicle"};
+    }
+    intervals[id].push_back({std::stod(row[1]), std::stod(row[2])});
+  }
+
+  std::vector<VehicleTrack> tracks;
+  tracks.reserve(samples.size());
+  for (std::size_t id = 0; id < samples.size(); ++id) {
+    auto& raw = samples[id];
+    if (raw.empty()) {
+      throw std::runtime_error{"trace_file: vehicle ids must be dense 0..N-1"};
+    }
+    std::sort(raw.begin(), raw.end(),
+              [](const RawSample& x, const RawSample& y) { return x.t < y.t; });
+    std::vector<TraceSample> ts;
+    ts.reserve(raw.size());
+    for (const auto& s : raw) {
+      const Position p = geo ? project(GeoPoint{s.a, s.b}, reference)
+                             : Position{s.a, s.b};
+      ts.push_back({s.t, p});
+    }
+    auto& ivs = intervals[id];
+    std::sort(ivs.begin(), ivs.end(),
+              [](const OnInterval& x, const OnInterval& y) {
+                return x.start_s < y.start_s;
+              });
+    tracks.push_back(VehicleTrack{Trace{std::move(ts)},
+                                  IgnitionSchedule{std::move(ivs)}});
+  }
+  return FleetModel{std::move(tracks)};
+}
+
+}  // namespace
+
+FleetModel load_fleet_csv(const std::string& traces_path,
+                          const std::string& ignition_path) {
+  return build_fleet(traces_path, ignition_path, /*geo=*/false, GeoPoint{});
+}
+
+FleetModel load_fleet_csv_geo(const std::string& traces_path,
+                              const std::string& ignition_path,
+                              const GeoPoint& reference) {
+  return build_fleet(traces_path, ignition_path, /*geo=*/true, reference);
+}
+
+void save_fleet_csv(const FleetModel& fleet, const std::string& traces_path,
+                    const std::string& ignition_path) {
+  std::ofstream traces{traces_path};
+  if (!traces) {
+    throw std::runtime_error{"save_fleet_csv: cannot open " + traces_path};
+  }
+  CsvWriter tw{traces};
+  tw.write_row({"vehicle_id", "time_s", "x_m", "y_m"});
+  for (NodeId v = 0; v < fleet.vehicle_count(); ++v) {
+    for (const auto& s : fleet.vehicle(v).trace.samples()) {
+      tw.write_row({CsvWriter::field(static_cast<std::uint64_t>(v)),
+                    CsvWriter::field(s.time_s), CsvWriter::field(s.position.x),
+                    CsvWriter::field(s.position.y)});
+    }
+  }
+
+  std::ofstream ign{ignition_path};
+  if (!ign) {
+    throw std::runtime_error{"save_fleet_csv: cannot open " + ignition_path};
+  }
+  CsvWriter iw{ign};
+  iw.write_row({"vehicle_id", "start_s", "end_s"});
+  for (NodeId v = 0; v < fleet.vehicle_count(); ++v) {
+    const auto& schedule = fleet.vehicle(v).ignition;
+    if (schedule.is_always_on()) {
+      iw.write_row({CsvWriter::field(static_cast<std::uint64_t>(v)),
+                    CsvWriter::field(0.0),
+                    CsvWriter::field(fleet.vehicle(v).trace.end_time())});
+      continue;
+    }
+    for (const auto& iv : schedule.intervals()) {
+      iw.write_row({CsvWriter::field(static_cast<std::uint64_t>(v)),
+                    CsvWriter::field(iv.start_s), CsvWriter::field(iv.end_s)});
+    }
+  }
+}
+
+}  // namespace roadrunner::mobility

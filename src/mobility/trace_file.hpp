@@ -1,0 +1,35 @@
+// Trace-file I/O: the interface through which *real* mobility data enters
+// the framework ("this supports the use of historic GPS data, but also of
+// simulated data", §4). Two CSV files describe a fleet:
+//
+//   traces CSV:    vehicle_id,time_s,x_m,y_m     (one row per trace sample)
+//   ignition CSV:  vehicle_id,start_s,end_s      (one row per ON interval)
+//
+// Vehicle ids must be dense 0..N-1. An optional lat/lon variant projects
+// coordinates through mobility::project around a reference point.
+#pragma once
+
+#include <string>
+
+#include "mobility/fleet_model.hpp"
+
+namespace roadrunner::mobility {
+
+/// Loads a fleet from the two CSV files. Rows may be in any order; samples
+/// are sorted per vehicle. Throws std::runtime_error on malformed input
+/// (missing files, sparse ids, duplicate timestamps).
+FleetModel load_fleet_csv(const std::string& traces_path,
+                          const std::string& ignition_path);
+
+/// Writes a fleet's vehicles to the two CSV files (static nodes are not
+/// persisted; they are scenario configuration).
+void save_fleet_csv(const FleetModel& fleet, const std::string& traces_path,
+                    const std::string& ignition_path);
+
+/// Loads a traces CSV whose coordinate columns are latitude,longitude
+/// degrees, projecting them around `reference`.
+FleetModel load_fleet_csv_geo(const std::string& traces_path,
+                              const std::string& ignition_path,
+                              const GeoPoint& reference);
+
+}  // namespace roadrunner::mobility

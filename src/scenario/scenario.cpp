@@ -1,0 +1,142 @@
+#include "scenario/scenario.hpp"
+
+#include <stdexcept>
+
+#include "data/gaussian_blobs.hpp"
+#include "data/synthetic_images.hpp"
+#include "ml/models.hpp"
+#include "util/log.hpp"
+
+namespace roadrunner::scenario {
+
+namespace {
+
+std::shared_ptr<const ml::Dataset> build_dataset(const ScenarioConfig& cfg) {
+  const std::size_t total = cfg.train_pool_size + cfg.test_size;
+  if (cfg.dataset == "images") {
+    data::SyntheticImageConfig ic = cfg.image_config;
+    ic.seed = cfg.seed ^ 0xDA7A5EEDULL;
+    return std::make_shared<ml::Dataset>(data::make_synthetic_images(total,
+                                                                     ic));
+  }
+  if (cfg.dataset == "blobs") {
+    data::GaussianBlobConfig bc = cfg.blob_config;
+    bc.seed = cfg.seed ^ 0xDA7A5EEDULL;
+    return std::make_shared<ml::Dataset>(data::make_gaussian_blobs(total, bc));
+  }
+  throw std::invalid_argument{"Scenario: unknown dataset '" + cfg.dataset +
+                              "'"};
+}
+
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig config) : config_{std::move(config)} {
+  if (config_.vehicles == 0) {
+    throw std::invalid_argument{"Scenario: zero vehicles"};
+  }
+  util::Rng master{config_.seed};
+
+  // ----- fleet ---------------------------------------------------------------
+  if (config_.external_fleet) {
+    fleet_ = config_.external_fleet;
+    if (fleet_->vehicle_count() < config_.vehicles) {
+      throw std::invalid_argument{"Scenario: external fleet too small"};
+    }
+    for (std::size_t i = 0; i < config_.rsus; ++i) {
+      const mobility::NodeId node = fleet_->vehicle_count() + i;
+      if (node >= fleet_->node_count()) {
+        throw std::invalid_argument{"Scenario: external fleet lacks RSUs"};
+      }
+      rsu_nodes_.push_back(node);
+    }
+  } else {
+    mobility::CityModelConfig city = config_.city;
+    city.seed = config_.seed ^ 0xF1EE7ULL;
+    auto fleet = std::make_shared<mobility::FleetModel>(
+        mobility::make_city_fleet(config_.vehicles, city));
+    rsu_nodes_ = mobility::add_grid_rsus(*fleet, city, config_.rsus);
+    fleet_ = std::move(fleet);
+  }
+
+  // ----- data ---------------------------------------------------------------
+  dataset_ = build_dataset(config_);
+  util::Rng data_rng = master.fork("partition");
+  auto split_rng = master.fork("split");
+  const double test_fraction =
+      static_cast<double>(config_.test_size) /
+      static_cast<double>(dataset_->size());
+  data::TrainTestSplit split =
+      data::train_test_split(dataset_, test_fraction, split_rng);
+  test_set_ = std::move(split.test);
+
+  if (config_.partition == "class_skew") {
+    vehicle_data_ = data::partition_class_skew(
+        split.train, config_.vehicles, config_.samples_per_vehicle,
+        config_.classes_per_vehicle, data_rng);
+  } else if (config_.partition == "iid") {
+    vehicle_data_ = data::partition_iid(split.train, config_.vehicles,
+                                        config_.samples_per_vehicle, data_rng);
+  } else if (config_.partition == "dirichlet") {
+    vehicle_data_ = data::partition_dirichlet(
+        split.train, config_.vehicles, config_.dirichlet_alpha, data_rng);
+  } else {
+    throw std::invalid_argument{"Scenario: unknown partition '" +
+                                config_.partition + "'"};
+  }
+
+  // ----- model ----------------------------------------------------------------
+  prototype_ = ml::make_model(config_.model, dataset_->sample_shape(),
+                              dataset_->num_classes());
+  util::Rng model_rng = master.fork("model-init");
+  ml::prime_and_init(prototype_, dataset_->sample_shape(), model_rng);
+  model_bytes_ = ml::weights_byte_size(prototype_.weights());
+
+  RR_LOG_INFO("scenario") << "fleet=" << fleet_->vehicle_count()
+                          << " vehicles +" << rsu_nodes_.size()
+                          << " RSUs; dataset=" << dataset_->size()
+                          << " samples; model=" << prototype_.summary() << " ("
+                          << prototype_.parameter_count() << " params, "
+                          << model_bytes_ << " B)";
+}
+
+std::unique_ptr<core::Simulator> Scenario::make_simulator() const {
+  core::SimulatorConfig sim_cfg;
+  sim_cfg.horizon_s =
+      config_.horizon_s > 0.0 ? config_.horizon_s : fleet_->duration();
+  sim_cfg.mobility_tick_s = config_.mobility_tick_s;
+  sim_cfg.train = config_.train;
+  sim_cfg.seed = config_.seed;
+  sim_cfg.async_training = config_.async_training;
+  sim_cfg.trace_events = config_.trace_events;
+  sim_cfg.data_arrival_per_s = config_.data_arrival_per_s;
+
+  core::MlService ml_service{prototype_, test_set_};
+  auto sim = std::make_unique<core::Simulator>(*fleet_, config_.net,
+                                               std::move(ml_service), sim_cfg);
+  sim->add_cloud(config_.cloud_device);
+  for (std::size_t v = 0; v < config_.vehicles; ++v) {
+    sim->add_vehicle(v, vehicle_data_[v], config_.vehicle_device);
+  }
+  for (mobility::NodeId node : rsu_nodes_) {
+    sim->add_rsu(node, config_.rsu_device);
+  }
+  return sim;
+}
+
+RunResult Scenario::run(
+    std::shared_ptr<strategy::LearningStrategy> strategy) const {
+  auto sim = make_simulator();
+  RunResult result;
+  result.strategy_name = strategy->name();
+  sim->set_strategy(std::move(strategy));
+  result.report = sim->run();
+  result.metrics = sim->metrics_view();
+  for (std::size_t k = 0; k < comm::kChannelKindCount; ++k) {
+    result.channel_stats[k] =
+        sim->network().stats(static_cast<comm::ChannelKind>(k));
+  }
+  result.final_accuracy = result.metrics.counter("final_accuracy");
+  return result;
+}
+
+}  // namespace roadrunner::scenario

@@ -1,0 +1,78 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace roadrunner::util {
+
+std::string ascii_chart(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  double x_min = 0.0, x_max = 0.0, y_lo = options.y_min,
+         y_hi = options.y_max;
+  bool any = false;
+  double data_y_max = -1e300;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (!any) {
+        x_min = x_max = x;
+        any = true;
+      }
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      data_y_max = std::max(data_y_max, y);
+    }
+  }
+  if (!any) return "";
+  if (y_hi <= y_lo) y_hi = std::max(y_lo + 1e-12, data_y_max * 1.05);
+  if (x_max <= x_min) x_max = x_min + 1.0;
+
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w),
+                                            ' '));
+
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const int col = static_cast<int>(
+          std::lround((x - x_min) / (x_max - x_min) * (w - 1)));
+      const double clamped = std::clamp(y, y_lo, y_hi);
+      const int row = static_cast<int>(
+          std::lround((clamped - y_lo) / (y_hi - y_lo) * (h - 1)));
+      grid[static_cast<std::size_t>(h - 1 - row)]
+          [static_cast<std::size_t>(col)] = s.marker;
+    }
+  }
+
+  std::ostringstream out;
+  for (int r = 0; r < h; ++r) {
+    const double y_label =
+        y_hi - (y_hi - y_lo) * static_cast<double>(r) / (h - 1);
+    char label[16];
+    std::snprintf(label, sizeof label, "%7.3f", y_label);
+    out << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << "        +" << std::string(static_cast<std::size_t>(w), '-')
+      << '\n';
+  char lo[32], hi[32];
+  std::snprintf(lo, sizeof lo, "%.0f", x_min);
+  std::snprintf(hi, sizeof hi, "%.0f", x_max);
+  std::string xlab = std::string(9, ' ') + lo;
+  const std::size_t target = 9 + static_cast<std::size_t>(w);
+  const std::size_t hi_len = std::char_traits<char>::length(hi);
+  if (xlab.size() + hi_len + 1 < target) {
+    xlab += std::string(target - xlab.size() - hi_len, ' ');
+  } else {
+    xlab += ' ';
+  }
+  xlab += hi;
+  out << xlab << '\n';
+  for (const auto& s : series) {
+    out << "        " << s.marker << " = " << s.label << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace roadrunner::util

@@ -1,0 +1,33 @@
+// Terminal line charts for bench output: the figure benches print their
+// series as CSV *and* as a quick visual, so the Fig.-4 shape is visible
+// straight from `for b in build/bench/*; do $b; done` without plotting
+// tooling.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace roadrunner::util {
+
+struct PlotSeries {
+  std::string label;
+  char marker = '*';
+  std::vector<std::pair<double, double>> points;  ///< (x, y)
+};
+
+struct PlotOptions {
+  int width = 72;   ///< plot area columns (excl. axis labels)
+  int height = 16;  ///< plot area rows
+  double y_min = 0.0;
+  /// y_max <= y_min means auto-scale to the data.
+  double y_max = 0.0;
+};
+
+/// Renders the series into a y-axis-labelled ASCII chart. Points are
+/// nearest-cell rasterized; later series overwrite earlier ones where they
+/// collide. Returns "" for empty input.
+std::string ascii_chart(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options = {});
+
+}  // namespace roadrunner::util

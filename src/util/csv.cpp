@@ -1,0 +1,100 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <system_error>
+
+namespace roadrunner::util {
+
+CsvWriter::CsvWriter(std::ostream& out, char separator)
+    : out_{out}, sep_{separator} {}
+
+namespace {
+bool needs_quoting(std::string_view field, char sep) {
+  return field.find_first_of(std::string{sep} + "\"\r\n") !=
+         std::string_view::npos;
+}
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) out_ << sep_;
+    first = false;
+    if (needs_quoting(f, sep_)) {
+      out_ << '"';
+      for (char c : f) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << f;
+    }
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::field(double value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::runtime_error{"CsvWriter: to_chars"};
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::field(std::int64_t value) {
+  return std::to_string(value);
+}
+
+std::string CsvWriter::field(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line,
+                                        char separator) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == separator) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // swallow trailing CR from CRLF files
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) throw std::runtime_error{"parse_csv_line: unterminated quote"};
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> read_csv(std::istream& in,
+                                               char separator) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows.push_back(parse_csv_line(line, separator));
+  }
+  return rows;
+}
+
+}  // namespace roadrunner::util

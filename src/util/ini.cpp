@@ -1,0 +1,132 @@
+#include "util/ini.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace roadrunner::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Removes an inline comment: '#' or ';' at line start or preceded by
+/// whitespace begins a comment (values therefore cannot contain " #").
+std::string strip_comment(const std::string& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if ((s[i] == '#' || s[i] == ';') &&
+        (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+IniFile IniFile::parse(const std::string& text) {
+  IniFile ini;
+  std::istringstream in{text};
+  std::string line;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string t = trim(strip_comment(line));
+    if (t.empty()) continue;
+    if (t.front() == '[') {
+      if (t.back() != ']' || t.size() < 3) {
+        throw std::runtime_error{"IniFile: bad section header at line " +
+                                 std::to_string(line_no)};
+      }
+      section = trim(t.substr(1, t.size() - 2));
+      ini.data_[section];  // section may stay empty
+      continue;
+    }
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error{"IniFile: expected key=value at line " +
+                               std::to_string(line_no)};
+    }
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error{"IniFile: empty key at line " +
+                               std::to_string(line_no)};
+    }
+    ini.data_[section][key] = value;
+  }
+  return ini;
+}
+
+IniFile IniFile::load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"IniFile: cannot open " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+bool IniFile::has(const std::string& section, const std::string& key) const {
+  const auto s = data_.find(section);
+  return s != data_.end() && s->second.contains(key);
+}
+
+std::string IniFile::get(const std::string& section, const std::string& key,
+                         const std::string& fallback) const {
+  const auto s = data_.find(section);
+  if (s == data_.end()) return fallback;
+  const auto k = s->second.find(key);
+  return k == s->second.end() ? fallback : k->second;
+}
+
+std::int64_t IniFile::get_int(const std::string& section,
+                              const std::string& key,
+                              std::int64_t fallback) const {
+  if (!has(section, key)) return fallback;
+  return std::stoll(get(section, key));
+}
+
+double IniFile::get_double(const std::string& section, const std::string& key,
+                           double fallback) const {
+  if (!has(section, key)) return fallback;
+  return std::stod(get(section, key));
+}
+
+bool IniFile::get_bool(const std::string& section, const std::string& key,
+                       bool fallback) const {
+  if (!has(section, key)) return fallback;
+  const std::string v = get(section, key);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error{"IniFile: bad boolean '" + v + "' for " + section +
+                           "." + key};
+}
+
+std::vector<std::string> IniFile::sections() const {
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [name, keys] : data_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> IniFile::keys(const std::string& section) const {
+  std::vector<std::string> out;
+  const auto s = data_.find(section);
+  if (s == data_.end()) return out;
+  out.reserve(s->second.size());
+  for (const auto& [key, value] : s->second) out.push_back(key);
+  return out;
+}
+
+void IniFile::set(const std::string& section, const std::string& key,
+                  const std::string& value) {
+  data_[section][key] = value;
+}
+
+}  // namespace roadrunner::util

@@ -1,0 +1,61 @@
+// Minimal INI-style configuration parser for experiment files:
+//
+//   # comment
+//   [scenario]
+//   vehicles = 100
+//   dataset  = images
+//   [strategy]
+//   name     = opportunistic
+//   rounds   = 75
+//
+// Sections group keys; keys are unique within a section (later wins).
+// Used by the roadrunner_run tool so analysts can define experiments
+// without recompiling (paper Req. 5: "flexible implementation and
+// parametrization ... to allow for easy experimentation and iteration").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace roadrunner::util {
+
+class IniFile {
+ public:
+  IniFile() = default;
+
+  /// Parses INI text. Throws std::runtime_error with a line number on
+  /// malformed input (garbage lines, unterminated section headers).
+  static IniFile parse(const std::string& text);
+
+  /// Loads and parses a file. Throws std::runtime_error if unreadable.
+  static IniFile load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& section,
+                         const std::string& key) const;
+
+  [[nodiscard]] std::string get(const std::string& section,
+                                const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& section,
+                                     const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& section,
+                                  const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& section,
+                              const std::string& key, bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> sections() const;
+  [[nodiscard]] std::vector<std::string> keys(
+      const std::string& section) const;
+
+  void set(const std::string& section, const std::string& key,
+           const std::string& value);
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> data_;
+};
+
+}  // namespace roadrunner::util

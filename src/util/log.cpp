@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace roadrunner::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_emit_mutex;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+LogLevel Log::level() { return g_level.load(); }
+void Log::set_sink(std::ostream* sink) { g_sink.store(sink); }
+
+void Log::write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (level < g_level.load()) return;
+  std::ostream* sink = g_sink.load();
+  if (sink == nullptr) sink = &std::clog;
+  std::lock_guard lock{g_emit_mutex};
+  (*sink) << '[' << level_name(level) << "] [" << component << "] " << message
+          << '\n';
+}
+
+}  // namespace roadrunner::util

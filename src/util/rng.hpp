@@ -1,0 +1,99 @@
+// Deterministic random number generation for the whole framework.
+//
+// Every stochastic component (mobility, data partitioning, channel loss,
+// strategy sampling) owns its own Rng seeded from a master seed through
+// `Rng::fork(tag)`. Forking is stable: the same (seed, tag) pair always
+// yields the same stream, so adding a new consumer never perturbs existing
+// ones. This is what makes whole-simulation runs reproducible byte-for-byte
+// (see DESIGN.md §4, decision 1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace roadrunner::util {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+/// Satisfies std::uniform_random_bit_generator so it can drive <random>
+/// distributions, though we provide the distributions we need directly to
+/// guarantee cross-platform determinism (libstdc++ vs libc++ distributions
+/// may differ; our own code does not).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64, per the
+  /// reference implementation's recommendation.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, n). Uses Lemire's multiply-shift rejection method to be
+  /// exactly uniform. Precondition: n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform integer in the inclusive range [lo, hi]. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform();
+
+  /// Uniform double in [lo, hi). Precondition: lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare so that
+  /// the consumed stream length per call is fixed).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate (mean 1/rate). Precondition: rate > 0.
+  double exponential(double rate);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Precondition: at least one weight > 0, none negative.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Draws a Gamma(shape, 1) variate (Marsaglia–Tsang); used by the
+  /// Dirichlet data partitioner. Precondition: shape > 0.
+  double gamma(double shape);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Picks k distinct indices from [0, n) without replacement, in random
+  /// order. Precondition: k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derives an independent child stream identified by `tag`. Stable across
+  /// runs and across unrelated fork calls.
+  Rng fork(std::string_view tag) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 step; exposed for seed-derivation in tests.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace roadrunner::util

@@ -1,0 +1,47 @@
+// Fixed-size thread pool used by the ML module to parallelize per-sample
+// gradient computation within a batch (the paper's HUs "can run multiple
+// operations in parallel to speed up the simulation", §4). Results are
+// reduced in deterministic index order, so parallelism never changes
+// numerical output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace roadrunner::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count), partitioned over the pool, and blocks
+  /// until all complete. Exceptions from fn propagate (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, sized from hardware concurrency, built on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace roadrunner::util

@@ -1,0 +1,69 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roadrunner::util {
+namespace {
+
+TEST(AsciiChart, EmptyInputYieldsEmptyString) {
+  EXPECT_EQ(ascii_chart({}), "");
+  EXPECT_EQ(ascii_chart({{"empty", '*', {}}}), "");
+}
+
+TEST(AsciiChart, ContainsMarkersAxesAndLegend) {
+  PlotSeries s;
+  s.label = "accuracy";
+  s.marker = 'a';
+  s.points = {{0.0, 0.1}, {50.0, 0.5}, {100.0, 0.9}};
+  const std::string chart = ascii_chart({s});
+  EXPECT_NE(chart.find('a'), std::string::npos);
+  EXPECT_NE(chart.find("a = accuracy"), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);   // axis corner
+  EXPECT_NE(chart.find("100"), std::string::npos);  // x-max label
+}
+
+TEST(AsciiChart, RisingSeriesPutsLaterPointsHigher) {
+  PlotSeries s;
+  s.label = "ramp";
+  s.marker = '*';
+  s.points = {{0.0, 0.0}, {10.0, 1.0}};
+  PlotOptions opt;
+  opt.width = 20;
+  opt.height = 10;
+  opt.y_max = 1.0;
+  const std::string chart = ascii_chart({s}, opt);
+  // The first marker row (top of chart) must hold the later (x=10) point:
+  // its column index is the last one; the x=0 point sits on the bottom row.
+  const auto first_star = chart.find('*');
+  const auto last_star = chart.rfind('*');
+  ASSERT_NE(first_star, std::string::npos);
+  // Top row contains the high-y point at the right edge; bottom row the
+  // low-y point at the left edge — so the first '*' in reading order must
+  // appear at a larger column than the last one.
+  const auto line_of = [&](std::size_t pos) {
+    return std::count(chart.begin(),
+                      chart.begin() + static_cast<std::ptrdiff_t>(pos), '\n');
+  };
+  EXPECT_LT(line_of(first_star), line_of(last_star));
+}
+
+TEST(AsciiChart, ClampsOutOfRangeValues) {
+  PlotSeries s;
+  s.label = "spiky";
+  s.points = {{0.0, -5.0}, {1.0, 99.0}};
+  PlotOptions opt;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  EXPECT_NO_THROW(ascii_chart({s}, opt));
+}
+
+TEST(AsciiChart, MultipleSeriesUseTheirMarkers) {
+  PlotSeries a{"a", 'x', {{0, 0.2}, {1, 0.3}}};
+  PlotSeries b{"b", 'y', {{0, 0.7}, {1, 0.8}}};
+  const std::string chart = ascii_chart({a, b});
+  EXPECT_NE(chart.find('x'), std::string::npos);
+  EXPECT_NE(chart.find('y'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roadrunner::util

@@ -1,0 +1,160 @@
+// Tests for the commuter mobility model: diurnal structure, determinism,
+// geometric sanity, and the hierarchical-RSU strategy that exploits it.
+#include <gtest/gtest.h>
+
+#include "mobility/commute_model.hpp"
+#include "scenario/scenario.hpp"
+#include "strategy/federated.hpp"
+#include "strategy/rsu_assisted.hpp"
+
+namespace roadrunner {
+namespace {
+
+using mobility::CommuteModelConfig;
+using mobility::FleetModel;
+using mobility::NodeId;
+
+CommuteModelConfig fast_day() {
+  CommuteModelConfig cfg;
+  cfg.day_length_s = 8000.0;  // compressed day for fast tests
+  cfg.days = 2;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(CommuteModel, DeterministicGivenSeed) {
+  const auto a = mobility::make_commute_fleet(6, fast_day());
+  const auto b = mobility::make_commute_fleet(6, fast_day());
+  for (NodeId v = 0; v < 6; ++v) {
+    for (double t : {0.0, 3000.0, 9000.0, 15000.0}) {
+      EXPECT_EQ(a.position_of(v, t), b.position_of(v, t));
+      EXPECT_EQ(a.is_on(v, t), b.is_on(v, t));
+    }
+  }
+}
+
+TEST(CommuteModel, DiurnalAvailability) {
+  const auto cfg = fast_day();
+  const auto fleet = mobility::make_commute_fleet(60, cfg);
+  // Morning rush: availability near the peak beats the dead of night.
+  const double morning = cfg.day_length_s * cfg.morning_peak;
+  const double night = cfg.day_length_s * 0.05;
+  const double rush = mobility::fleet_on_fraction(fleet, morning);
+  const double quiet = mobility::fleet_on_fraction(fleet, night);
+  EXPECT_GT(rush, quiet + 0.2);
+  EXPECT_LT(quiet, 0.1);
+}
+
+TEST(CommuteModel, VehiclesReturnHomeEachEvening) {
+  auto cfg = fast_day();
+  cfg.days = 1;
+  cfg.errand_probability = 0.0;
+  util::Rng rng{7};
+  const auto track = mobility::make_commuter(cfg, rng);
+  // Position at day start equals position after the evening commute.
+  const auto start = track.trace.position_at(0.0);
+  const auto end = track.trace.position_at(cfg.day_length_s);
+  EXPECT_EQ(start, end);
+  // The vehicle actually went somewhere in between.
+  EXPECT_GT(track.trace.path_length(), 0.0);
+}
+
+TEST(CommuteModel, OnExactlyWhileDriving) {
+  auto cfg = fast_day();
+  cfg.days = 1;
+  util::Rng rng{8};
+  const auto track = mobility::make_commuter(cfg, rng);
+  const auto& samples = track.trace.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double d =
+        mobility::distance(samples[i].position, samples[i - 1].position);
+    if (d < 1e-9) continue;
+    const double mid = 0.5 * (samples[i].time_s + samples[i - 1].time_s);
+    if (mid >= cfg.day_length_s) continue;
+    EXPECT_TRUE(track.ignition.is_on(mid)) << "moving while off at " << mid;
+  }
+}
+
+TEST(CommuteModel, ValidatesConfig) {
+  CommuteModelConfig cfg;
+  cfg.days = 0;
+  util::Rng rng{1};
+  EXPECT_THROW(mobility::make_commuter(cfg, rng), std::invalid_argument);
+  cfg = CommuteModelConfig{};
+  cfg.block_size_m = 0.0;
+  EXPECT_THROW(mobility::make_commuter(cfg, rng), std::invalid_argument);
+}
+
+TEST(CommuteModel, PluggableAsExternalFleet) {
+  auto cfg = fast_day();
+  auto fleet = std::make_shared<FleetModel>(
+      mobility::make_commute_fleet(12, cfg));
+  scenario::ScenarioConfig scfg;
+  scfg.seed = 3;
+  scfg.vehicles = 12;
+  scfg.dataset = "blobs";
+  scfg.train_pool_size = 1500;
+  scfg.test_size = 300;
+  scfg.partition = "iid";
+  scfg.samples_per_vehicle = 30;
+  scfg.model = "logreg";
+  scfg.external_fleet = fleet;
+  scfg.horizon_s = cfg.day_length_s * 2;
+  scenario::Scenario scenario{scfg};
+  strategy::RoundConfig round;
+  round.rounds = 4;
+  round.participants = 3;
+  round.round_duration_s = 60.0;
+  const auto result =
+      scenario.run(std::make_shared<strategy::FederatedStrategy>(round));
+  EXPECT_GT(result.report.events_executed, 0U);
+}
+
+// --------------------------------------------- hierarchical RSU variant --
+
+TEST(RsuHierarchical, AggregationShrinksBackhaulTransfers) {
+  // Stationary, always-on mini-world with RSUs in range of every vehicle:
+  // compare per-model relays against one-aggregate-per-RSU relays.
+  auto build = [&](bool aggregate) {
+    scenario::ScenarioConfig cfg;
+    cfg.seed = 9;
+    cfg.vehicles = 8;
+    cfg.rsus = 1;
+    cfg.dataset = "blobs";
+    cfg.train_pool_size = 1200;
+    cfg.test_size = 200;
+    cfg.partition = "iid";
+    cfg.samples_per_vehicle = 30;
+    cfg.model = "logreg";
+    cfg.city.city_size_m = 300.0;  // tiny city: everyone near the one RSU
+    cfg.city.block_size_m = 100.0;
+    cfg.city.duration_s = 3000.0;
+    cfg.city.initial_on_probability = 1.0;
+    cfg.city.dwell_on_probability = 1.0;
+    scenario::Scenario scenario{cfg};
+    strategy::RsuAssistedConfig rsu_cfg;
+    rsu_cfg.round.rounds = 4;
+    rsu_cfg.round.participants = 6;
+    rsu_cfg.round.round_duration_s = 40.0;
+    rsu_cfg.aggregate_at_rsu = aggregate;
+    return scenario.run(
+        std::make_shared<strategy::RsuAssistedStrategy>(rsu_cfg));
+  };
+
+  const auto per_model = build(false);
+  const auto aggregated = build(true);
+  const auto wired_per_model =
+      per_model.channel(comm::ChannelKind::kWired).transfers_delivered;
+  const auto wired_aggregated =
+      aggregated.channel(comm::ChannelKind::kWired).transfers_delivered;
+  ASSERT_GT(wired_per_model, 0U);
+  ASSERT_GT(wired_aggregated, 0U);
+  // One aggregate per RSU per round instead of one per vehicle.
+  EXPECT_LT(wired_aggregated, wired_per_model);
+  // Both learn: global accuracy above chance for 4 classes.
+  EXPECT_GT(per_model.final_accuracy, 0.3);
+  EXPECT_GT(aggregated.final_accuracy, 0.3);
+}
+
+}  // namespace
+}  // namespace roadrunner

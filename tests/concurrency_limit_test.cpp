@@ -1,0 +1,165 @@
+// Tests for sender-side radio concurrency limits: with a limit of 1 the
+// sender's transfers serialize through a queue; queued messages whose link
+// broke while waiting fail asynchronously; unlimited channels behave as
+// before.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/simulator.hpp"
+#include "data/gaussian_blobs.hpp"
+#include "ml/models.hpp"
+
+namespace roadrunner::core {
+namespace {
+
+using mobility::IgnitionSchedule;
+using mobility::Position;
+using mobility::Trace;
+using mobility::VehicleTrack;
+
+struct Probe final : strategy::LearningStrategy {
+  std::function<void(strategy::StrategyContext&)> start;
+  std::vector<std::pair<double, std::string>> deliveries;
+  std::vector<std::pair<std::string, comm::LinkStatus>> failures;
+
+  [[nodiscard]] std::string name() const override { return "probe"; }
+  void on_start(strategy::StrategyContext& ctx) override { start(ctx); }
+  void on_message(strategy::StrategyContext& ctx,
+                  const Message& msg) override {
+    deliveries.emplace_back(ctx.now(), msg.tag);
+  }
+  void on_message_failed(strategy::StrategyContext&, const Message& msg,
+                         comm::LinkStatus reason) override {
+    failures.emplace_back(msg.tag, reason);
+  }
+};
+
+struct World {
+  std::shared_ptr<mobility::FleetModel> fleet;
+  std::shared_ptr<const ml::Dataset> dataset;
+  std::unique_ptr<Simulator> sim;
+  std::shared_ptr<Probe> probe;
+  AgentId cloud{}, v0{}, v1{};
+
+  explicit World(std::size_t v2c_limit, double v1_off_at = 1e9) {
+    std::vector<VehicleTrack> tracks;
+    tracks.push_back({Trace{{{0.0, {0, 0}}, {1000.0, {0, 0}}}},
+                      IgnitionSchedule::always_on()});
+    tracks.push_back({Trace{{{0.0, {50, 0}}, {1000.0, {50, 0}}}},
+                      IgnitionSchedule{{{0.0, v1_off_at}}}});
+    fleet = std::make_shared<mobility::FleetModel>(std::move(tracks));
+    dataset = std::make_shared<ml::Dataset>(data::make_gaussian_blobs(16));
+    ml::Network proto = ml::make_logreg(16, 4);
+    util::Rng rng{2};
+    ml::prime_and_init(proto, {16}, rng);
+
+    comm::Network::Config net;
+    net.v2c.loss_probability = 0.0;
+    net.v2c.setup_latency_s = 0.0;
+    net.v2c.bandwidth_bytes_per_s = 1000.0;  // 1 KB/s: slow, easy to reason
+    net.v2c.max_concurrent_per_agent = v2c_limit;
+
+    SimulatorConfig cfg;
+    cfg.horizon_s = 400.0;
+    sim = std::make_unique<Simulator>(
+        *fleet, net, MlService{proto, ml::DatasetView::all(dataset)}, cfg);
+    cloud = sim->add_cloud();
+    v0 = sim->add_vehicle(0, ml::DatasetView::all(dataset));
+    v1 = sim->add_vehicle(1, ml::DatasetView::all(dataset));
+    probe = std::make_shared<Probe>();
+    sim->set_strategy(probe);
+  }
+
+  Message make(const std::string& tag, AgentId to) const {
+    Message msg;
+    msg.from = cloud;
+    msg.to = to;
+    msg.channel = comm::ChannelKind::kV2C;
+    msg.tag = tag;
+    msg.extra_bytes = 10'000 - Message::kHeaderBytes - 4;  // 10 s on wire
+    return msg;
+  }
+};
+
+TEST(ConcurrencyLimit, SerializesSendsThroughTheQueue) {
+  World world{/*v2c_limit=*/1};
+  world.probe->start = [&](strategy::StrategyContext& ctx) {
+    EXPECT_TRUE(ctx.send(world.make("first", world.v0)));
+    EXPECT_TRUE(ctx.send(world.make("second", world.v0)));  // queued
+    EXPECT_TRUE(ctx.send(world.make("third", world.v0)));   // queued
+  };
+  world.sim->run();
+  ASSERT_EQ(world.probe->deliveries.size(), 3U);
+  // Serialized: 10 s, 20 s, 30 s instead of all at 10 s.
+  EXPECT_NEAR(world.probe->deliveries[0].first, 10.0, 1e-6);
+  EXPECT_NEAR(world.probe->deliveries[1].first, 20.0, 1e-6);
+  EXPECT_NEAR(world.probe->deliveries[2].first, 30.0, 1e-6);
+  EXPECT_DOUBLE_EQ(world.sim->metrics_view().counter("transfers_queued"),
+                   2.0);
+}
+
+TEST(ConcurrencyLimit, UnlimitedChannelsDeliverConcurrently) {
+  World world{/*v2c_limit=*/0};
+  world.probe->start = [&](strategy::StrategyContext& ctx) {
+    EXPECT_TRUE(ctx.send(world.make("a", world.v0)));
+    EXPECT_TRUE(ctx.send(world.make("b", world.v0)));
+  };
+  world.sim->run();
+  ASSERT_EQ(world.probe->deliveries.size(), 2U);
+  EXPECT_NEAR(world.probe->deliveries[0].first, 10.0, 1e-6);
+  EXPECT_NEAR(world.probe->deliveries[1].first, 10.0, 1e-6);
+}
+
+TEST(ConcurrencyLimit, LimitOfTwoAllowsTwoInFlight) {
+  World world{/*v2c_limit=*/2};
+  world.probe->start = [&](strategy::StrategyContext& ctx) {
+    EXPECT_TRUE(ctx.send(world.make("a", world.v0)));
+    EXPECT_TRUE(ctx.send(world.make("b", world.v0)));
+    EXPECT_TRUE(ctx.send(world.make("c", world.v0)));  // queued
+  };
+  world.sim->run();
+  ASSERT_EQ(world.probe->deliveries.size(), 3U);
+  EXPECT_NEAR(world.probe->deliveries[0].first, 10.0, 1e-6);
+  EXPECT_NEAR(world.probe->deliveries[1].first, 10.0, 1e-6);
+  EXPECT_NEAR(world.probe->deliveries[2].first, 20.0, 1e-6);
+}
+
+TEST(ConcurrencyLimit, QueuedMessageFailsAsyncWhenLinkBreaks) {
+  // Vehicle 1 powers off at t=15: the message queued behind a 10 s transfer
+  // to v0 targets v1 and must fail asynchronously at dequeue time (t=10).
+  World world{/*v2c_limit=*/1, /*v1_off_at=*/5.0};
+  world.probe->start = [&](strategy::StrategyContext& ctx) {
+    EXPECT_TRUE(ctx.send(world.make("blocker", world.v0)));
+    EXPECT_TRUE(ctx.send(world.make("doomed", world.v1)));  // queued
+  };
+  world.sim->run();
+  ASSERT_EQ(world.probe->deliveries.size(), 1U);
+  EXPECT_EQ(world.probe->deliveries[0].second, "blocker");
+  ASSERT_EQ(world.probe->failures.size(), 1U);
+  EXPECT_EQ(world.probe->failures[0].first, "doomed");
+  EXPECT_EQ(world.probe->failures[0].second,
+            comm::LinkStatus::kReceiverOff);
+}
+
+TEST(ConcurrencyLimit, BacklogKeepsDrainingPastFailedStarts) {
+  // Queue [doomed -> v1(off)] then [ok -> v0]: when the blocker finishes,
+  // the doomed start fails and the drain continues to deliver "ok".
+  World world{/*v2c_limit=*/1, /*v1_off_at=*/5.0};
+  world.probe->start = [&](strategy::StrategyContext& ctx) {
+    EXPECT_TRUE(ctx.send(world.make("blocker", world.v0)));
+    EXPECT_TRUE(ctx.send(world.make("doomed", world.v1)));
+    EXPECT_TRUE(ctx.send(world.make("ok", world.v0)));
+  };
+  world.sim->run();
+  std::vector<std::string> delivered;
+  for (const auto& [t, tag] : world.probe->deliveries) {
+    delivered.push_back(tag);
+  }
+  EXPECT_EQ(delivered, (std::vector<std::string>{"blocker", "ok"}));
+  // "ok" started right after the doomed start failed at t=10.
+  EXPECT_NEAR(world.probe->deliveries[1].first, 20.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace roadrunner::core

@@ -1,0 +1,205 @@
+// Tests for the INI parser and the config-file-driven experiment layer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "scenario/experiment.hpp"
+#include "strategy/federated.hpp"
+#include "util/ini.hpp"
+
+namespace roadrunner {
+namespace {
+
+using util::IniFile;
+
+// --------------------------------------------------------------- IniFile --
+
+TEST(Ini, ParsesSectionsKeysAndComments) {
+  const auto ini = IniFile::parse(R"(
+# full-line comment
+[alpha]
+x = 1
+name = fleet one   ; trailing comment
+[beta]             # section comment
+y=2.5
+flag = true
+)");
+  EXPECT_TRUE(ini.has("alpha", "x"));
+  EXPECT_EQ(ini.get_int("alpha", "x", 0), 1);
+  EXPECT_EQ(ini.get("alpha", "name", ""), "fleet one");
+  EXPECT_DOUBLE_EQ(ini.get_double("beta", "y", 0), 2.5);
+  EXPECT_TRUE(ini.get_bool("beta", "flag", false));
+  EXPECT_FALSE(ini.has("alpha", "y"));
+  EXPECT_EQ(ini.get_int("gamma", "z", 9), 9);
+}
+
+TEST(Ini, SectionAndKeyEnumeration) {
+  const auto ini = IniFile::parse("[a]\nk1=1\nk2=2\n[b]\n");
+  EXPECT_EQ(ini.sections(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(ini.keys("a"), (std::vector<std::string>{"k1", "k2"}));
+  EXPECT_TRUE(ini.keys("b").empty());
+}
+
+TEST(Ini, LaterKeyWins) {
+  const auto ini = IniFile::parse("[s]\nk = 1\nk = 2\n");
+  EXPECT_EQ(ini.get_int("s", "k", 0), 2);
+}
+
+TEST(Ini, SetAndRoundTrip) {
+  IniFile ini;
+  ini.set("s", "k", "v");
+  EXPECT_EQ(ini.get("s", "k", ""), "v");
+}
+
+TEST(Ini, MalformedInputThrowsWithLineNumber) {
+  try {
+    IniFile::parse("[ok]\nx=1\n[broken\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+  }
+  EXPECT_THROW(IniFile::parse("novalue\n"), std::runtime_error);
+  EXPECT_THROW(IniFile::parse("= nokey\n"), std::runtime_error);
+  EXPECT_THROW((void)IniFile::parse("[s]\nb = maybe\n").get_bool("s", "b", false),
+               std::runtime_error);
+}
+
+TEST(Ini, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/rr_test.ini";
+  {
+    std::ofstream out{path};
+    out << "[s]\nk = 42\n";
+  }
+  const auto ini = IniFile::load(path);
+  EXPECT_EQ(ini.get_int("s", "k", 0), 42);
+  std::filesystem::remove(path);
+  EXPECT_THROW(IniFile::load("/no/such/file.ini"), std::runtime_error);
+}
+
+// ---------------------------------------------------------- experiments --
+
+constexpr const char* kSmallExperiment = R"(
+[scenario]
+vehicles = 12
+seed = 5
+[city]
+duration_s = 3000
+[data]
+dataset = blobs
+train_pool = 1500
+test_size = 300
+partition = iid
+samples_per_vehicle = 30
+[train]
+model = logreg
+epochs = 1
+[strategy]
+name = federated
+rounds = 4
+participants = 3
+round_duration_s = 30
+)";
+
+TEST(Experiment, ScenarioFromIniMapsAllSections) {
+  const auto ini = IniFile::parse(R"(
+[scenario]
+vehicles = 77
+rsus = 3
+seed = 9
+[city]
+size_m = 2500
+dwell_s = 123
+[data]
+dataset = images
+partition = dirichlet
+dirichlet_alpha = 0.25
+[train]
+model = paper_cnn
+optimizer = adam
+lr = 0.001
+proximal_mu = 0.1
+[network]
+v2x_range = 333
+v2c_loss = 0.07
+)");
+  const auto cfg = scenario::scenario_from_ini(ini);
+  EXPECT_EQ(cfg.vehicles, 77U);
+  EXPECT_EQ(cfg.rsus, 3U);
+  EXPECT_EQ(cfg.seed, 9U);
+  EXPECT_DOUBLE_EQ(cfg.city.city_size_m, 2500.0);
+  EXPECT_DOUBLE_EQ(cfg.city.dwell_mean_s, 123.0);
+  EXPECT_EQ(cfg.dataset, "images");
+  EXPECT_EQ(cfg.partition, "dirichlet");
+  EXPECT_DOUBLE_EQ(cfg.dirichlet_alpha, 0.25);
+  EXPECT_EQ(cfg.model, "paper_cnn");
+  EXPECT_EQ(cfg.train.optimizer, ml::OptimizerKind::kAdam);
+  EXPECT_FLOAT_EQ(cfg.train.learning_rate, 0.001F);
+  EXPECT_FLOAT_EQ(cfg.train.proximal_mu, 0.1F);
+  EXPECT_DOUBLE_EQ(cfg.net.v2x.range_m, 333.0);
+  EXPECT_DOUBLE_EQ(cfg.net.v2c.loss_probability, 0.07);
+}
+
+TEST(Experiment, StrategyFactoryBuildsEveryStrategy) {
+  for (const char* name :
+       {"federated", "opportunistic", "rsu_assisted", "gossip",
+        "centralized", "federated_clustering"}) {
+    IniFile ini;
+    ini.set("strategy", "name", name);
+    const auto strat = scenario::strategy_from_ini(ini);
+    ASSERT_NE(strat, nullptr) << name;
+  }
+  IniFile bad;
+  bad.set("strategy", "name", "quantum");
+  EXPECT_THROW(scenario::strategy_from_ini(bad), std::runtime_error);
+  IniFile bad_opt;
+  bad_opt.set("train", "optimizer", "lbfgs");
+  EXPECT_THROW(scenario::scenario_from_ini(bad_opt), std::runtime_error);
+}
+
+TEST(Experiment, EndToEndRunFromIni) {
+  const auto ini = IniFile::parse(kSmallExperiment);
+  const auto result = scenario::run_experiment(ini);
+  EXPECT_EQ(result.strategy_name, "federated");
+  EXPECT_DOUBLE_EQ(result.metrics.counter("rounds_completed"), 4.0);
+  EXPECT_GT(result.final_accuracy, 0.2);
+}
+
+TEST(Experiment, IniRunMatchesProgrammaticRun) {
+  // The INI path and the direct-config path must produce identical results.
+  const auto ini = IniFile::parse(kSmallExperiment);
+  const auto via_ini = scenario::run_experiment(ini);
+
+  scenario::ScenarioConfig cfg;
+  cfg.vehicles = 12;
+  cfg.seed = 5;
+  cfg.city.duration_s = 3000;
+  cfg.dataset = "blobs";
+  cfg.train_pool_size = 1500;
+  cfg.test_size = 300;
+  cfg.partition = "iid";
+  cfg.samples_per_vehicle = 30;
+  cfg.model = "logreg";
+  cfg.train.epochs = 1;
+  strategy::RoundConfig round;
+  round.rounds = 4;
+  round.participants = 3;
+  round.round_duration_s = 30;
+  scenario::Scenario scenario{cfg};
+  const auto direct =
+      scenario.run(std::make_shared<strategy::FederatedStrategy>(round));
+
+  EXPECT_EQ(via_ini.final_accuracy, direct.final_accuracy);
+  EXPECT_EQ(via_ini.channel(comm::ChannelKind::kV2C).bytes_delivered,
+            direct.channel(comm::ChannelKind::kV2C).bytes_delivered);
+}
+
+TEST(Experiment, RoundRobinSelectionFromIni) {
+  auto ini = IniFile::parse(kSmallExperiment);
+  ini.set("strategy", "selection", "round_robin");
+  const auto result = scenario::run_experiment(ini);
+  EXPECT_DOUBLE_EQ(result.metrics.counter("rounds_completed"), 4.0);
+}
+
+}  // namespace
+}  // namespace roadrunner

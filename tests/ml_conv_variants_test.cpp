@@ -1,0 +1,135 @@
+// Stride/padding variants of Conv2D: known-value forwards, shape law, and
+// finite-difference gradient checks across a parameter grid.
+#include <gtest/gtest.h>
+
+#include "ml/layers.hpp"
+#include "ml/loss.hpp"
+#include "ml/net.hpp"
+#include "test_util.hpp"
+
+namespace roadrunner::ml {
+namespace {
+
+using roadrunner::testing::expect_gradients_match;
+using roadrunner::testing::randomize;
+
+TEST(Conv2DVariants, StrideTwoSamplesEveryOtherWindow) {
+  Conv2D conv{1, 1, 2, /*stride=*/2};
+  *conv.params()[0] = Tensor{{1, 1, 2, 2}, {1, 1, 1, 1}};  // window sum
+  *conv.params()[1] = Tensor{{1}, {0}};
+  Tensor x{{1, 1, 4, 4}, {0, 1, 2,  3,
+                          4, 5, 6,  7,
+                          8, 9, 10, 11,
+                          12, 13, 14, 15}};
+  Tensor y = conv.forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 0 + 1 + 4 + 5);
+  EXPECT_FLOAT_EQ(y[1], 2 + 3 + 6 + 7);
+  EXPECT_FLOAT_EQ(y[2], 8 + 9 + 12 + 13);
+  EXPECT_FLOAT_EQ(y[3], 10 + 11 + 14 + 15);
+}
+
+TEST(Conv2DVariants, SamePaddingPreservesSpatialDims) {
+  // k=3, padding=1, stride=1: "same" convolution.
+  Conv2D conv{2, 4, 3, 1, 1};
+  util::Rng rng{1};
+  conv.init_params(rng);
+  Tensor x{{2, 2, 8, 8}};
+  randomize(x, rng);
+  Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 4, 8, 8}));
+}
+
+TEST(Conv2DVariants, PaddedCornerSeesZeros) {
+  // Identity-ish kernel picking the centre of each 3x3 window with pad 1:
+  // output equals input. A kernel picking the top-left of the window shifts
+  // the image and pulls zeros in at the border.
+  Conv2D centre{1, 1, 3, 1, 1};
+  Tensor kc{{1, 1, 3, 3}};
+  kc[4] = 1.0F;  // centre tap
+  *centre.params()[0] = kc;
+  *centre.params()[1] = Tensor{{1}, {0}};
+  Tensor x{{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  EXPECT_EQ(centre.forward(x), x);
+
+  Conv2D shift{1, 1, 3, 1, 1};
+  Tensor ks{{1, 1, 3, 3}};
+  ks[0] = 1.0F;  // top-left tap: output(i,j) = input(i-1, j-1)
+  *shift.params()[0] = ks;
+  *shift.params()[1] = Tensor{{1}, {0}};
+  Tensor y = shift.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0F);  // border pulled a zero in
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 1.0F);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 2, 2), 5.0F);
+}
+
+TEST(Conv2DVariants, OutputShapeLaw) {
+  for (std::size_t k : {1U, 3U, 5U}) {
+    for (std::size_t stride : {1U, 2U, 3U}) {
+      for (std::size_t pad = 0; pad < k; ++pad) {
+        Conv2D conv{1, 1, k, stride, pad};
+        util::Rng rng{2};
+        conv.init_params(rng);
+        const std::size_t h = 11, w = 9;
+        if (h + 2 * pad < k || w + 2 * pad < k) continue;
+        Tensor x{{1, 1, h, w}};
+        Tensor y = conv.forward(x);
+        EXPECT_EQ(y.dim(2), (h + 2 * pad - k) / stride + 1);
+        EXPECT_EQ(y.dim(3), (w + 2 * pad - k) / stride + 1);
+      }
+    }
+  }
+}
+
+TEST(Conv2DVariants, ValidatesConstruction) {
+  EXPECT_THROW((Conv2D{1, 1, 3, 0}), std::invalid_argument);
+  EXPECT_THROW((Conv2D{1, 1, 3, 1, 3}), std::invalid_argument);  // pad >= k
+  EXPECT_NO_THROW((Conv2D{1, 1, 3, 2, 2}));
+}
+
+struct ConvGridParam {
+  std::size_t kernel, stride, pad;
+};
+
+class Conv2DGradientGrid
+    : public ::testing::TestWithParam<ConvGridParam> {};
+
+TEST_P(Conv2DGradientGrid, GradientsMatchFiniteDifferences) {
+  const auto [kernel, stride, pad] = GetParam();
+  util::Rng rng{kernel * 100 + stride * 10 + pad};
+  Network net;
+  net.append(std::make_unique<Conv2D>(2, 3, kernel, stride, pad));
+  net.append(std::make_unique<Flatten>());
+  net.init_params(rng);
+  Tensor x{{2, 2, 7, 7}};
+  randomize(x, rng);
+  // Map flattened conv output to 3 classes via a linear head computed from
+  // the actual output size.
+  Tensor probe = net.forward(x);
+  net.append(std::make_unique<Linear>(probe.dim(1), 3));
+  net.init_params(rng);
+  expect_gradients_match(net, x, {0, 2}, /*tolerance=*/3e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Conv2DGradientGrid,
+    ::testing::Values(ConvGridParam{3, 1, 0}, ConvGridParam{3, 1, 1},
+                      ConvGridParam{3, 2, 0}, ConvGridParam{3, 2, 1},
+                      ConvGridParam{5, 2, 2}, ConvGridParam{2, 2, 0},
+                      ConvGridParam{1, 1, 0}));
+
+TEST(Conv2DVariants, FlopsAccountForStride) {
+  Conv2D dense{1, 4, 3, 1, 1};
+  Conv2D strided{1, 4, 3, 2, 1};
+  util::Rng rng{3};
+  dense.init_params(rng);
+  strided.init_params(rng);
+  Tensor x{{1, 1, 16, 16}};
+  dense.forward(x);
+  strided.forward(x);
+  // Stride 2 quarters the output positions.
+  EXPECT_GT(dense.flops_per_sample(), 3 * strided.flops_per_sample());
+}
+
+}  // namespace
+}  // namespace roadrunner::ml

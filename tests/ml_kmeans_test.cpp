@@ -1,0 +1,110 @@
+#include "ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/gaussian_blobs.hpp"
+
+namespace roadrunner::ml {
+namespace {
+
+DatasetView separated_blobs(std::size_t n, std::uint64_t seed = 3) {
+  data::GaussianBlobConfig cfg;
+  cfg.num_classes = 4;
+  cfg.dimensions = 8;
+  cfg.center_radius = 8.0;  // well separated
+  cfg.spread = 0.8;
+  cfg.seed = seed;
+  return DatasetView::all(
+      std::make_shared<Dataset>(data::make_gaussian_blobs(n, cfg)));
+}
+
+TEST(KMeans, ConvergesOnSeparatedBlobs) {
+  auto data = separated_blobs(400);
+  util::Rng rng{1};
+  KMeansModel model = kmeans_init(data, 4, rng);
+  const auto report = kmeans_fit(model, data);
+  EXPECT_TRUE(report.converged);
+  EXPECT_GT(report.iterations, 0U);
+  EXPECT_GT(kmeans_purity(model, data), 0.95);
+}
+
+TEST(KMeans, InertiaDecreasesDuringFit) {
+  auto data = separated_blobs(300, 9);
+  util::Rng rng{2};
+  KMeansModel model = kmeans_init(data, 4, rng);
+  const double before = kmeans_inertia(model, data);
+  kmeans_fit(model, data);
+  const double after = kmeans_inertia(model, data);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(KMeans, AssignMatchesNearestCentroid) {
+  auto data = separated_blobs(100);
+  util::Rng rng{3};
+  KMeansModel model = kmeans_init(data, 4, rng);
+  kmeans_fit(model, data);
+  const auto assign = kmeans_assign(model, data);
+  ASSERT_EQ(assign.size(), 100U);
+  for (std::int32_t a : assign) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 4);
+  }
+}
+
+TEST(KMeans, MoreClustersNeverWorseInertia) {
+  auto data = separated_blobs(200, 17);
+  util::Rng rng{4};
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k : {1U, 2U, 4U, 8U}) {
+    util::Rng fork = rng.fork("k" + std::to_string(k));
+    KMeansModel model = kmeans_init(data, k, fork);
+    kmeans_fit(model, data);
+    const double inertia = kmeans_inertia(model, data);
+    EXPECT_LE(inertia, prev * 1.05);  // allow local-minimum slack
+    prev = inertia;
+  }
+}
+
+TEST(KMeans, ValidatesInput) {
+  auto data = separated_blobs(10);
+  util::Rng rng{5};
+  EXPECT_THROW(kmeans_init(data, 0, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans_init(data, 11, rng), std::invalid_argument);
+  KMeansModel empty;
+  EXPECT_THROW(kmeans_fit(empty, data), std::invalid_argument);
+}
+
+TEST(KMeans, AverageBlendsCentroids) {
+  KMeansModel a;
+  a.centroids = Tensor{{1, 2}, {0.0F, 0.0F}};
+  KMeansModel b;
+  b.centroids = Tensor{{1, 2}, {4.0F, 8.0F}};
+  const KMeansModel avg = kmeans_average({{a, 1.0}, {b, 3.0}});
+  EXPECT_FLOAT_EQ(avg.centroids[0], 3.0F);
+  EXPECT_FLOAT_EQ(avg.centroids[1], 6.0F);
+}
+
+TEST(KMeans, AverageValidates) {
+  KMeansModel a;
+  a.centroids = Tensor{{1, 2}};
+  KMeansModel wrong;
+  wrong.centroids = Tensor{{2, 2}};
+  EXPECT_THROW(kmeans_average({}), std::invalid_argument);
+  EXPECT_THROW(kmeans_average({{a, 1.0}, {wrong, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(kmeans_average({{a, 0.0}}), std::invalid_argument);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  auto data = separated_blobs(150);
+  auto run = [&](std::uint64_t seed) {
+    util::Rng rng{seed};
+    KMeansModel m = kmeans_init(data, 4, rng);
+    kmeans_fit(m, data);
+    return m.centroids;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+}  // namespace
+}  // namespace roadrunner::ml

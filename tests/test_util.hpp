@@ -1,0 +1,106 @@
+// Shared helpers for the Roadrunner test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "ml/dataset.hpp"
+#include "ml/loss.hpp"
+#include "ml/net.hpp"
+#include "util/rng.hpp"
+
+namespace roadrunner::testing {
+
+/// Fills a tensor with small deterministic pseudo-random values.
+inline void randomize(ml::Tensor& t, util::Rng& rng, double scale = 0.5) {
+  for (float& v : t.values()) {
+    v = static_cast<float>(rng.uniform(-scale, scale));
+  }
+}
+
+/// Central-difference numerical gradient of `f` w.r.t. `x[i]`.
+inline double numerical_gradient(const std::function<double()>& f, float& x,
+                                 double eps = 1e-3) {
+  const float saved = x;
+  x = static_cast<float>(saved + eps);
+  const double plus = f();
+  x = static_cast<float>(saved - eps);
+  const double minus = f();
+  x = saved;
+  return (plus - minus) / (2.0 * eps);
+}
+
+/// Checks analytic parameter and input gradients of a network against
+/// finite differences on a scalar loss. `max_checks` parameters per tensor
+/// are probed (deterministically spread) to keep runtime sane.
+inline void expect_gradients_match(ml::Network& net, const ml::Tensor& x,
+                                   const std::vector<std::int32_t>& labels,
+                                   double tolerance = 2e-2,
+                                   std::size_t max_checks = 12,
+                                   double eps = 1e-3) {
+  auto loss_value = [&]() {
+    ml::Network probe = net;  // fresh caches
+    ml::Tensor logits = probe.forward(x);
+    return ml::softmax_cross_entropy(logits, labels).loss;
+  };
+
+  // Analytic gradients.
+  net.zero_grad();
+  ml::Tensor logits = net.forward(x);
+  const auto loss = ml::softmax_cross_entropy(logits, labels);
+  ml::Tensor dx = net.backward(loss.grad);
+
+  const auto params = net.params();
+  const auto grads = net.grads();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    ml::Tensor& param = *params[p];
+    const ml::Tensor& grad = *grads[p];
+    ASSERT_TRUE(param.same_shape(grad));
+    const std::size_t stride =
+        std::max<std::size_t>(1, param.size() / max_checks);
+    for (std::size_t i = 0; i < param.size(); i += stride) {
+      const double numeric = numerical_gradient(loss_value, param[i], eps);
+      EXPECT_NEAR(grad[i], numeric,
+                  tolerance * std::max(1.0, std::abs(numeric)))
+          << "param tensor " << p << " element " << i;
+    }
+  }
+
+  // Input gradient: probe a few elements.
+  ml::Tensor x_mut = x;
+  auto loss_value_x = [&]() {
+    ml::Network probe = net;
+    ml::Tensor logits2 = probe.forward(x_mut);
+    return ml::softmax_cross_entropy(logits2, labels).loss;
+  };
+  const std::size_t stride = std::max<std::size_t>(1, x.size() / max_checks);
+  for (std::size_t i = 0; i < x.size(); i += stride) {
+    const double numeric = numerical_gradient(loss_value_x, x_mut[i], eps);
+    EXPECT_NEAR(dx[i], numeric, tolerance * std::max(1.0, std::abs(numeric)))
+        << "input element " << i;
+  }
+}
+
+/// A tiny deterministic dataset: `n` samples of shape `sample_shape` with
+/// `classes` uniform labels.
+inline std::shared_ptr<ml::Dataset> tiny_dataset(
+    std::size_t n, std::vector<std::size_t> sample_shape, std::size_t classes,
+    std::uint64_t seed = 11) {
+  util::Rng rng{seed};
+  std::vector<std::size_t> shape{n};
+  shape.insert(shape.end(), sample_shape.begin(), sample_shape.end());
+  ml::Tensor x{shape};
+  randomize(x, rng, 1.0);
+  std::vector<std::int32_t> labels(n);
+  for (auto& y : labels) {
+    y = static_cast<std::int32_t>(rng.next_below(classes));
+  }
+  return std::make_shared<ml::Dataset>(std::move(x), std::move(labels),
+                                       classes);
+}
+
+}  // namespace roadrunner::testing

@@ -1,0 +1,167 @@
+// Tests for CSV, CLI parsing, logging, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace roadrunner::util {
+namespace {
+
+// ------------------------------------------------------------------- CSV --
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w{out};
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSeparatorsQuotesAndNewlines) {
+  std::ostringstream out;
+  CsvWriter w{out};
+  w.write_row({"a,b", "say \"hi\"", "line1\nline2"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+}
+
+TEST(Csv, ParseSimpleLine) {
+  const auto fields = parse_csv_line("a,b,,d");
+  ASSERT_EQ(fields.size(), 4U);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "d");
+}
+
+TEST(Csv, ParseQuotedLine) {
+  const auto fields = parse_csv_line("\"a,b\",\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 2U);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "say \"hi\"");
+}
+
+TEST(Csv, ParseUnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_line("\"oops"), std::runtime_error);
+}
+
+TEST(Csv, WriteParseRoundTrip) {
+  const std::vector<std::string> original{"plain", "with,comma", "q\"uote",
+                                          "", "multi\nline"};
+  std::ostringstream out;
+  CsvWriter w{out};
+  w.write_row(original);
+  // Strip the trailing newline; multi-line fields keep internal newlines.
+  std::string line = out.str();
+  line.pop_back();
+  EXPECT_EQ(parse_csv_line(line), original);
+}
+
+TEST(Csv, ReadCsvSkipsEmptyLines) {
+  std::istringstream in{"a,b\n\nc,d\n\r\n"};
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Csv, DoubleFieldRoundTrips) {
+  const double value = 0.12345678901234567;
+  EXPECT_EQ(std::stod(CsvWriter::field(value)), value);
+}
+
+// ------------------------------------------------------------------- CLI --
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "--gamma"};
+  CliArgs args{5, argv};
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_int("beta", 0), 7);
+  EXPECT_TRUE(args.has("gamma"));
+  EXPECT_TRUE(args.get_bool("gamma", false));
+  EXPECT_FALSE(args.has("delta"));
+  EXPECT_EQ(args.get_int("delta", 9), 9);
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "one", "--x=1", "two"};
+  CliArgs args{4, argv};
+  ASSERT_EQ(args.positional().size(), 2U);
+  EXPECT_EQ(args.positional()[0], "one");
+  EXPECT_EQ(args.positional()[1], "two");
+}
+
+TEST(Cli, DoubleAndStringAccessors) {
+  const char* argv[] = {"prog", "--rate=0.25", "--name=fleet"};
+  CliArgs args{3, argv};
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0), 0.25);
+  EXPECT_EQ(args.get("name", ""), "fleet");
+}
+
+TEST(Cli, BoolParsing) {
+  const char* argv[] = {"prog", "--on=true", "--off=false", "--bad=zzz"};
+  CliArgs args{4, argv};
+  EXPECT_TRUE(args.get_bool("on", false));
+  EXPECT_FALSE(args.get_bool("off", true));
+  EXPECT_THROW((void)args.get_bool("bad", false), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- Log --
+
+TEST(Log, RespectsLevelAndSink) {
+  std::ostringstream sink;
+  Log::set_sink(&sink);
+  Log::set_level(LogLevel::kWarn);
+  RR_LOG_INFO("test") << "hidden";
+  RR_LOG_WARN("test") << "visible " << 42;
+  Log::set_sink(nullptr);
+  Log::set_level(LogLevel::kWarn);
+  EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink.str().find("visible 42"), std::string::npos);
+  EXPECT_NE(sink.str().find("[test]"), std::string::npos);
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool{2};
+  int count = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool{3};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57) {
+                                     throw std::runtime_error{"boom"};
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool{2};
+  std::atomic<long> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      total.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(total.load(), 10L * (99 * 100 / 2));
+}
+
+}  // namespace
+}  // namespace roadrunner::util
