@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_coverage"
+  "../bench/ablate_coverage.pdb"
+  "CMakeFiles/ablate_coverage.dir/ablate_coverage.cpp.o"
+  "CMakeFiles/ablate_coverage.dir/ablate_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

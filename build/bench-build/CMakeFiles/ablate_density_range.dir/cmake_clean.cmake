@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_density_range"
+  "../bench/ablate_density_range.pdb"
+  "CMakeFiles/ablate_density_range.dir/ablate_density_range.cpp.o"
+  "CMakeFiles/ablate_density_range.dir/ablate_density_range.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_density_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_fresh_data"
+  "../bench/ablate_fresh_data.pdb"
+  "CMakeFiles/ablate_fresh_data.dir/ablate_fresh_data.cpp.o"
+  "CMakeFiles/ablate_fresh_data.dir/ablate_fresh_data.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fresh_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

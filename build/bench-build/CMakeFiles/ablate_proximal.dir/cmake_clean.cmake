@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_proximal"
+  "../bench/ablate_proximal.pdb"
+  "CMakeFiles/ablate_proximal.dir/ablate_proximal.cpp.o"
+  "CMakeFiles/ablate_proximal.dir/ablate_proximal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_proximal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

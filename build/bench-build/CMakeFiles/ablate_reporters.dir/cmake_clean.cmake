@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_reporters"
+  "../bench/ablate_reporters.pdb"
+  "CMakeFiles/ablate_reporters.dir/ablate_reporters.cpp.o"
+  "CMakeFiles/ablate_reporters.dir/ablate_reporters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reporters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_round_duration"
+  "../bench/ablate_round_duration.pdb"
+  "CMakeFiles/ablate_round_duration.dir/ablate_round_duration.cpp.o"
+  "CMakeFiles/ablate_round_duration.dir/ablate_round_duration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_round_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

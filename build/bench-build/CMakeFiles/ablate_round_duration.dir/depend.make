@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_round_duration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_skew"
+  "../bench/ablate_skew.pdb"
+  "CMakeFiles/ablate_skew.dir/ablate_skew.cpp.o"
+  "CMakeFiles/ablate_skew.dir/ablate_skew.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_opp_vs_base"
+  "../bench/fig4_opp_vs_base.pdb"
+  "CMakeFiles/fig4_opp_vs_base.dir/fig4_opp_vs_base.cpp.o"
+  "CMakeFiles/fig4_opp_vs_base.dir/fig4_opp_vs_base.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_opp_vs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_opp_vs_base.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ml"
+  "../bench/micro_ml.pdb"
+  "CMakeFiles/micro_ml.dir/micro_ml.cpp.o"
+  "CMakeFiles/micro_ml.dir/micro_ml.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

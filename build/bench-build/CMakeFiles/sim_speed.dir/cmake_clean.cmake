@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sim_speed"
+  "../bench/sim_speed.pdb"
+  "CMakeFiles/sim_speed.dir/sim_speed.cpp.o"
+  "CMakeFiles/sim_speed.dir/sim_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/strategy_comparison"
+  "../bench/strategy_comparison.pdb"
+  "CMakeFiles/strategy_comparison.dir/strategy_comparison.cpp.o"
+  "CMakeFiles/strategy_comparison.dir/strategy_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_strategy"
+  "../examples/custom_strategy.pdb"
+  "CMakeFiles/custom_strategy.dir/custom_strategy.cpp.o"
+  "CMakeFiles/custom_strategy.dir/custom_strategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

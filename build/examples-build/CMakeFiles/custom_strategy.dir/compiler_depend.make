@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for custom_strategy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/gossip_city"
+  "../examples/gossip_city.pdb"
+  "CMakeFiles/gossip_city.dir/gossip_city.cpp.o"
+  "CMakeFiles/gossip_city.dir/gossip_city.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

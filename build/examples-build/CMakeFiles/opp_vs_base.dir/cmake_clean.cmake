@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/opp_vs_base"
+  "../examples/opp_vs_base.pdb"
+  "CMakeFiles/opp_vs_base.dir/opp_vs_base.cpp.o"
+  "CMakeFiles/opp_vs_base.dir/opp_vs_base.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opp_vs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/predictive_maintenance"
+  "../examples/predictive_maintenance.pdb"
+  "CMakeFiles/predictive_maintenance.dir/predictive_maintenance.cpp.o"
+  "CMakeFiles/predictive_maintenance.dir/predictive_maintenance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

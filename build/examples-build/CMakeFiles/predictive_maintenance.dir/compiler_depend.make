@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for predictive_maintenance.
+# This may be replaced when dependencies are built.

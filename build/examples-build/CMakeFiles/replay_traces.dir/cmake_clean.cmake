@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/replay_traces"
+  "../examples/replay_traces.pdb"
+  "CMakeFiles/replay_traces.dir/replay_traces.cpp.o"
+  "CMakeFiles/replay_traces.dir/replay_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/run_experiment"
+  "../examples/run_experiment.pdb"
+  "CMakeFiles/run_experiment.dir/run_experiment.cpp.o"
+  "CMakeFiles/run_experiment.dir/run_experiment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/channel.cpp" "src/CMakeFiles/rr_comm.dir/comm/channel.cpp.o" "gcc" "src/CMakeFiles/rr_comm.dir/comm/channel.cpp.o.d"
+  "/root/repo/src/comm/coverage.cpp" "src/CMakeFiles/rr_comm.dir/comm/coverage.cpp.o" "gcc" "src/CMakeFiles/rr_comm.dir/comm/coverage.cpp.o.d"
+  "/root/repo/src/comm/network.cpp" "src/CMakeFiles/rr_comm.dir/comm/network.cpp.o" "gcc" "src/CMakeFiles/rr_comm.dir/comm/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

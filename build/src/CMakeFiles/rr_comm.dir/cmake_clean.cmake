@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_comm.dir/comm/channel.cpp.o"
+  "CMakeFiles/rr_comm.dir/comm/channel.cpp.o.d"
+  "CMakeFiles/rr_comm.dir/comm/coverage.cpp.o"
+  "CMakeFiles/rr_comm.dir/comm/coverage.cpp.o.d"
+  "CMakeFiles/rr_comm.dir/comm/network.cpp.o"
+  "CMakeFiles/rr_comm.dir/comm/network.cpp.o.d"
+  "librr_comm.a"
+  "librr_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

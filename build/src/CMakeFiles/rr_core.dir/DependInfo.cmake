@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cpp" "src/CMakeFiles/rr_core.dir/core/agent.cpp.o" "gcc" "src/CMakeFiles/rr_core.dir/core/agent.cpp.o.d"
+  "/root/repo/src/core/event_queue.cpp" "src/CMakeFiles/rr_core.dir/core/event_queue.cpp.o" "gcc" "src/CMakeFiles/rr_core.dir/core/event_queue.cpp.o.d"
+  "/root/repo/src/core/event_trace.cpp" "src/CMakeFiles/rr_core.dir/core/event_trace.cpp.o" "gcc" "src/CMakeFiles/rr_core.dir/core/event_trace.cpp.o.d"
+  "/root/repo/src/core/ml_service.cpp" "src/CMakeFiles/rr_core.dir/core/ml_service.cpp.o" "gcc" "src/CMakeFiles/rr_core.dir/core/ml_service.cpp.o.d"
+  "/root/repo/src/core/sim_time.cpp" "src/CMakeFiles/rr_core.dir/core/sim_time.cpp.o" "gcc" "src/CMakeFiles/rr_core.dir/core/sim_time.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/rr_core.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/rr_core.dir/core/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_hu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

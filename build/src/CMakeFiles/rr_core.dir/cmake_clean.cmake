@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_core.dir/core/agent.cpp.o"
+  "CMakeFiles/rr_core.dir/core/agent.cpp.o.d"
+  "CMakeFiles/rr_core.dir/core/event_queue.cpp.o"
+  "CMakeFiles/rr_core.dir/core/event_queue.cpp.o.d"
+  "CMakeFiles/rr_core.dir/core/event_trace.cpp.o"
+  "CMakeFiles/rr_core.dir/core/event_trace.cpp.o.d"
+  "CMakeFiles/rr_core.dir/core/ml_service.cpp.o"
+  "CMakeFiles/rr_core.dir/core/ml_service.cpp.o.d"
+  "CMakeFiles/rr_core.dir/core/sim_time.cpp.o"
+  "CMakeFiles/rr_core.dir/core/sim_time.cpp.o.d"
+  "CMakeFiles/rr_core.dir/core/simulator.cpp.o"
+  "CMakeFiles/rr_core.dir/core/simulator.cpp.o.d"
+  "librr_core.a"
+  "librr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_io.cpp" "src/CMakeFiles/rr_data.dir/data/dataset_io.cpp.o" "gcc" "src/CMakeFiles/rr_data.dir/data/dataset_io.cpp.o.d"
+  "/root/repo/src/data/gaussian_blobs.cpp" "src/CMakeFiles/rr_data.dir/data/gaussian_blobs.cpp.o" "gcc" "src/CMakeFiles/rr_data.dir/data/gaussian_blobs.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/CMakeFiles/rr_data.dir/data/partition.cpp.o" "gcc" "src/CMakeFiles/rr_data.dir/data/partition.cpp.o.d"
+  "/root/repo/src/data/synthetic_images.cpp" "src/CMakeFiles/rr_data.dir/data/synthetic_images.cpp.o" "gcc" "src/CMakeFiles/rr_data.dir/data/synthetic_images.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

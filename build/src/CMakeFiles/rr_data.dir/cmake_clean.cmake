@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_data.dir/data/dataset_io.cpp.o"
+  "CMakeFiles/rr_data.dir/data/dataset_io.cpp.o.d"
+  "CMakeFiles/rr_data.dir/data/gaussian_blobs.cpp.o"
+  "CMakeFiles/rr_data.dir/data/gaussian_blobs.cpp.o.d"
+  "CMakeFiles/rr_data.dir/data/partition.cpp.o"
+  "CMakeFiles/rr_data.dir/data/partition.cpp.o.d"
+  "CMakeFiles/rr_data.dir/data/synthetic_images.cpp.o"
+  "CMakeFiles/rr_data.dir/data/synthetic_images.cpp.o.d"
+  "librr_data.a"
+  "librr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

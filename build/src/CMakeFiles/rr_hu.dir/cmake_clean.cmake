@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_hu.dir/hu/hardware_unit.cpp.o"
+  "CMakeFiles/rr_hu.dir/hu/hardware_unit.cpp.o.d"
+  "librr_hu.a"
+  "librr_hu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_hu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

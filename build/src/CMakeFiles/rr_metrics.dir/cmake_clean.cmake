@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_metrics.dir/metrics/analysis.cpp.o"
+  "CMakeFiles/rr_metrics.dir/metrics/analysis.cpp.o.d"
+  "CMakeFiles/rr_metrics.dir/metrics/registry.cpp.o"
+  "CMakeFiles/rr_metrics.dir/metrics/registry.cpp.o.d"
+  "librr_metrics.a"
+  "librr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

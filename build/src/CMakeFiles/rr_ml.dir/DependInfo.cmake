@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adam.cpp" "src/CMakeFiles/rr_ml.dir/ml/adam.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/adam.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/rr_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/fedavg.cpp" "src/CMakeFiles/rr_ml.dir/ml/fedavg.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/fedavg.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/CMakeFiles/rr_ml.dir/ml/kmeans.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/kmeans.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/CMakeFiles/rr_ml.dir/ml/layers.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/layers.cpp.o.d"
+  "/root/repo/src/ml/loss.cpp" "src/CMakeFiles/rr_ml.dir/ml/loss.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/loss.cpp.o.d"
+  "/root/repo/src/ml/models.cpp" "src/CMakeFiles/rr_ml.dir/ml/models.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/models.cpp.o.d"
+  "/root/repo/src/ml/net.cpp" "src/CMakeFiles/rr_ml.dir/ml/net.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/net.cpp.o.d"
+  "/root/repo/src/ml/optimizer.cpp" "src/CMakeFiles/rr_ml.dir/ml/optimizer.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/optimizer.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/CMakeFiles/rr_ml.dir/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/serialize.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/CMakeFiles/rr_ml.dir/ml/tensor.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/tensor.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/CMakeFiles/rr_ml.dir/ml/trainer.cpp.o" "gcc" "src/CMakeFiles/rr_ml.dir/ml/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_ml.dir/ml/adam.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/adam.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/fedavg.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/fedavg.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/kmeans.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/kmeans.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/layers.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/layers.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/loss.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/loss.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/models.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/models.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/net.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/net.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/optimizer.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/optimizer.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/serialize.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/serialize.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/tensor.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/tensor.cpp.o.d"
+  "CMakeFiles/rr_ml.dir/ml/trainer.cpp.o"
+  "CMakeFiles/rr_ml.dir/ml/trainer.cpp.o.d"
+  "librr_ml.a"
+  "librr_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/city_model.cpp" "src/CMakeFiles/rr_mobility.dir/mobility/city_model.cpp.o" "gcc" "src/CMakeFiles/rr_mobility.dir/mobility/city_model.cpp.o.d"
+  "/root/repo/src/mobility/commute_model.cpp" "src/CMakeFiles/rr_mobility.dir/mobility/commute_model.cpp.o" "gcc" "src/CMakeFiles/rr_mobility.dir/mobility/commute_model.cpp.o.d"
+  "/root/repo/src/mobility/fleet_model.cpp" "src/CMakeFiles/rr_mobility.dir/mobility/fleet_model.cpp.o" "gcc" "src/CMakeFiles/rr_mobility.dir/mobility/fleet_model.cpp.o.d"
+  "/root/repo/src/mobility/geo.cpp" "src/CMakeFiles/rr_mobility.dir/mobility/geo.cpp.o" "gcc" "src/CMakeFiles/rr_mobility.dir/mobility/geo.cpp.o.d"
+  "/root/repo/src/mobility/ignition.cpp" "src/CMakeFiles/rr_mobility.dir/mobility/ignition.cpp.o" "gcc" "src/CMakeFiles/rr_mobility.dir/mobility/ignition.cpp.o.d"
+  "/root/repo/src/mobility/spatial_index.cpp" "src/CMakeFiles/rr_mobility.dir/mobility/spatial_index.cpp.o" "gcc" "src/CMakeFiles/rr_mobility.dir/mobility/spatial_index.cpp.o.d"
+  "/root/repo/src/mobility/trace.cpp" "src/CMakeFiles/rr_mobility.dir/mobility/trace.cpp.o" "gcc" "src/CMakeFiles/rr_mobility.dir/mobility/trace.cpp.o.d"
+  "/root/repo/src/mobility/trace_file.cpp" "src/CMakeFiles/rr_mobility.dir/mobility/trace_file.cpp.o" "gcc" "src/CMakeFiles/rr_mobility.dir/mobility/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_mobility.dir/mobility/city_model.cpp.o"
+  "CMakeFiles/rr_mobility.dir/mobility/city_model.cpp.o.d"
+  "CMakeFiles/rr_mobility.dir/mobility/commute_model.cpp.o"
+  "CMakeFiles/rr_mobility.dir/mobility/commute_model.cpp.o.d"
+  "CMakeFiles/rr_mobility.dir/mobility/fleet_model.cpp.o"
+  "CMakeFiles/rr_mobility.dir/mobility/fleet_model.cpp.o.d"
+  "CMakeFiles/rr_mobility.dir/mobility/geo.cpp.o"
+  "CMakeFiles/rr_mobility.dir/mobility/geo.cpp.o.d"
+  "CMakeFiles/rr_mobility.dir/mobility/ignition.cpp.o"
+  "CMakeFiles/rr_mobility.dir/mobility/ignition.cpp.o.d"
+  "CMakeFiles/rr_mobility.dir/mobility/spatial_index.cpp.o"
+  "CMakeFiles/rr_mobility.dir/mobility/spatial_index.cpp.o.d"
+  "CMakeFiles/rr_mobility.dir/mobility/trace.cpp.o"
+  "CMakeFiles/rr_mobility.dir/mobility/trace.cpp.o.d"
+  "CMakeFiles/rr_mobility.dir/mobility/trace_file.cpp.o"
+  "CMakeFiles/rr_mobility.dir/mobility/trace_file.cpp.o.d"
+  "librr_mobility.a"
+  "librr_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rr_mobility.
+# This may be replaced when dependencies are built.

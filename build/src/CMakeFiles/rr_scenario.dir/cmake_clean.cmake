@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_scenario.dir/scenario/experiment.cpp.o"
+  "CMakeFiles/rr_scenario.dir/scenario/experiment.cpp.o.d"
+  "CMakeFiles/rr_scenario.dir/scenario/scenario.cpp.o"
+  "CMakeFiles/rr_scenario.dir/scenario/scenario.cpp.o.d"
+  "librr_scenario.a"
+  "librr_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategy/centralized.cpp" "src/CMakeFiles/rr_strategy.dir/strategy/centralized.cpp.o" "gcc" "src/CMakeFiles/rr_strategy.dir/strategy/centralized.cpp.o.d"
+  "/root/repo/src/strategy/federated.cpp" "src/CMakeFiles/rr_strategy.dir/strategy/federated.cpp.o" "gcc" "src/CMakeFiles/rr_strategy.dir/strategy/federated.cpp.o.d"
+  "/root/repo/src/strategy/federated_clustering.cpp" "src/CMakeFiles/rr_strategy.dir/strategy/federated_clustering.cpp.o" "gcc" "src/CMakeFiles/rr_strategy.dir/strategy/federated_clustering.cpp.o.d"
+  "/root/repo/src/strategy/gossip.cpp" "src/CMakeFiles/rr_strategy.dir/strategy/gossip.cpp.o" "gcc" "src/CMakeFiles/rr_strategy.dir/strategy/gossip.cpp.o.d"
+  "/root/repo/src/strategy/opportunistic.cpp" "src/CMakeFiles/rr_strategy.dir/strategy/opportunistic.cpp.o" "gcc" "src/CMakeFiles/rr_strategy.dir/strategy/opportunistic.cpp.o.d"
+  "/root/repo/src/strategy/round_base.cpp" "src/CMakeFiles/rr_strategy.dir/strategy/round_base.cpp.o" "gcc" "src/CMakeFiles/rr_strategy.dir/strategy/round_base.cpp.o.d"
+  "/root/repo/src/strategy/rsu_assisted.cpp" "src/CMakeFiles/rr_strategy.dir/strategy/rsu_assisted.cpp.o" "gcc" "src/CMakeFiles/rr_strategy.dir/strategy/rsu_assisted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_hu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_strategy.dir/strategy/centralized.cpp.o"
+  "CMakeFiles/rr_strategy.dir/strategy/centralized.cpp.o.d"
+  "CMakeFiles/rr_strategy.dir/strategy/federated.cpp.o"
+  "CMakeFiles/rr_strategy.dir/strategy/federated.cpp.o.d"
+  "CMakeFiles/rr_strategy.dir/strategy/federated_clustering.cpp.o"
+  "CMakeFiles/rr_strategy.dir/strategy/federated_clustering.cpp.o.d"
+  "CMakeFiles/rr_strategy.dir/strategy/gossip.cpp.o"
+  "CMakeFiles/rr_strategy.dir/strategy/gossip.cpp.o.d"
+  "CMakeFiles/rr_strategy.dir/strategy/opportunistic.cpp.o"
+  "CMakeFiles/rr_strategy.dir/strategy/opportunistic.cpp.o.d"
+  "CMakeFiles/rr_strategy.dir/strategy/round_base.cpp.o"
+  "CMakeFiles/rr_strategy.dir/strategy/round_base.cpp.o.d"
+  "CMakeFiles/rr_strategy.dir/strategy/rsu_assisted.cpp.o"
+  "CMakeFiles/rr_strategy.dir/strategy/rsu_assisted.cpp.o.d"
+  "librr_strategy.a"
+  "librr_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

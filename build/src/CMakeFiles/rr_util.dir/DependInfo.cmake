@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_plot.cpp" "src/CMakeFiles/rr_util.dir/util/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/rr_util.dir/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/rr_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/rr_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/rr_util.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/rr_util.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/ini.cpp" "src/CMakeFiles/rr_util.dir/util/ini.cpp.o" "gcc" "src/CMakeFiles/rr_util.dir/util/ini.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/rr_util.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/rr_util.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rr_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rr_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/rr_util.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rr_util.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_util.dir/util/ascii_plot.cpp.o"
+  "CMakeFiles/rr_util.dir/util/ascii_plot.cpp.o.d"
+  "CMakeFiles/rr_util.dir/util/cli.cpp.o"
+  "CMakeFiles/rr_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/rr_util.dir/util/csv.cpp.o"
+  "CMakeFiles/rr_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/rr_util.dir/util/ini.cpp.o"
+  "CMakeFiles/rr_util.dir/util/ini.cpp.o.d"
+  "CMakeFiles/rr_util.dir/util/log.cpp.o"
+  "CMakeFiles/rr_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/rr_util.dir/util/rng.cpp.o"
+  "CMakeFiles/rr_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/rr_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/rr_util.dir/util/thread_pool.cpp.o.d"
+  "librr_util.a"
+  "librr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

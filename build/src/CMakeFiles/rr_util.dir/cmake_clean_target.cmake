@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librr_util.a"
+)

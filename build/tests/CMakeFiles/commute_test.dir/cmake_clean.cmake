@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commute_test.dir/commute_test.cpp.o"
+  "CMakeFiles/commute_test.dir/commute_test.cpp.o.d"
+  "commute_test"
+  "commute_test.pdb"
+  "commute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_limit_test.dir/concurrency_limit_test.cpp.o"
+  "CMakeFiles/concurrency_limit_test.dir/concurrency_limit_test.cpp.o.d"
+  "concurrency_limit_test"
+  "concurrency_limit_test.pdb"
+  "concurrency_limit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_limit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

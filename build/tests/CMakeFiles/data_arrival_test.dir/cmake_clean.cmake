@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_arrival_test.dir/data_arrival_test.cpp.o"
+  "CMakeFiles/data_arrival_test.dir/data_arrival_test.cpp.o.d"
+  "data_arrival_test"
+  "data_arrival_test.pdb"
+  "data_arrival_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_arrival_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_trace_test.dir/event_trace_test.cpp.o"
+  "CMakeFiles/event_trace_test.dir/event_trace_test.cpp.o.d"
+  "event_trace_test"
+  "event_trace_test.pdb"
+  "event_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

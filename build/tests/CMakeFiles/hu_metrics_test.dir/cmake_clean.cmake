@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hu_metrics_test.dir/hu_metrics_test.cpp.o"
+  "CMakeFiles/hu_metrics_test.dir/hu_metrics_test.cpp.o.d"
+  "hu_metrics_test"
+  "hu_metrics_test.pdb"
+  "hu_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hu_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

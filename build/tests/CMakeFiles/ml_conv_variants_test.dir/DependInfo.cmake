@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml_conv_variants_test.cpp" "tests/CMakeFiles/ml_conv_variants_test.dir/ml_conv_variants_test.cpp.o" "gcc" "tests/CMakeFiles/ml_conv_variants_test.dir/ml_conv_variants_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_hu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

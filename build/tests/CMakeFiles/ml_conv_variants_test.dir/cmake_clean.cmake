@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_conv_variants_test.dir/ml_conv_variants_test.cpp.o"
+  "CMakeFiles/ml_conv_variants_test.dir/ml_conv_variants_test.cpp.o.d"
+  "ml_conv_variants_test"
+  "ml_conv_variants_test.pdb"
+  "ml_conv_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_conv_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

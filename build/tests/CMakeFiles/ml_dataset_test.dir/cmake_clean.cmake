@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_dataset_test.dir/ml_dataset_test.cpp.o"
+  "CMakeFiles/ml_dataset_test.dir/ml_dataset_test.cpp.o.d"
+  "ml_dataset_test"
+  "ml_dataset_test.pdb"
+  "ml_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_fedavg_test.dir/ml_fedavg_test.cpp.o"
+  "CMakeFiles/ml_fedavg_test.dir/ml_fedavg_test.cpp.o.d"
+  "ml_fedavg_test"
+  "ml_fedavg_test.pdb"
+  "ml_fedavg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_fedavg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_kmeans_test.dir/ml_kmeans_test.cpp.o"
+  "CMakeFiles/ml_kmeans_test.dir/ml_kmeans_test.cpp.o.d"
+  "ml_kmeans_test"
+  "ml_kmeans_test.pdb"
+  "ml_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_loss_test.dir/ml_loss_test.cpp.o"
+  "CMakeFiles/ml_loss_test.dir/ml_loss_test.cpp.o.d"
+  "ml_loss_test"
+  "ml_loss_test.pdb"
+  "ml_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

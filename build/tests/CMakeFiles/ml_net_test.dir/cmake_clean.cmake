@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_net_test.dir/ml_net_test.cpp.o"
+  "CMakeFiles/ml_net_test.dir/ml_net_test.cpp.o.d"
+  "ml_net_test"
+  "ml_net_test.pdb"
+  "ml_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

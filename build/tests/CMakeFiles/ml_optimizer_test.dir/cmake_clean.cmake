@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_optimizer_test.dir/ml_optimizer_test.cpp.o"
+  "CMakeFiles/ml_optimizer_test.dir/ml_optimizer_test.cpp.o.d"
+  "ml_optimizer_test"
+  "ml_optimizer_test.pdb"
+  "ml_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_serialize_test.dir/ml_serialize_test.cpp.o"
+  "CMakeFiles/ml_serialize_test.dir/ml_serialize_test.cpp.o.d"
+  "ml_serialize_test"
+  "ml_serialize_test.pdb"
+  "ml_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

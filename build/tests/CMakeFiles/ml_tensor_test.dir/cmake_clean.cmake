@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tensor_test.dir/ml_tensor_test.cpp.o"
+  "CMakeFiles/ml_tensor_test.dir/ml_tensor_test.cpp.o.d"
+  "ml_tensor_test"
+  "ml_tensor_test.pdb"
+  "ml_tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

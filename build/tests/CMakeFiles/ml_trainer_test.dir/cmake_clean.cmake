@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_trainer_test.dir/ml_trainer_test.cpp.o"
+  "CMakeFiles/ml_trainer_test.dir/ml_trainer_test.cpp.o.d"
+  "ml_trainer_test"
+  "ml_trainer_test.pdb"
+  "ml_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

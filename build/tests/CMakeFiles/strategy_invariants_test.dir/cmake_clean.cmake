@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_invariants_test.dir/strategy_invariants_test.cpp.o"
+  "CMakeFiles/strategy_invariants_test.dir/strategy_invariants_test.cpp.o.d"
+  "strategy_invariants_test"
+  "strategy_invariants_test.pdb"
+  "strategy_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

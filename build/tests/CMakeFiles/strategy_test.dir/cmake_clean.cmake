@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_test.dir/strategy_test.cpp.o"
+  "CMakeFiles/strategy_test.dir/strategy_test.cpp.o.d"
+  "strategy_test"
+  "strategy_test.pdb"
+  "strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

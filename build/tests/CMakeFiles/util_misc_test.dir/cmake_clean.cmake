@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_misc_test.dir/util_misc_test.cpp.o"
+  "CMakeFiles/util_misc_test.dir/util_misc_test.cpp.o.d"
+  "util_misc_test"
+  "util_misc_test.pdb"
+  "util_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
