@@ -6,42 +6,60 @@
 // that a reporter vehicle is turned off by the driver before a round ends."
 // This bench sweeps the round duration and reports exactly those three
 // quantities: V2X exchanges per round, total duration, and reporter losses.
+//
+// Runs on the campaign engine (one grid axis over round_duration_s), so the
+// sweep parallelizes with --workers, replicates with --seeds, and resumes
+// with --store=DIR.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "strategy/opportunistic.hpp"
+#include "campaign/aggregate.hpp"
+#include "campaign/engine.hpp"
 
 using namespace roadrunner;
 
 int main(int argc, char** argv) {
   util::CliArgs args{argc, argv};
   const int rounds = static_cast<int>(args.get_int("rounds", 12));
-  scenario::Scenario scenario{bench::ablation_scenario(
-      static_cast<std::uint64_t>(args.get_int("seed", 21)))};
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 21));
+
+  campaign::CampaignSpec spec;
+  spec.name = "ablate_round_duration";
+  spec.base = bench::ablation_experiment_ini(seed);
+  spec.base.set("strategy", "name", "opportunistic");
+  spec.base.set("strategy", "rounds", std::to_string(rounds));
+  spec.base.set("strategy", "participants", "5");
+  spec.grid = {{"strategy",
+                "round_duration_s",
+                {"30", "60", "100", "200", "400"}}};
+  spec.seeds_per_point = static_cast<std::size_t>(args.get_int("seeds", 1));
+  spec.base_seed = seed;
+  spec.pair_seeds = true;  // every duration on the identical fleet & data
+
+  campaign::EngineOptions options;
+  options.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  options.store_dir = args.get("store", "");
+  const auto result = campaign::run_campaign(spec, options);
 
   std::printf("=== A1: OPP round-duration sweep (%d rounds each) ===\n",
               rounds);
   std::printf("%10s %14s %12s %14s %12s %10s\n", "round[s]", "avg V2X/round",
               "accuracy", "sim end [s]", "lost reps", "returnsX");
 
-  for (double duration : {30.0, 60.0, 100.0, 200.0, 400.0}) {
-    strategy::OpportunisticConfig cfg;
-    cfg.round.rounds = rounds;
-    cfg.round.participants = 5;
-    cfg.round.round_duration_s = duration;
-    auto opp = std::make_shared<strategy::OpportunisticStrategy>(cfg);
-    const auto result = scenario.run(opp);
-
-    double exchange_sum = 0.0;
-    const auto& bars = result.metrics.series("v2x_exchanges_per_round");
-    for (const auto& p : bars) exchange_sum += p.value;
-    const double avg =
-        bars.empty() ? 0.0 : exchange_sum / static_cast<double>(bars.size());
-
-    std::printf("%10.0f %14.2f %12.4f %14.0f %12.0f %10.0f\n", duration, avg,
-                result.final_accuracy, result.report.sim_end_time_s,
-                result.metrics.counter("trainings_discarded"),
-                result.metrics.counter("opp_returns_discarded"));
+  for (const auto& point : campaign::summarize(result.records)) {
+    // The label is "round_duration_s=<v>"; strip the key for the table.
+    const auto eq = point.label.find('=');
+    const std::string duration =
+        eq == std::string::npos ? point.label : point.label.substr(eq + 1);
+    const auto metric = [&point](const char* name) {
+      const auto it = point.metrics.find(name);
+      return it == point.metrics.end() ? 0.0 : it->second.mean;
+    };
+    std::printf("%10s %14.2f %12.4f %14.0f %12.0f %10.0f\n", duration.c_str(),
+                metric("v2x_exchanges_per_round:mean"),
+                metric("final_accuracy"), metric("sim_end_time_s"),
+                metric("trainings_discarded"),
+                metric("opp_returns_discarded"));
   }
   std::printf(
       "\nExpected shape: exchanges/round and accuracy grow with round "

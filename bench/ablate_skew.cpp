@@ -4,23 +4,53 @@
 // dimensions that forbid a one-size-fits-all learning strategy. The sweep
 // runs FL and OPP under IID, class-skewed, and Dirichlet partitions and
 // reports the measured partition skewness next to the reached accuracy.
+//
+// Runs as two campaigns (FL and OPP share the zipped distribution axes but
+// need different round durations), so both sweeps parallelize with
+// --workers and replicate with --seeds.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "campaign/aggregate.hpp"
+#include "campaign/engine.hpp"
+#include "scenario/experiment.hpp"
 #include "data/partition.hpp"
-#include "strategy/federated.hpp"
-#include "strategy/opportunistic.hpp"
 
 using namespace roadrunner;
 
 namespace {
 
-struct PartitionSpec {
-  const char* label;
-  const char* partition;
-  std::size_t classes_per_vehicle = 2;
-  double alpha = 1.0;
-};
+campaign::CampaignSpec distribution_sweep(std::uint64_t seed, int rounds,
+                                          std::size_t seeds) {
+  campaign::CampaignSpec spec;
+  spec.base = bench::ablation_experiment_ini(seed);
+  spec.base.set("strategy", "rounds", std::to_string(rounds));
+  spec.base.set("strategy", "participants", "5");
+  spec.zipped = {
+      {"data",
+       "partition",
+       {"iid", "dirichlet", "dirichlet", "dirichlet", "class_skew",
+        "class_skew"}},
+      {"data", "dirichlet_alpha", {"1", "100", "1", "0.1", "0.5", "0.5"}},
+      {"data", "classes_per_vehicle", {"2", "2", "2", "2", "2", "1"}},
+  };
+  spec.seeds_per_point = seeds;
+  spec.base_seed = seed;
+  spec.pair_seeds = true;  // every distribution on the identical fleet
+  return spec;
+}
+
+/// Measured non-IID-ness of the actual per-vehicle datasets at one point.
+double measured_skewness(const campaign::Job& job) {
+  scenario::Scenario scenario{scenario::scenario_from_ini(job.experiment)};
+  std::vector<ml::DatasetView> parts = scenario.vehicle_data();
+  ml::DatasetView pool = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    pool = pool.merged_with(parts[i]);
+  }
+  return data::partition_skewness(parts, pool);
+}
 
 }  // namespace
 
@@ -28,53 +58,54 @@ int main(int argc, char** argv) {
   util::CliArgs args{argc, argv};
   const int rounds = static_cast<int>(args.get_int("rounds", 12));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 24));
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 1));
 
-  const PartitionSpec specs[] = {
-      {"iid", "iid"},
-      {"dirichlet(a=100)", "dirichlet", 2, 100.0},
-      {"dirichlet(a=1)", "dirichlet", 2, 1.0},
-      {"dirichlet(a=0.1)", "dirichlet", 2, 0.1},
-      {"class-skew(2/vehicle)", "class_skew", 2},
-      {"class-skew(1/vehicle)", "class_skew", 1},
-  };
+  auto fl_spec = distribution_sweep(seed, rounds, seeds);
+  fl_spec.name = "ablate_skew_fl";
+  fl_spec.base.set("strategy", "name", "federated");
+  fl_spec.base.set("strategy", "round_duration_s", "30");
+
+  auto opp_spec = distribution_sweep(seed, rounds, seeds);
+  opp_spec.name = "ablate_skew_opp";
+  opp_spec.base.set("strategy", "name", "opportunistic");
+  opp_spec.base.set("strategy", "round_duration_s", "200");
+
+  campaign::EngineOptions options;
+  options.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  const std::string store = args.get("store", "");
+  if (!store.empty()) options.store_dir = store + "/fl";
+  const auto fl_result = campaign::run_campaign(fl_spec, options);
+  if (!store.empty()) options.store_dir = store + "/opp";
+  const auto opp_result = campaign::run_campaign(opp_spec, options);
+
+  const auto fl_points = campaign::summarize(fl_result.records);
+  const auto opp_points = campaign::summarize(opp_result.records);
+  const auto fl_jobs = campaign::expand(fl_spec);
+
+  static const char* kLabels[] = {
+      "iid",           "dirichlet(a=100)",      "dirichlet(a=1)",
+      "dirichlet(a=0.1)", "class-skew(2/vehicle)", "class-skew(1/vehicle)"};
 
   std::printf("=== A4: data-distribution sweep (%d rounds each) ===\n",
               rounds);
   std::printf("%-24s %10s %12s %12s %12s\n", "distribution", "skewness",
               "FL acc", "OPP acc", "OPP/FL");
 
-  for (const auto& spec : specs) {
-    auto cfg = bench::ablation_scenario(seed);
-    cfg.partition = spec.partition;
-    cfg.classes_per_vehicle = spec.classes_per_vehicle;
-    cfg.dirichlet_alpha = spec.alpha;
-    scenario::Scenario scenario{cfg};
-
-    // Measured non-IID-ness of the actual per-vehicle datasets.
-    std::vector<ml::DatasetView> parts = scenario.vehicle_data();
-    ml::DatasetView pool = parts[0];
-    for (std::size_t i = 1; i < parts.size(); ++i) {
-      pool = pool.merged_with(parts[i]);
-    }
-    const double skewness = data::partition_skewness(parts, pool);
-
-    strategy::RoundConfig fl_cfg;
-    fl_cfg.rounds = rounds;
-    fl_cfg.participants = 5;
-    fl_cfg.round_duration_s = 30.0;
-    const auto fl =
-        scenario.run(std::make_shared<strategy::FederatedStrategy>(fl_cfg));
-
-    strategy::OpportunisticConfig opp_cfg;
-    opp_cfg.round.rounds = rounds;
-    opp_cfg.round.participants = 5;
-    opp_cfg.round.round_duration_s = 200.0;
-    const auto opp = scenario.run(
-        std::make_shared<strategy::OpportunisticStrategy>(opp_cfg));
-
-    std::printf("%-24s %10.3f %12.4f %12.4f %11.2fx\n", spec.label, skewness,
-                fl.final_accuracy, opp.final_accuracy,
-                opp.final_accuracy / std::max(1e-9, fl.final_accuracy));
+  for (std::size_t p = 0; p < fl_points.size() && p < opp_points.size();
+       ++p) {
+    // Skewness depends only on the data partition (same for FL and OPP);
+    // measure it on the first replicate's resolved experiment.
+    const auto job = std::find_if(
+        fl_jobs.begin(), fl_jobs.end(), [p](const campaign::Job& j) {
+          return j.point_index == p && j.seed_index == 0;
+        });
+    const double skewness =
+        job != fl_jobs.end() ? measured_skewness(*job) : 0.0;
+    const double fl_acc = fl_points[p].metrics.at("final_accuracy").mean;
+    const double opp_acc = opp_points[p].metrics.at("final_accuracy").mean;
+    std::printf("%-24s %10.3f %12.4f %12.4f %11.2fx\n",
+                p < 6 ? kLabels[p] : fl_points[p].label.c_str(), skewness,
+                fl_acc, opp_acc, opp_acc / std::max(1e-9, fl_acc));
   }
 
   std::printf(

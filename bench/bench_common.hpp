@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdio>
+#include <string>
 
 #include "scenario/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/ini.hpp"
 
 namespace roadrunner::bench {
 
@@ -38,9 +40,40 @@ inline scenario::ScenarioConfig ablation_scenario(std::uint64_t seed = 21) {
   return cfg;
 }
 
+/// The same ablation world as `ablation_scenario`, expressed as the INI
+/// experiment the campaign engine consumes. Kept key-for-key equivalent so
+/// campaign-ported benches run on the identical substrate (verified by the
+/// determinism of `scenario_from_ini`: same keys, same Scenario).
+inline util::IniFile ablation_experiment_ini(std::uint64_t seed = 21) {
+  util::IniFile ini;
+  ini.set("scenario", "seed", std::to_string(seed));
+  ini.set("scenario", "vehicles", "60");
+  ini.set("scenario", "horizon_s", "30000");
+  ini.set("city", "size_m", "3400");
+  ini.set("city", "dwell_s", "250");
+  ini.set("city", "initial_on", "0.75");
+  ini.set("city", "dwell_on", "0.15");
+  ini.set("city", "duration_s", "30000");
+  ini.set("data", "dataset", "blobs");
+  ini.set("data", "blob_classes", "10");
+  ini.set("data", "blob_dimensions", "24");
+  ini.set("data", "blob_radius", "2.2");
+  ini.set("data", "blob_spread", "1.0");
+  ini.set("data", "train_pool", "9000");
+  ini.set("data", "test_size", "1500");
+  ini.set("data", "partition", "class_skew");
+  ini.set("data", "samples_per_vehicle", "60");
+  ini.set("data", "classes_per_vehicle", "2");
+  ini.set("train", "model", "mlp");
+  ini.set("train", "lr", "0.02");
+  return ini;
+}
+
 inline double mb(std::uint64_t bytes) {
   return static_cast<double>(bytes) / 1e6;
 }
+
+inline double mb(double bytes) { return bytes / 1e6; }
 
 /// Prints the standard per-run summary row used by all ablation benches.
 inline void print_run_row(const char* label, const scenario::RunResult& r) {

@@ -1,0 +1,102 @@
+#include "campaign/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/csv.hpp"
+
+namespace roadrunner::campaign {
+
+namespace {
+
+/// Two-tailed Student-t critical values at 95% for df = 1..30; the normal
+/// 1.96 beyond. Campaigns replicate with a handful of seeds, exactly the
+/// regime where pretending t == z understates the interval badly.
+double t_critical_95(std::size_t df) {
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+}  // namespace
+
+Stats compute_stats(const std::vector<double>& values) {
+  Stats stats;
+  stats.n = values.size();
+  if (values.empty()) return stats;
+  stats.min = *std::min_element(values.begin(), values.end());
+  stats.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) return stats;
+  double sq = 0.0;
+  for (double v : values) {
+    const double d = v - stats.mean;
+    sq += d * d;
+  }
+  stats.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  stats.ci95_half = t_critical_95(values.size() - 1) * stats.stddev /
+                    std::sqrt(static_cast<double>(values.size()));
+  return stats;
+}
+
+std::vector<PointSummary> summarize(const std::vector<JobRecord>& records) {
+  // point_index -> metric name -> replicate values.
+  std::map<std::size_t, std::map<std::string, std::vector<double>>> grouped;
+  std::map<std::size_t, const JobRecord*> representative;
+  for (const auto& record : records) {
+    auto& metrics = grouped[record.point_index];
+    for (const auto& [name, value] : record.metrics) {
+      metrics[name].push_back(value);
+    }
+    auto [it, inserted] =
+        representative.try_emplace(record.point_index, &record);
+    // Prefer the lowest seed_index as the labelled representative so the
+    // summary is stable however the records were collected.
+    if (!inserted && record.seed_index < it->second->seed_index) {
+      it->second = &record;
+    }
+  }
+
+  std::vector<PointSummary> summaries;
+  summaries.reserve(grouped.size());
+  for (auto& [point_index, metrics] : grouped) {
+    PointSummary summary;
+    summary.point_index = point_index;
+    summary.label = representative[point_index]->point_label;
+    summary.strategy_name = representative[point_index]->strategy_name;
+    for (auto& [name, values] : metrics) {
+      summary.metrics[name] = compute_stats(values);
+    }
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+void write_aggregate_csv(std::ostream& out,
+                         const std::vector<PointSummary>& summaries) {
+  util::CsvWriter w{out};
+  w.write_row({"point_index", "point_label", "strategy", "metric", "n",
+               "mean", "stddev", "ci95_half", "min", "max"});
+  for (const auto& summary : summaries) {
+    for (const auto& [name, stats] : summary.metrics) {
+      w.write_row({util::CsvWriter::field(
+                       static_cast<std::uint64_t>(summary.point_index)),
+                   summary.label, summary.strategy_name, name,
+                   util::CsvWriter::field(static_cast<std::uint64_t>(stats.n)),
+                   util::CsvWriter::field(stats.mean),
+                   util::CsvWriter::field(stats.stddev),
+                   util::CsvWriter::field(stats.ci95_half),
+                   util::CsvWriter::field(stats.min),
+                   util::CsvWriter::field(stats.max)});
+    }
+  }
+}
+
+}  // namespace roadrunner::campaign

@@ -1,0 +1,158 @@
+#include "campaign/engine.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "metrics/analysis.hpp"
+#include "scenario/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace roadrunner::campaign {
+
+namespace {
+
+const char* channel_prefix(comm::ChannelKind kind) {
+  switch (kind) {
+    case comm::ChannelKind::kV2C:
+      return "v2c";
+    case comm::ChannelKind::kV2X:
+      return "v2x";
+    case comm::ChannelKind::kWired:
+      return "wired";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+JobRecord run_job(const Job& job) {
+  const auto start = std::chrono::steady_clock::now();
+  const scenario::RunResult result = scenario::run_experiment(job.experiment);
+
+  JobRecord record;
+  record.hash = job.hash;
+  record.point_index = job.point_index;
+  record.seed_index = job.seed_index;
+  record.seed = job.seed;
+  record.point_label = job.point_label;
+  record.strategy_name = result.strategy_name;
+
+  // Counters first (includes final_accuracy, rounds_completed, ...), then
+  // per-series digests, then channel and report totals. All names come from
+  // the Registry, which rejects newline-bearing names, and the store writes
+  // through CsvWriter, which escapes commas — so any name stays parseable.
+  for (const auto& name : result.metrics.counter_names()) {
+    record.metrics.emplace_back(name, result.metrics.counter(name));
+  }
+  for (const auto& name : result.metrics.series_names()) {
+    const auto& series = result.metrics.series(name);
+    if (series.empty()) continue;
+    record.metrics.emplace_back(name + ":final", series.back().value);
+    double sum = 0.0;
+    for (const auto& point : series) sum += point.value;
+    record.metrics.emplace_back(
+        name + ":mean", sum / static_cast<double>(series.size()));
+    record.metrics.emplace_back(name + ":timeavg",
+                                metrics::time_average(series));
+  }
+  for (std::size_t k = 0; k < comm::kChannelKindCount; ++k) {
+    const auto kind = static_cast<comm::ChannelKind>(k);
+    const auto& stats = result.channel(kind);
+    const std::string prefix = channel_prefix(kind);
+    record.metrics.emplace_back(prefix + "_bytes_delivered",
+                                static_cast<double>(stats.bytes_delivered));
+    record.metrics.emplace_back(
+        prefix + "_transfers_delivered",
+        static_cast<double>(stats.transfers_delivered));
+    record.metrics.emplace_back(
+        prefix + "_transfers_attempted",
+        static_cast<double>(stats.transfers_attempted));
+  }
+  record.metrics.emplace_back("sim_end_time_s", result.report.sim_end_time_s);
+  record.metrics.emplace_back(
+      "events_executed", static_cast<double>(result.report.events_executed));
+
+  record.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return record;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const EngineOptions& options) {
+  const auto campaign_start = std::chrono::steady_clock::now();
+  const std::vector<Job> jobs = expand(spec);
+
+  std::optional<ResultStore> store;
+  if (!options.store_dir.empty()) store.emplace(options.store_dir);
+
+  CampaignResult result;
+  result.records.resize(jobs.size());
+
+  // Resume pass: satisfy whatever the store already holds, collect the rest.
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (store && store->contains(jobs[i].hash)) {
+      result.records[i] = store->load(jobs[i].hash);
+      ++result.resumed;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  auto report_progress = [&] {
+    if (!options.on_progress) return;
+    Progress progress;
+    progress.total = jobs.size();
+    progress.resumed = result.resumed;
+    std::size_t done = 0;
+    {
+      std::lock_guard lock{progress_mutex};
+      done = completed;
+    }
+    progress.completed = done;
+    progress.elapsed_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - campaign_start)
+                             .count();
+    progress.jobs_per_s = progress.elapsed_s > 0.0
+                              ? static_cast<double>(done) / progress.elapsed_s
+                              : 0.0;
+    const std::size_t remaining = pending.size() - done;
+    progress.eta_s = progress.jobs_per_s > 0.0
+                         ? static_cast<double>(remaining) / progress.jobs_per_s
+                         : 0.0;
+    options.on_progress(progress);
+  };
+
+  // Dedicated pool: campaign workers block in run_job while the trainer's
+  // process-global pool handles intra-run parallel_for underneath. Sharing
+  // the global pool here would deadlock (workers waiting on shards only
+  // other workers could run).
+  util::ThreadPool pool{options.workers};
+  std::mutex callback_mutex;
+  pool.parallel_for(pending.size(), [&](std::size_t p) {
+    const std::size_t i = pending[p];
+    JobRecord record = run_job(jobs[i]);
+    if (store) store->save(record);
+    result.records[i] = std::move(record);
+    {
+      std::lock_guard lock{progress_mutex};
+      ++completed;
+    }
+    std::lock_guard lock{callback_mutex};
+    report_progress();
+  });
+
+  result.executed = pending.size();
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - campaign_start)
+                            .count();
+  return result;
+}
+
+}  // namespace roadrunner::campaign

@@ -8,16 +8,38 @@
 
 namespace roadrunner::metrics {
 
+namespace {
+
+// Commas and quotes in names survive export (CsvWriter applies RFC-4180
+// quoting), but the CSV readers are line-oriented, so newline-bearing names
+// would shear the long-format export apart. Reject them at the source.
+void validate_name(const std::string& name, const char* what) {
+  if (name.empty()) {
+    throw std::invalid_argument{std::string{"Registry: empty "} + what +
+                                " name"};
+  }
+  if (name.find('\n') != std::string::npos ||
+      name.find('\r') != std::string::npos) {
+    throw std::invalid_argument{std::string{"Registry: "} + what + " name '" +
+                                name + "' contains a newline"};
+  }
+}
+
+}  // namespace
+
 void Registry::add_point(const std::string& series, double time_s,
                          double value) {
+  validate_name(series, "series");
   series_[series].push_back(Point{time_s, value});
 }
 
 void Registry::increment(const std::string& counter, double delta) {
+  validate_name(counter, "counter");
   counters_[counter] += delta;
 }
 
 void Registry::set_counter(const std::string& counter, double value) {
+  validate_name(counter, "counter");
   counters_[counter] = value;
 }
 

@@ -22,6 +22,9 @@ class Registry {
  public:
   /// Appends (time, value) to the named series. Times need not be
   /// monotonic per series (they are in practice); export preserves order.
+  /// Series/counter names may contain commas or quotes (export escapes
+  /// them) but never newlines — names with '\n'/'\r', or empty names,
+  /// throw std::invalid_argument so export_csv always stays parseable.
   void add_point(const std::string& series, double time_s, double value);
 
   /// Adds `delta` to a named counter (created at 0).

@@ -27,8 +27,7 @@ ScenarioConfig scenario_from_ini(const IniFile& ini) {
   ScenarioConfig cfg;
 
   // [scenario]
-  cfg.seed = static_cast<std::uint64_t>(
-      ini.get_int("scenario", "seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.seed = ini.get_uint64("scenario", "seed", cfg.seed);
   cfg.vehicles = get_size(ini, "scenario", "vehicles", cfg.vehicles);
   cfg.rsus = get_size(ini, "scenario", "rsus", cfg.rsus);
   cfg.horizon_s = ini.get_double("scenario", "horizon_s", cfg.horizon_s);
@@ -75,6 +74,8 @@ ScenarioConfig scenario_from_ini(const IniFile& ini) {
       ini, "data", "blob_dimensions", cfg.blob_config.dimensions);
   cfg.blob_config.center_radius = ini.get_double(
       "data", "blob_radius", cfg.blob_config.center_radius);
+  cfg.blob_config.spread =
+      ini.get_double("data", "blob_spread", cfg.blob_config.spread);
 
   // [train]
   cfg.model = ini.get("train", "model", cfg.model);

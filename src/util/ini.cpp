@@ -89,13 +89,48 @@ std::int64_t IniFile::get_int(const std::string& section,
                               const std::string& key,
                               std::int64_t fallback) const {
   if (!has(section, key)) return fallback;
-  return std::stoll(get(section, key));
+  const std::string v = get(section, key);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument{v};
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error{"IniFile: bad integer '" + v + "' for " +
+                             section + "." + key};
+  }
+}
+
+std::uint64_t IniFile::get_uint64(const std::string& section,
+                                  const std::string& key,
+                                  std::uint64_t fallback) const {
+  if (!has(section, key)) return fallback;
+  const std::string v = get(section, key);
+  try {
+    std::size_t pos = 0;
+    if (!v.empty() && v.front() == '-') throw std::invalid_argument{v};
+    const std::uint64_t parsed = std::stoull(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument{v};
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error{"IniFile: bad unsigned integer '" + v + "' for " +
+                             section + "." + key};
+  }
 }
 
 double IniFile::get_double(const std::string& section, const std::string& key,
                            double fallback) const {
   if (!has(section, key)) return fallback;
-  return std::stod(get(section, key));
+  const std::string v = get(section, key);
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument{v};
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error{"IniFile: bad number '" + v + "' for " + section +
+                             "." + key};
+  }
 }
 
 bool IniFile::get_bool(const std::string& section, const std::string& key,

@@ -38,9 +38,16 @@ class IniFile {
   [[nodiscard]] std::string get(const std::string& section,
                                 const std::string& key,
                                 const std::string& fallback = "") const;
+  /// Typed getters return `fallback` when the key is absent and throw
+  /// std::runtime_error naming `section.key` when the value is present but
+  /// malformed (including trailing garbage like "12abc").
   [[nodiscard]] std::int64_t get_int(const std::string& section,
                                      const std::string& key,
                                      std::int64_t fallback) const;
+  /// Full-range unsigned parse (RNG seeds exceed int64's range).
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& section,
+                                         const std::string& key,
+                                         std::uint64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& section,
                                   const std::string& key,
                                   double fallback) const;
