@@ -24,6 +24,7 @@
 #include "scenario/scenario.hpp"
 #include "strategy/federated.hpp"
 #include "strategy/opportunistic.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/cli.hpp"
 
@@ -91,6 +92,9 @@ void print_series(const char* name, const metrics::Registry& reg) {
 
 int main(int argc, char** argv) {
   util::CliArgs args{argc, argv};
+  // --trace-out=f.json / --profile: wall-clock telemetry of the bench run.
+  telemetry::TraceSession telemetry_session{args.get("trace-out", ""),
+                                            args.get_bool("profile", false)};
   const bool quick = args.has("quick");
   const int rounds = static_cast<int>(args.get_int("rounds", quick ? 25 : 75));
   const auto reporters =

@@ -5,10 +5,14 @@
 // speed-up for learning experiments; pure fleet/communication simulation
 // runs orders of magnitude faster).
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "strategy/federated.hpp"
 #include "strategy/learning_strategy.hpp"
+#include "util/csv.hpp"
 
 using namespace roadrunner;
 
@@ -19,6 +23,15 @@ struct IdleStrategy final : strategy::LearningStrategy {
   [[nodiscard]] std::string name() const override { return "idle"; }
 };
 
+struct RunLine {
+  std::string label;
+  double sim_s = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+};
+
+std::vector<RunLine> g_runs;
+
 void report(const char* label, const scenario::RunResult& r) {
   const double speedup =
       r.report.sim_end_time_s / std::max(1e-9, r.report.wall_seconds);
@@ -26,6 +39,41 @@ void report(const char* label, const scenario::RunResult& r) {
               "%8llu events\n",
               label, r.report.sim_end_time_s, r.report.wall_seconds, speedup,
               static_cast<unsigned long long>(r.report.events_executed));
+  g_runs.push_back(RunLine{label, r.report.sim_end_time_s,
+                           r.report.wall_seconds,
+                           r.report.events_executed});
+}
+
+/// Shortest round-trip double formatting, reusing the CSV layer's helper.
+std::string num(double v) { return util::CsvWriter::field(v); }
+
+/// Machine-readable companion to the human table, for CI regression
+/// tracking: per-run events/s and wall seconds plus whole-bench totals.
+void write_json(const std::string& path) {
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  double total_wall = 0.0;
+  std::uint64_t total_events = 0;
+  out << "{\n  \"bench\": \"sim_speed\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < g_runs.size(); ++i) {
+    const RunLine& r = g_runs[i];
+    total_wall += r.wall_s;
+    total_events += r.events;
+    const double eps = static_cast<double>(r.events) / std::max(1e-9, r.wall_s);
+    out << "    {\"label\": \"" << r.label << "\", \"sim_s\": " << num(r.sim_s)
+        << ", \"wall_s\": " << num(r.wall_s) << ", \"events\": " << r.events
+        << ", \"events_per_s\": " << num(eps) << "}"
+        << (i + 1 < g_runs.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"total_wall_s\": " << num(total_wall)
+      << ",\n  \"total_events\": " << total_events
+      << ",\n  \"total_events_per_s\": "
+      << num(static_cast<double>(total_events) / std::max(1e-9, total_wall))
+      << "\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 }  // namespace
@@ -85,5 +133,7 @@ int main(int argc, char** argv) {
       "\nReading: the BASE experiment of Fig. 4 covers 3 600 simulated "
       "seconds; at the\nmeasured speed-ups an analyst iterates a learning "
       "strategy in minutes instead\nof hours-on-the-road (Req. 6).\n");
+
+  write_json(args.get("json", "BENCH_simspeed.json"));
   return 0;
 }

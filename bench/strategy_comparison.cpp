@@ -16,12 +16,16 @@
 #include "campaign/aggregate.hpp"
 #include "campaign/engine.hpp"
 #include "scenario/experiment.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/csv.hpp"
 
 using namespace roadrunner;
 
 int main(int argc, char** argv) {
   util::CliArgs args{argc, argv};
+  // --trace-out=f.json / --profile: wall-clock telemetry of the bench run.
+  telemetry::TraceSession telemetry_session{args.get("trace-out", ""),
+                                            args.get_bool("profile", false)};
   const int rounds = static_cast<int>(args.get_int("rounds", 12));
   const double window = args.get_double("window", 3000.0);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 25));

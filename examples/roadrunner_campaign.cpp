@@ -6,6 +6,11 @@
 //
 //   ./examples/roadrunner_campaign spec.ini [--workers=N] [--store=DIR]
 //        [--out=aggregate.csv] [--plot=metric] [--seeds=N] [--fresh]
+//        [--trace-out=trace.json] [--profile]
+//
+// --trace-out writes a Chrome trace_event JSON of the whole campaign
+// (open in https://ui.perfetto.dev); --profile prints a per-category
+// wall-clock summary to stderr. Either flag enables telemetry recording.
 //
 // Kill it mid-campaign and rerun: completed jobs are skipped. --fresh
 // ignores (but does not delete) nothing — it simply uses a throwaway
@@ -19,6 +24,7 @@
 
 #include "campaign/aggregate.hpp"
 #include "campaign/engine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/cli.hpp"
 
@@ -72,6 +78,9 @@ std::string format_eta(double seconds) {
 
 int run(int argc, char** argv) {
   util::CliArgs args{argc, argv};
+  // Exports on scope exit, so the trace covers the entire campaign.
+  telemetry::TraceSession telemetry_session{args.get("trace-out", ""),
+                                            args.get_bool("profile", false)};
 
   util::IniFile ini;
   std::string spec_path;

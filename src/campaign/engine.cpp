@@ -7,6 +7,7 @@
 
 #include "metrics/analysis.hpp"
 #include "scenario/experiment.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace roadrunner::campaign {
@@ -28,6 +29,13 @@ const char* channel_prefix(comm::ChannelKind kind) {
 }  // namespace
 
 JobRecord run_job(const Job& job) {
+  telemetry::Span span{"campaign", "campaign.job"};
+  if (span.active()) {
+    span.set_args("hash=" + job.hash + " point=" + job.point_label +
+                  " seed=" + std::to_string(job.seed));
+  }
+  static telemetry::Counter jobs_counter{"campaign.jobs_executed"};
+  jobs_counter.add();
   const auto start = std::chrono::steady_clock::now();
   const scenario::RunResult result = scenario::run_experiment(job.experiment);
 
@@ -82,8 +90,13 @@ JobRecord run_job(const Job& job) {
 
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const EngineOptions& options) {
+  telemetry::Span campaign_span{"campaign", "campaign.run"};
   const auto campaign_start = std::chrono::steady_clock::now();
   const std::vector<Job> jobs = expand(spec);
+  if (campaign_span.active()) {
+    campaign_span.set_args("jobs=" + std::to_string(jobs.size()) +
+                           " workers=" + std::to_string(options.workers));
+  }
 
   std::optional<ResultStore> store;
   if (!options.store_dir.empty()) store.emplace(options.store_dir);
@@ -138,8 +151,19 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   pool.parallel_for(pending.size(), [&](std::size_t p) {
     const std::size_t i = pending[p];
     JobRecord record = run_job(jobs[i]);
-    if (store) store->save(record);
+    if (store) {
+      RR_TSPAN("campaign", "campaign.store_save");
+      store->save(record);
+    }
     result.records[i] = std::move(record);
+    if (telemetry::enabled()) {
+      // Scheduler saturation snapshot after each job: busy < workers with a
+      // non-empty backlog would indicate hand-off latency in the pool.
+      static telemetry::Gauge busy_gauge{"campaign.pool_busy"};
+      static telemetry::Gauge pending_gauge{"campaign.pool_pending"};
+      busy_gauge.set(static_cast<double>(pool.busy()));
+      pending_gauge.set(static_cast<double>(pool.pending()));
+    }
     {
       std::lock_guard lock{progress_mutex};
       ++completed;

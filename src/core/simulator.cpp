@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace roadrunner::core {
@@ -221,6 +222,7 @@ void Simulator::transfer_finished(AgentId sender, comm::ChannelKind kind) {
 }
 
 void Simulator::deliver(Message msg) {
+  RR_TSPAN("sim", "sim.deliver");
   const mobility::NodeId from_node = agents_[msg.from].node;
   const mobility::NodeId to_node = agents_[msg.to].node;
   const std::uint64_t bytes = msg.wire_bytes();
@@ -291,6 +293,9 @@ bool Simulator::start_training(AgentId id, int round_tag,
 void Simulator::finish_training(AgentId id, int round_tag, double duration_s,
                                 double data_amount,
                                 std::shared_future<TrainResult> job) {
+  // Includes the potential wait on job.get(): a fat span here means the
+  // simulated duration undershot the real training cost.
+  RR_TSPAN("sim", "sim.finish_training");
   Agent& a = agent_mut(id);
   a.training = false;
   if (!is_on(id)) {
@@ -375,6 +380,7 @@ void Simulator::request_stop() { stop_requested_ = true; }
 // ----- mobility coupling ---------------------------------------------------
 
 void Simulator::mobility_tick() {
+  RR_TSPAN("sim", "sim.mobility_tick");
   const SimTime t = now();
 
   // Power-state diff for vehicles.
@@ -396,6 +402,7 @@ void Simulator::mobility_tick() {
   const double range = network_.channel(comm::ChannelKind::kV2X).range_m;
   std::set<std::pair<AgentId, AgentId>> current;
   if (range > 0.0) {
+    RR_TSPAN("sim", "sim.encounter_scan");
     for (const auto& [na, nb] : fleet_->encounters(t, range)) {
       const AgentId a = node_to_agent_[na];
       const AgentId b = node_to_agent_[nb];
@@ -449,8 +456,11 @@ Simulator::RunReport Simulator::run() {
   if (cloud_id_ == kNoAgent && vehicle_ids_.empty()) {
     throw std::logic_error{"Simulator::run: no agents"};
   }
+  if (config_.telemetry) telemetry::set_enabled(true);
   running_ = true;
   const auto wall_start = std::chrono::steady_clock::now();
+  telemetry::Span run_span{"sim", "sim.run"};
+  static telemetry::Counter events_counter{"sim.events_executed"};
 
   last_power_.resize(vehicle_ids_.size());
   for (std::size_t i = 0; i < vehicle_ids_.size(); ++i) {
@@ -463,6 +473,7 @@ Simulator::RunReport Simulator::run() {
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.next_time() > config_.horizon_s) break;
     queue_.run_next();
+    events_counter.add();
   }
 
   strategy_->on_finish(*this);

@@ -52,6 +52,11 @@ struct SimulatorConfig {
   /// available training data at time t is the first min(all, floor(rate*t))
   /// samples of its assignment. 0 (default) = all data present from t=0.
   double data_arrival_per_s = 0.0;
+  /// Record wall-clock telemetry spans (telemetry::Telemetry) for this run.
+  /// The sink is process-global, so enabling it here enables it for every
+  /// concurrent run in the process; spans stay distinguishable by tid.
+  /// Off by default: instrumented sites then cost a single branch.
+  bool telemetry = false;
 };
 
 class Simulator final : public strategy::StrategyContext {

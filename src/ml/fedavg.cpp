@@ -2,9 +2,15 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace roadrunner::ml {
 
 WeightedModel fed_avg(const std::vector<WeightedModel>& contributions) {
+  telemetry::Span span{"ml", "ml.fed_avg"};
+  if (span.active()) {
+    span.set_args("contributions=" + std::to_string(contributions.size()));
+  }
   if (contributions.empty()) {
     throw std::invalid_argument{"fed_avg: no contributions"};
   }

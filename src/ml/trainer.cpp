@@ -6,12 +6,18 @@
 #include "ml/adam.hpp"
 #include "ml/loss.hpp"
 #include "ml/optimizer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace roadrunner::ml {
 
 TrainReport train_sgd(Network& net, const DatasetView& data,
                       const TrainConfig& config, util::Rng& rng) {
+  telemetry::Span span{"ml", "ml.train_sgd"};
+  if (span.active()) {
+    span.set_args("samples=" + std::to_string(data.size()) +
+                  " epochs=" + std::to_string(config.epochs));
+  }
   if (data.empty()) throw std::invalid_argument{"train_sgd: empty dataset"};
   if (config.epochs <= 0) {
     throw std::invalid_argument{"train_sgd: epochs <= 0"};
@@ -94,6 +100,7 @@ TrainReport train_sgd(Network& net, const DatasetView& data,
 
 EvalReport evaluate(const Network& net, const DatasetView& data,
                     std::size_t batch_size, bool parallel) {
+  RR_TSPAN("ml", "ml.evaluate");
   EvalReport report;
   report.samples = data.size();
   if (data.empty()) return report;

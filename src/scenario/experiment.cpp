@@ -37,6 +37,7 @@ ScenarioConfig scenario_from_ini(const IniFile& ini) {
                                           cfg.data_arrival_per_s);
   cfg.trace_events =
       ini.get_bool("scenario", "trace_events", cfg.trace_events);
+  cfg.telemetry = ini.get_bool("scenario", "telemetry", cfg.telemetry);
 
   // [city]
   cfg.city.city_size_m =

@@ -108,6 +108,7 @@ std::unique_ptr<core::Simulator> Scenario::make_simulator() const {
   sim_cfg.seed = config_.seed;
   sim_cfg.async_training = config_.async_training;
   sim_cfg.trace_events = config_.trace_events;
+  sim_cfg.telemetry = config_.telemetry;
   sim_cfg.data_arrival_per_s = config_.data_arrival_per_s;
 
   core::MlService ml_service{prototype_, test_set_};

@@ -59,6 +59,9 @@ struct ScenarioConfig {
   double mobility_tick_s = 1.0;
   bool async_training = true;
   bool trace_events = false;
+  /// Enable wall-clock telemetry spans for this run (process-global sink;
+  /// see core::SimulatorConfig::telemetry).
+  bool telemetry = false;
   /// Samples arriving per vehicle per second (0 = all data at t=0);
   /// models fleets that sense continuously (paper §1, "fresh data").
   double data_arrival_per_s = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace roadrunner::strategy {
@@ -42,6 +43,7 @@ std::vector<AgentId> RoundBasedStrategy::selection_pool(
 }
 
 void RoundBasedStrategy::begin_round(StrategyContext& ctx) {
+  RR_TSPAN("strategy", "strategy.begin_round");
   if (done_) return;
   if (round_ >= config_.rounds) {
     done_ = true;
@@ -125,6 +127,7 @@ void RoundBasedStrategy::on_timer(StrategyContext& ctx, AgentId id,
 }
 
 void RoundBasedStrategy::close_round(StrategyContext& ctx) {
+  RR_TSPAN("strategy", "strategy.close_round");
   collecting_ = true;
   on_round_closing(ctx, round_);
   // Request the retrained models from this round's participants (pull-based
@@ -168,6 +171,11 @@ void RoundBasedStrategy::drop_pending(StrategyContext& ctx, AgentId vehicle) {
 }
 
 void RoundBasedStrategy::finalize_round(StrategyContext& ctx) {
+  telemetry::Span span{"strategy", "strategy.finalize_round"};
+  if (span.active()) {
+    span.set_args("round=" + std::to_string(round_) +
+                  " contributions=" + std::to_string(contributions_.size()));
+  }
   collecting_ = false;
   const std::size_t n = contributions_.size();
   ctx.metrics().add_point(config_.contributions_series, ctx.now(),

@@ -1,0 +1,206 @@
+// Exporters for the telemetry sink: Chrome trace_event JSON (the "JSON
+// Object Format" chrome://tracing and Perfetto load) and the plain-text
+// per-category summary an analyst reads on stderr after a --profile run.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <ostream>
+
+#include "telemetry/telemetry.hpp"
+#include "util/csv.hpp"
+
+namespace roadrunner::telemetry {
+
+namespace {
+
+/// JSON string escaping: quotes, backslashes, and control characters.
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-tripping decimal for a JSON number (to_chars never emits
+/// the inf/nan tokens JSON forbids for the finite values we produce).
+std::string json_number(double value) { return util::CsvWriter::field(value); }
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+struct CategoryStats {
+  std::vector<double> durations_ms;
+  double total_ms = 0.0;
+};
+
+double p95(std::vector<double>& sorted_ms) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const std::size_t index =
+      (sorted_ms.size() * 95 + 99) / 100;  // ceil(0.95 n), 1-based
+  return sorted_ms[std::min(index, sorted_ms.size()) - 1];
+}
+
+}  // namespace
+
+void Telemetry::export_chrome_trace(std::ostream& out) {
+  const std::vector<SpanEvent> events = snapshot();
+  // pid is constant: one process, one trace. tid 0 is reserved for the
+  // process-level counter track.
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t last_end_ns = 0;
+  for (const SpanEvent& e : events) {
+    last_end_ns = std::max(last_end_ns, e.start_ns + e.dur_ns);
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+        << json_escape(e.category) << "\",\"ph\":\"X\",\"ts\":"
+        << json_number(us(e.start_ns)) << ",\"dur\":"
+        << json_number(us(e.dur_ns)) << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args.empty()) {
+      out << ",\"args\":{\"detail\":\"" << json_escape(e.args) << "\"}";
+    }
+    out << "}";
+  }
+  for (const auto& [name, value] : counters()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "{\"name\":\"" << json_escape(name)
+        << "\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":"
+        << json_number(us(last_end_ns)) << ",\"pid\":1,\"tid\":0,"
+        << "\"args\":{\"value\":" << json_number(value) << "}}";
+  }
+  for (const auto& [name, value] : gauges()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "{\"name\":\"" << json_escape(name)
+        << "\",\"cat\":\"gauge\",\"ph\":\"C\",\"ts\":"
+        << json_number(us(last_end_ns)) << ",\"pid\":1,\"tid\":0,"
+        << "\"args\":{\"value\":" << json_number(value) << "}}";
+  }
+  out << "\n]}\n";
+}
+
+void Telemetry::write_summary(std::ostream& out) {
+  const std::vector<SpanEvent> events = snapshot();
+
+  std::uint64_t min_start = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_end = 0;
+  std::map<std::string, CategoryStats> categories;
+  std::map<std::string, CategoryStats> names;  // "category  name" breakdown
+  std::map<std::uint32_t, std::size_t> threads;
+  for (const SpanEvent& e : events) {
+    min_start = std::min(min_start, e.start_ns);
+    max_end = std::max(max_end, e.start_ns + e.dur_ns);
+    const double ms = static_cast<double>(e.dur_ns) / 1e6;
+    auto& cat = categories[e.category];
+    cat.durations_ms.push_back(ms);
+    cat.total_ms += ms;
+    auto& name = names[e.category + "\t" + e.name];
+    name.durations_ms.push_back(ms);
+    name.total_ms += ms;
+    ++threads[e.tid];
+  }
+
+  char line[192];
+  out << "=== telemetry summary (wall clock) ===\n";
+  if (events.empty()) {
+    out << "no spans recorded (is telemetry enabled?)\n";
+  } else {
+    const double window_ms =
+        static_cast<double>(max_end - min_start) / 1e6;
+    std::snprintf(line, sizeof line,
+                  "window %.3f s | %zu spans | %zu threads\n",
+                  window_ms / 1e3, events.size(), threads.size());
+    out << line;
+    std::snprintf(line, sizeof line, "%-34s %10s %12s %10s %10s %8s\n",
+                  "category / span", "calls", "total_ms", "mean_ms", "p95_ms",
+                  "% run");
+    out << line;
+    for (auto& [category, stats] : categories) {
+      const auto calls = stats.durations_ms.size();
+      std::snprintf(line, sizeof line,
+                    "%-34s %10zu %12.2f %10.3f %10.3f %7.1f%%\n",
+                    category.c_str(), calls, stats.total_ms,
+                    stats.total_ms / static_cast<double>(calls),
+                    p95(stats.durations_ms),
+                    window_ms > 0.0 ? 100.0 * stats.total_ms / window_ms
+                                    : 0.0);
+      out << line;
+      for (auto& [key, name_stats] : names) {
+        const auto tab = key.find('\t');
+        if (key.compare(0, tab, category) != 0) continue;
+        const std::string span_name = key.substr(tab + 1);
+        const auto n = name_stats.durations_ms.size();
+        std::snprintf(line, sizeof line,
+                      "  %-32s %10zu %12.2f %10.3f %10.3f %7.1f%%\n",
+                      span_name.c_str(), n, name_stats.total_ms,
+                      name_stats.total_ms / static_cast<double>(n),
+                      p95(name_stats.durations_ms),
+                      window_ms > 0.0
+                          ? 100.0 * name_stats.total_ms / window_ms
+                          : 0.0);
+        out << line;
+      }
+    }
+  }
+  const auto counter_values = counters();
+  if (!counter_values.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : counter_values) {
+      std::snprintf(line, sizeof line, "  %-40s %16.0f\n", name.c_str(),
+                    value);
+      out << line;
+    }
+  }
+  const auto gauge_values = gauges();
+  if (!gauge_values.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : gauge_values) {
+      std::snprintf(line, sizeof line, "  %-40s %16.3f\n", name.c_str(),
+                    value);
+      out << line;
+    }
+  }
+}
+
+TraceSession::TraceSession(std::string trace_path, bool profile)
+    : trace_path_{std::move(trace_path)}, profile_{profile} {
+  if (!trace_path_.empty() || profile_) set_enabled(true);
+}
+
+TraceSession::~TraceSession() {
+  if (!trace_path_.empty()) {
+    std::ofstream out{trace_path_};
+    if (out) {
+      Telemetry::instance().export_chrome_trace(out);
+      std::cerr << "telemetry: Chrome trace written to " << trace_path_
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    } else {
+      std::cerr << "telemetry: cannot write trace to " << trace_path_
+                << "\n";
+    }
+  }
+  if (profile_) Telemetry::instance().write_summary(std::cerr);
+}
+
+}  // namespace roadrunner::telemetry

@@ -89,11 +89,30 @@ std::vector<std::string> parse_csv_line(std::string_view line,
 std::vector<std::vector<std::string>> read_csv(std::istream& in,
                                                char separator) {
   std::vector<std::vector<std::string>> rows;
+  std::string record;
   std::string line;
+  bool in_record = false;
+  std::size_t quotes = 0;  // cumulative '"' count in the current record
   while (std::getline(in, line)) {
-    if (line.empty() || line == "\r") continue;
-    rows.push_back(parse_csv_line(line, separator));
+    if (!in_record) {
+      if (line.empty() || line == "\r") continue;
+      record = line;
+      in_record = true;
+      quotes = 0;
+    } else {
+      // Odd quote count so far: we are inside a quoted field and getline
+      // consumed an embedded newline — restore it and keep accumulating.
+      record += '\n';
+      record += line;
+    }
+    for (const char c : line) quotes += c == '"' ? 1 : 0;
+    if (quotes % 2 == 0) {
+      rows.push_back(parse_csv_line(record, separator));
+      in_record = false;
+    }
   }
+  // Trailing open quote: let the parser raise its usual error.
+  if (in_record) rows.push_back(parse_csv_line(record, separator));
   return rows;
 }
 

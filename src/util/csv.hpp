@@ -34,6 +34,8 @@ std::vector<std::string> parse_csv_line(std::string_view line,
                                         char separator = ',');
 
 /// Reads a whole CSV stream into rows (skips completely empty lines).
+/// Quoted fields may span lines: embedded '\n' round-trips through
+/// CsvWriter (embedded '\r' is stripped on read, as in CRLF handling).
 std::vector<std::vector<std::string>> read_csv(std::istream& in,
                                                char separator = ',');
 

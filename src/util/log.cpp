@@ -8,7 +8,10 @@ namespace roadrunner::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::atomic<std::ostream*> g_sink{nullptr};
+// Guarded by g_emit_mutex (not atomic): a sink swap must wait for the
+// message currently being written, or the old stream could be destroyed
+// mid-emission.
+std::ostream* g_sink = nullptr;
 std::mutex g_emit_mutex;
 
 constexpr std::string_view level_name(LogLevel level) {
@@ -25,14 +28,17 @@ constexpr std::string_view level_name(LogLevel level) {
 
 void Log::set_level(LogLevel level) { g_level.store(level); }
 LogLevel Log::level() { return g_level.load(); }
-void Log::set_sink(std::ostream* sink) { g_sink.store(sink); }
+void Log::set_sink(std::ostream* sink) {
+  std::lock_guard lock{g_emit_mutex};
+  g_sink = sink;
+}
 
 void Log::write(LogLevel level, std::string_view component,
                 std::string_view message) {
   if (level < g_level.load()) return;
-  std::ostream* sink = g_sink.load();
-  if (sink == nullptr) sink = &std::clog;
   std::lock_guard lock{g_emit_mutex};
+  std::ostream* sink = g_sink;
+  if (sink == nullptr) sink = &std::clog;
   (*sink) << '[' << level_name(level) << "] [" << component << "] " << message
           << '\n';
 }

@@ -13,14 +13,19 @@ namespace roadrunner::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global logger configuration. Not thread-safe to reconfigure mid-run;
-/// emission itself is serialized with an internal mutex.
+/// Global logger configuration. Emission and reconfiguration are both
+/// serialized with one internal mutex: set_sink may be called mid-run from
+/// any thread, and an in-flight message finishes against the old sink
+/// before the swap takes effect. The *old* sink must stay alive until
+/// set_sink returns (after that it is never touched again).
 class Log {
  public:
   static void set_level(LogLevel level);
   static LogLevel level();
 
   /// Redirects output (default: std::clog). Pass nullptr to restore default.
+  /// Serialized with the emission mutex — safe to call while other threads
+  /// are logging.
   static void set_sink(std::ostream* sink);
 
   static void write(LogLevel level, std::string_view component,

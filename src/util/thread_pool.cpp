@@ -33,9 +33,24 @@ void ThreadPool::worker_loop() {
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      ++busy_;
     }
     task();
+    {
+      std::lock_guard lock{mutex_};
+      --busy_;
+    }
   }
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock{mutex_};
+  return tasks_.size();
+}
+
+std::size_t ThreadPool::busy() const {
+  std::lock_guard lock{mutex_};
+  return busy_;
 }
 
 void ThreadPool::parallel_for(std::size_t count,

@@ -26,6 +26,15 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker. Together with busy()
+  /// this exposes the pool's utilization (idle workers = size() - busy())
+  /// for schedulers and telemetry gauges. Snapshot values: both can change
+  /// the instant the lock is released.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Workers currently executing a task.
+  [[nodiscard]] std::size_t busy() const;
+
   /// Runs fn(i) for i in [0, count), partitioned over the pool, and blocks
   /// until all complete. Exceptions from fn propagate (first one wins).
   void parallel_for(std::size_t count,
@@ -39,8 +48,9 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::size_t busy_ = 0;
   bool stopping_ = false;
 };
 

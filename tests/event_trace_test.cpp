@@ -10,6 +10,7 @@
 #include "ml/models.hpp"
 #include "ml/serialize.hpp"
 #include "strategy/federated.hpp"
+#include "util/csv.hpp"
 
 namespace roadrunner {
 namespace {
@@ -69,6 +70,30 @@ TEST(EventTrace, RecordsFiltersAndExports) {
 
   trace.clear();
   EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(EventTrace, CsvExportRoundTripsHostileDetailStrings) {
+  // Regression: detail strings carrying the CSV separator, quotes, and
+  // newlines must survive export_csv -> read_csv unchanged (read_csv once
+  // choked on quoted fields spanning lines).
+  core::EventTrace trace{true};
+  const std::string commas_and_quotes = "msg,tag=\"global\",round=2";
+  const std::string multiline = "line one\nline \"two\",\nline three";
+  trace.record(1.0, core::TraceKind::kMessageSent, 0, 1, commas_and_quotes);
+  trace.record(2.0, core::TraceKind::kMessageDelivered, 0, 1, multiline);
+  trace.record(3.0, core::TraceKind::kPowerOff, 1);
+
+  std::ostringstream out;
+  trace.export_csv(out);
+  std::istringstream in{out.str()};
+  const auto rows = util::read_csv(in);
+
+  ASSERT_EQ(rows.size(), 4U);  // header + 3 records
+  ASSERT_GE(rows[1].size(), 5U);
+  EXPECT_EQ(rows[1][4], commas_and_quotes);
+  EXPECT_EQ(rows[2][4], multiline);
+  EXPECT_EQ(rows[2][0], "2");
+  EXPECT_EQ(rows[3][1], "power-off");
 }
 
 TEST(EventTrace, SimulatorProducesCoherentTrace) {

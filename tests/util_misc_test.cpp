@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <sstream>
+#include <thread>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -72,6 +74,25 @@ TEST(Csv, DoubleFieldRoundTrips) {
   EXPECT_EQ(std::stod(CsvWriter::field(value)), value);
 }
 
+TEST(Csv, ReadCsvQuotedFieldSpansLines) {
+  // CsvWriter quotes embedded newlines; read_csv must reassemble the
+  // record instead of treating each physical line as a row.
+  std::ostringstream out;
+  CsvWriter w{out};
+  w.write_row({"a", "multi\nline \"x\",y", "z"});
+  w.write_row({"1", "2", "3"});
+  std::istringstream in{out.str()};
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0][1], "multi\nline \"x\",y");
+  EXPECT_EQ(rows[1][2], "3");
+}
+
+TEST(Csv, ReadCsvUnterminatedQuoteAtEofThrows) {
+  std::istringstream in{"a,\"unterminated\nstill open"};
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
 // ------------------------------------------------------------------- CLI --
 
 TEST(Cli, ParsesEqualsAndSpaceForms) {
@@ -123,6 +144,38 @@ TEST(Log, RespectsLevelAndSink) {
   EXPECT_NE(sink.str().find("[test]"), std::string::npos);
 }
 
+TEST(Log, SetSinkIsSafeMidRun) {
+  // Emission and reconfiguration hold the same mutex, so swapping the sink
+  // while another thread logs must neither tear output nor touch a stale
+  // stream. TSan/ASan builds verify the absence of a race.
+  Log::set_level(LogLevel::kInfo);
+  std::ostringstream a;
+  std::ostringstream b;
+  Log::set_sink(&a);
+  std::atomic<bool> stop{false};
+  std::thread writer{[&] {
+    while (!stop.load()) {
+      RR_LOG_INFO("race") << "tick";
+    }
+  }};
+  for (int i = 0; i < 500; ++i) {
+    Log::set_sink(i % 2 == 0 ? &b : &a);
+  }
+  stop.store(true);
+  writer.join();
+  Log::set_sink(nullptr);
+  Log::set_level(LogLevel::kWarn);
+  // Every emitted line landed whole in one of the two sinks.
+  for (const std::string& text : {a.str(), b.str()}) {
+    std::istringstream lines{text};
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      EXPECT_NE(line.find("tick"), std::string::npos) << line;
+    }
+  }
+}
+
 // ------------------------------------------------------------ ThreadPool --
 
 TEST(ThreadPool, ParallelForCoversAllIndices) {
@@ -150,6 +203,46 @@ TEST(ThreadPool, PropagatesExceptions) {
                                    }
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, PendingAndBusyReflectQueueState) {
+  ThreadPool pool{2};
+  EXPECT_EQ(pool.size(), 2U);
+  EXPECT_EQ(pool.busy(), 0U);
+  EXPECT_EQ(pool.pending(), 0U);
+
+  auto wait_until = [](auto pred) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds{30};
+    while (!pred() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    return pred();
+  };
+
+  // Saturate both workers with tasks that block until released.
+  std::atomic<bool> release{false};
+  std::thread blocker{[&] {
+    pool.parallel_for(2, [&](std::size_t) {
+      while (!release.load()) std::this_thread::yield();
+    });
+  }};
+  ASSERT_TRUE(wait_until([&] { return pool.busy() == 2; }));
+  EXPECT_EQ(pool.pending(), 0U);
+
+  // A second caller's shard tasks now have to queue behind them.
+  std::atomic<int> quick_done{0};
+  std::thread waiter{[&] {
+    pool.parallel_for(2, [&](std::size_t) { quick_done.fetch_add(1); });
+  }};
+  ASSERT_TRUE(wait_until([&] { return pool.pending() == 2; }));
+
+  release.store(true);
+  blocker.join();
+  waiter.join();
+  EXPECT_EQ(quick_done.load(), 2);
+  ASSERT_TRUE(
+      wait_until([&] { return pool.busy() == 0 && pool.pending() == 0; }));
 }
 
 TEST(ThreadPool, ReusableAcrossCalls) {
