@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint/checkpoint.hpp"
 #include "strategy/federated.hpp"
 #include "strategy/learning_strategy.hpp"
 #include "util/csv.hpp"
+#include "util/ini.hpp"
 
 using namespace roadrunner;
 
@@ -127,6 +129,59 @@ int main(int argc, char** argv) {
     const auto result =
         scenario.run(std::make_shared<strategy::FederatedStrategy>(round));
     report("FL, paper CNN, 40 vehicles", result);
+  }
+
+  // 4. Checkpoint overhead (--checkpoint-every=N, simulated seconds): the
+  // same FL workload with and without periodic autosaves, back to back in
+  // one process. The acceptance bar for the checkpoint subsystem is < 5%
+  // wall-clock overhead at a sane period.
+  const double ckpt_every = args.get_double("checkpoint-every", 0.0);
+  if (ckpt_every > 0.0) {
+    // The CNN mix is the honest denominator: per-save cost is fixed
+    // (serialize + fsync), so judging it against the toy MLP run — which
+    // simulates three orders of magnitude faster than real time — would
+    // overstate the overhead of any realistic deployment.
+    auto cfg = bench::ablation_scenario(31);
+    cfg.dataset = "images";
+    cfg.train_pool_size = 6000;
+    cfg.test_size = 500;
+    cfg.vehicles = 40;
+    cfg.samples_per_vehicle = 80;
+    cfg.model = "paper_cnn";
+    cfg.train.learning_rate = 0.005F;
+    scenario::Scenario scenario{cfg};
+    strategy::RoundConfig round;
+    round.rounds = 8;
+    round.participants = 5;
+    round.round_duration_s = 30.0;
+    const std::string snap_path = "BENCH_ckpt.rrck";
+    const auto run_once = [&](double every) {
+      auto sim = scenario.make_simulator();
+      auto strat = std::make_shared<strategy::FederatedStrategy>(round);
+      const std::string name = strat->name();
+      sim->set_strategy(strat);
+      if (every > 0.0) {
+        // The bench never restores, so an empty embedded experiment is fine:
+        // we are timing the snapshot serialization + durable write alone.
+        sim->set_autosave(every, [snap_path](core::Simulator& s) {
+          checkpoint::save(s, util::IniFile{}, snap_path);
+        });
+      }
+      auto run_report = sim->run();
+      return scenario::Scenario::collect_result(*sim, name, run_report);
+    };
+    const auto baseline = run_once(0.0);
+    const auto checkpointed = run_once(ckpt_every);
+    report("FL, CNN, no autosave (baseline)", baseline);
+    char label[64];
+    std::snprintf(label, sizeof label, "FL, CNN, autosave every %.0f sim-s",
+                  ckpt_every);
+    report(label, checkpointed);
+    const double overhead = (checkpointed.report.wall_seconds -
+                             baseline.report.wall_seconds) /
+                            std::max(1e-9, baseline.report.wall_seconds);
+    std::printf("checkpoint overhead: %+.2f%% wall clock\n", overhead * 100.0);
+    std::remove(snap_path.c_str());
   }
 
   std::printf(

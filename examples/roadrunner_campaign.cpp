@@ -6,15 +6,23 @@
 //
 //   ./examples/roadrunner_campaign spec.ini [--workers=N] [--store=DIR]
 //        [--out=aggregate.csv] [--plot=metric] [--seeds=N] [--fresh]
-//        [--trace-out=trace.json] [--profile]
+//        [--trace-out=trace.json] [--profile] [--dry-run]
+//        [--checkpoint-every=SIMSECONDS] [--checkpoint-dir=DIR]
 //
 // --trace-out writes a Chrome trace_event JSON of the whole campaign
 // (open in https://ui.perfetto.dev); --profile prints a per-category
 // wall-clock summary to stderr. Either flag enables telemetry recording.
+// --dry-run prints the expanded job list (hash, point, seed) without
+// executing anything — the expansion is deterministic, so the printed
+// hashes are exactly the store/checkpoint keys a real run will use.
 //
-// Kill it mid-campaign and rerun: completed jobs are skipped. --fresh
-// ignores (but does not delete) nothing — it simply uses a throwaway
-// in-memory run with no store. With no arguments it runs
+// Kill it mid-campaign and rerun: completed jobs are skipped, and with
+// --checkpoint-every=N each in-flight job autosaves a snapshot every N
+// simulated seconds, so the job that died mid-run resumes from its last
+// snapshot instead of t=0 (snapshots land in --checkpoint-dir, default
+// <store>/checkpoints, and are deleted once the job's record is stored).
+// --fresh ignores (but does not delete) nothing — it simply uses a
+// throwaway in-memory run with no store. With no arguments it runs
 // examples/campaign.ini if present, else a small built-in demo campaign.
 #include <algorithm>
 #include <cstdio>
@@ -101,12 +109,29 @@ int run(int argc, char** argv) {
         args.get_int("seeds", static_cast<std::int64_t>(spec.seeds_per_point)));
   }
 
+  if (args.get_bool("dry-run", false)) {
+    const std::vector<campaign::Job> jobs = campaign::expand(spec);
+    std::printf("campaign  %s (%s)\n", spec.name.c_str(), spec_path.c_str());
+    std::printf("%zu jobs:\n", jobs.size());
+    std::printf("%-16s %6s %6s %20s  %s\n", "hash", "point", "seed#", "seed",
+                "point label");
+    for (const auto& job : jobs) {
+      std::printf("%-16s %6zu %6zu %20llu  %s\n", job.hash.c_str(),
+                  job.point_index, job.seed_index,
+                  static_cast<unsigned long long>(job.seed),
+                  job.point_label.c_str());
+    }
+    return 0;
+  }
+
   campaign::EngineOptions options;
   options.workers = static_cast<std::size_t>(args.get_int("workers", 0));
   if (!args.get_bool("fresh", false)) {
     options.store_dir =
         args.get("store", ini.get("campaign", "store", spec.name + "_results"));
   }
+  options.checkpoint_every_s = args.get_double("checkpoint-every", 0.0);
+  options.checkpoint_dir = args.get("checkpoint-dir", "");
 
   const std::size_t points = campaign::point_count(spec);
   std::printf("campaign  %s (%s)\n", spec.name.c_str(), spec_path.c_str());

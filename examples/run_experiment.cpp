@@ -4,6 +4,18 @@
 // (paper Req. 5 / §5.2's "quick experiment repetition").
 //
 //   ./examples/run_experiment path/to/experiment.ini [--out=metrics.csv]
+//        [--checkpoint-every=SIMSECONDS] [--checkpoint-out=snap.rrck]
+//   ./examples/run_experiment --resume-from=snap.rrck [...]
+//   ./examples/run_experiment --resume-from=snap.rrck
+//        --fork=network.v2c_loss=0.3,strategy.rounds=20
+//
+// --checkpoint-every autosaves a snapshot of the running simulation every N
+// *simulated* seconds to --checkpoint-out (default: checkpoint.rrck).
+// --resume-from validates a snapshot and continues the run exactly where it
+// stopped — the experiment INI is embedded in the snapshot, so no .ini path
+// is needed. --fork additionally overrides experiment keys before resuming
+// ("what-if" replay from a saved instant); overrides must not change the
+// fleet, dataset, or model architecture.
 //
 // With no arguments it runs the annotated sample file
 // examples/experiment.ini if present next to the working directory, else a
@@ -12,7 +24,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 
+#include "checkpoint/checkpoint.hpp"
 #include "metrics/analysis.hpp"
 #include "scenario/experiment.hpp"
 #include "util/cli.hpp"
@@ -46,25 +60,72 @@ participants = 5
 round_duration_s = 30
 )ini";
 
+/// "a.b=x,c.d=y" -> {{"a.b","x"},{"c.d","y"}}.
+std::map<std::string, std::string> parse_overrides(const std::string& spec) {
+  std::map<std::string, std::string> overrides;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::runtime_error{"--fork: expected section.key=value, got '" +
+                               item + "'"};
+    }
+    overrides[item.substr(0, eq)] = item.substr(eq + 1);
+    start = end + 1;
+  }
+  return overrides;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::CliArgs args{argc, argv};
 
-  util::IniFile ini;
-  if (!args.positional().empty()) {
-    ini = util::IniFile::load(args.positional().front());
-    std::printf("experiment: %s\n", args.positional().front().c_str());
-  } else if (std::filesystem::exists("examples/experiment.ini")) {
-    ini = util::IniFile::load("examples/experiment.ini");
-    std::printf("experiment: examples/experiment.ini\n");
-  } else {
-    ini = util::IniFile::parse(kDefaultExperiment);
-    std::printf("experiment: built-in default (pass an .ini path to "
-                "override)\n");
-  }
+  const std::string resume_from = args.get("resume-from", "");
+  scenario::RunResult result;
 
-  const scenario::RunResult result = scenario::run_experiment(ini);
+  if (!resume_from.empty()) {
+    const checkpoint::SnapshotInfo info = checkpoint::peek(resume_from);
+    std::printf("snapshot: %s (t=%.0f s, %llu events executed, %llu pending, "
+                "strategy %s)\n",
+                resume_from.c_str(), info.sim_time_s,
+                static_cast<unsigned long long>(info.events_executed),
+                static_cast<unsigned long long>(info.pending_events),
+                info.strategy_name.c_str());
+    checkpoint::RestoredRun run =
+        args.has("fork")
+            ? checkpoint::fork(resume_from,
+                               parse_overrides(args.get("fork", "")))
+            : checkpoint::restore(resume_from);
+    result = run.finish();
+  } else {
+    util::IniFile ini;
+    if (!args.positional().empty()) {
+      ini = util::IniFile::load(args.positional().front());
+      std::printf("experiment: %s\n", args.positional().front().c_str());
+    } else if (std::filesystem::exists("examples/experiment.ini")) {
+      ini = util::IniFile::load("examples/experiment.ini");
+      std::printf("experiment: examples/experiment.ini\n");
+    } else {
+      ini = util::IniFile::parse(kDefaultExperiment);
+      std::printf("experiment: built-in default (pass an .ini path to "
+                  "override)\n");
+    }
+
+    const double every = args.get_double("checkpoint-every", 0.0);
+    if (every > 0.0 || ini.get_double("scenario", "checkpoint_every_s", 0.0) >
+                           0.0) {
+      const std::string ckpt = args.get("checkpoint-out", "checkpoint.rrck");
+      std::printf("checkpoint: %s%s\n", ckpt.c_str(),
+                  std::filesystem::exists(ckpt) ? " (resuming)" : "");
+      result = checkpoint::run_resumable(ini, ckpt, every);
+    } else {
+      result = scenario::run_experiment(ini);
+    }
+  }
 
   std::printf("\nstrategy  %s\n", result.strategy_name.c_str());
   std::printf("sim time  %.0f s in %.2f s wall (%.0fx)\n",
@@ -99,4 +160,7 @@ int main(int argc, char** argv) {
     std::printf("metrics written to %s\n", out.c_str());
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -1,10 +1,13 @@
 #include "campaign/engine.hpp"
 
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <system_error>
 
+#include "checkpoint/checkpoint.hpp"
 #include "metrics/analysis.hpp"
 #include "scenario/experiment.hpp"
 #include "telemetry/telemetry.hpp"
@@ -28,7 +31,10 @@ const char* channel_prefix(comm::ChannelKind kind) {
 
 }  // namespace
 
-JobRecord run_job(const Job& job) {
+JobRecord run_job(const Job& job) { return run_job(job, {}, 0.0); }
+
+JobRecord run_job(const Job& job, const std::string& ckpt_path,
+                  double checkpoint_every_s) {
   telemetry::Span span{"campaign", "campaign.job"};
   if (span.active()) {
     span.set_args("hash=" + job.hash + " point=" + job.point_label +
@@ -37,7 +43,11 @@ JobRecord run_job(const Job& job) {
   static telemetry::Counter jobs_counter{"campaign.jobs_executed"};
   jobs_counter.add();
   const auto start = std::chrono::steady_clock::now();
-  const scenario::RunResult result = scenario::run_experiment(job.experiment);
+  const scenario::RunResult result =
+      ckpt_path.empty()
+          ? scenario::run_experiment(job.experiment)
+          : checkpoint::run_resumable(job.experiment, ckpt_path,
+                                      checkpoint_every_s);
 
   JobRecord record;
   record.hash = job.hash;
@@ -101,6 +111,21 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::optional<ResultStore> store;
   if (!options.store_dir.empty()) store.emplace(options.store_dir);
 
+  // Mid-job snapshots, one per job hash. The store's resume pass skips
+  // *finished* jobs; these resume *interrupted* ones mid-flight.
+  std::filesystem::path ckpt_dir;
+  if (options.checkpoint_every_s > 0.0) {
+    if (!options.checkpoint_dir.empty()) {
+      ckpt_dir = options.checkpoint_dir;
+    } else if (!options.store_dir.empty()) {
+      ckpt_dir = std::filesystem::path{options.store_dir} / "checkpoints";
+    }
+  }
+  const auto job_ckpt_path = [&ckpt_dir](const Job& job) -> std::string {
+    if (ckpt_dir.empty()) return {};
+    return (ckpt_dir / (job.hash + ".rrck")).string();
+  };
+
   CampaignResult result;
   result.records.resize(jobs.size());
 
@@ -150,10 +175,16 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::mutex callback_mutex;
   pool.parallel_for(pending.size(), [&](std::size_t p) {
     const std::size_t i = pending[p];
-    JobRecord record = run_job(jobs[i]);
+    const std::string ckpt = job_ckpt_path(jobs[i]);
+    JobRecord record = run_job(jobs[i], ckpt, options.checkpoint_every_s);
     if (store) {
       RR_TSPAN("campaign", "campaign.store_save");
       store->save(record);
+    }
+    if (!ckpt.empty()) {
+      // The record is durable; the scratch snapshot has served its purpose.
+      std::error_code ec;
+      std::filesystem::remove(ckpt, ec);
     }
     result.records[i] = std::move(record);
     if (telemetry::enabled()) {

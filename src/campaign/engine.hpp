@@ -35,6 +35,14 @@ struct EngineOptions {
   std::string store_dir;
   /// Invoked (serialized, from worker threads) after each completed job.
   std::function<void(const Progress&)> on_progress;
+  /// Mid-job autosave period in *simulated* seconds; 0 disables. With a
+  /// store, a killed campaign then resumes interrupted jobs from their last
+  /// snapshot instead of from t=0 (completed jobs are still skipped via the
+  /// store as before).
+  double checkpoint_every_s = 0.0;
+  /// Snapshot directory. Empty = `<store_dir>/checkpoints` when a store is
+  /// configured; checkpointing requires one of the two to be set.
+  std::string checkpoint_dir;
 };
 
 struct CampaignResult {
@@ -54,6 +62,13 @@ struct CampaignResult {
 /// `<kind>_transfers_attempted`, and the report as `sim_end_time_s` /
 /// `events_executed`. Exposed for tests and custom drivers.
 JobRecord run_job(const Job& job);
+
+/// Like run_job, but crash-safe: resumes from `ckpt_path` if it exists and
+/// autosaves there every `checkpoint_every_s` simulated seconds. An empty
+/// path behaves exactly like run_job. The snapshot is left on disk; the
+/// campaign loop deletes it once the job's record is durably stored.
+JobRecord run_job(const Job& job, const std::string& ckpt_path,
+                  double checkpoint_every_s);
 
 /// Executes the whole campaign. Throws on spec errors; a job failure
 /// (exception from the simulator) aborts the campaign with the first

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "util/binary_io.hpp"
 #include "util/csv.hpp"
 
 namespace roadrunner::campaign {
@@ -104,8 +105,13 @@ void ResultStore::save(const JobRecord& record) const {
     }
   }
   // rename() within one directory is atomic: a concurrent or interrupted
-  // save never exposes a partial record.
+  // save never exposes a partial record. The fsyncs (file, then directory
+  // entry) make it durable too — a power cut right after save() returns
+  // cannot lose the record, which is what lets a resumed campaign trust
+  // contains() unconditionally.
+  util::sync_file(tmp_path.string());
   std::filesystem::rename(tmp_path, final_path);
+  util::sync_dir(dir_.string());
 }
 
 JobRecord ResultStore::load(const std::string& hash) const {

@@ -1,0 +1,98 @@
+// Checkpoint/restore subsystem: versioned binary snapshots of a *running*
+// simulation.
+//
+// A snapshot captures everything the next event needs: the simulation
+// clock, the pending event queue (typed SimEvents; in-flight training
+// results are forced and embedded), every agent's model/data/HU occupancy,
+// the comm layer's counters and loss RNG, the strategy's round state, all
+// RNG stream states, metrics, and the event trace — plus the experiment's
+// own INI description, so a snapshot is a self-contained rebuild recipe.
+//
+// Determinism contract (tested): restoring a mid-run snapshot and
+// continuing produces the *identical* event trace and final metrics as the
+// uninterrupted run. Autosaves therefore make long campaigns crash-safe
+// (resume from the last snapshot instead of re-running from t=0), and
+// restore-with-overrides forks "what-if" ablations from any saved instant.
+//
+// File format (little-endian):
+//   "RRCK" magic | u32 format version | u32 section count
+//   per section: u32 tag | u64 payload size | payload bytes
+//   u32 CRC-32 trailer over everything before it
+// Unknown *future* versions, bad magic, bad CRC, and truncation are all
+// rejected with distinct std::runtime_error messages; extra (unknown)
+// section tags are ignored, so the format can grow compatibly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "scenario/experiment.hpp"
+
+namespace roadrunner::checkpoint {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Cheap header peek (no scenario rebuild): what a snapshot contains.
+struct SnapshotInfo {
+  std::uint32_t format_version = 0;
+  double sim_time_s = 0.0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t pending_events = 0;
+  std::string strategy_name;
+  std::uint64_t seed = 0;
+  std::string experiment_ini;  ///< the embedded rebuild recipe
+};
+
+/// Snapshots `sim` (between events — the simulator calls this from its
+/// autosave hook; callers may also snapshot a not-yet-run simulator).
+/// `experiment` is embedded so restore() can rebuild the scenario and
+/// strategy. The write is atomic and durable: tmp file + fsync + rename +
+/// directory fsync, so a crash mid-save never corrupts an existing
+/// snapshot. Throws std::runtime_error if a closure-based computation is
+/// pending (closures cannot be serialized; use the tagged
+/// start_computation overload).
+void save(const core::Simulator& sim, const util::IniFile& experiment,
+          const std::string& path);
+
+/// A simulation reinstated from a snapshot, ready to continue.
+struct RestoredRun {
+  util::IniFile experiment;
+  std::shared_ptr<scenario::Scenario> scenario;  ///< owns fleet + dataset
+  std::shared_ptr<strategy::LearningStrategy> strategy;
+  std::unique_ptr<core::Simulator> simulator;  ///< resumes mid-flight
+
+  /// Runs the simulation to completion and collects the standard result.
+  scenario::RunResult finish();
+};
+
+/// Validates and loads a snapshot: rebuilds the scenario and strategy from
+/// the embedded experiment INI (same seed -> identical substrate), then
+/// overlays the saved dynamic state. Calling run() on the returned
+/// simulator continues exactly where the snapshot was taken.
+/// Throws std::runtime_error on bad magic, unsupported future version,
+/// CRC mismatch, or truncation.
+RestoredRun restore(const std::string& path);
+
+/// What-if fork: restore, but with experiment keys overridden first
+/// ("section.key" -> value, e.g. {"network.v2c_loss", "0.2"}). Overrides
+/// must not change the fleet, dataset, partition, or model architecture —
+/// the saved dynamic state would no longer fit, and restore throws on the
+/// mismatch it can detect (agent counts, model shapes).
+RestoredRun fork(const std::string& path,
+                 const std::map<std::string, std::string>& overrides);
+
+/// Reads and validates only the snapshot's metadata.
+SnapshotInfo peek(const std::string& path);
+
+/// Crash-safe experiment driver: if `ckpt_path` exists, resume from it;
+/// otherwise start fresh. Either way, autosave to `ckpt_path` every
+/// `every_s` simulated seconds (<= 0: use the experiment's
+/// scenario.checkpoint_every_s; if that is also unset, no autosaves).
+/// The checkpoint file is left in place on completion; callers that treat
+/// it as scratch (the campaign engine) delete it after recording results.
+scenario::RunResult run_resumable(const util::IniFile& experiment,
+                                  const std::string& ckpt_path,
+                                  double every_s = 0.0);
+
+}  // namespace roadrunner::checkpoint

@@ -1,0 +1,36 @@
+// Internal: serializes/reinstates a core::Simulator's private dynamic
+// state. Declared a friend of Simulator; used only by the snapshot
+// save/restore orchestration in snapshot.cpp.
+#pragma once
+
+#include "core/simulator.hpp"
+#include "util/binary_io.hpp"
+
+namespace roadrunner::checkpoint {
+
+class SimulatorIo {
+ public:
+  /// Agent state, RNG streams, comm bookkeeping, network counters.
+  static void save_sim(const core::Simulator& sim, util::BinWriter& out);
+  /// Pending event queue (typed entries; training futures forced and
+  /// embedded). Throws std::runtime_error on pending closure computations.
+  static void save_queue(const core::Simulator& sim, util::BinWriter& out);
+  static void save_metrics(const core::Simulator& sim, util::BinWriter& out);
+  static void save_trace(const core::Simulator& sim, util::BinWriter& out);
+
+  /// Overlays saved dynamic state onto a freshly built simulator (same
+  /// scenario, same seed). Marks it restored so run() continues mid-flight.
+  static void restore_sim(core::Simulator& sim, util::BinReader& in);
+  static void restore_queue(core::Simulator& sim, util::BinReader& in);
+  static void restore_metrics(core::Simulator& sim, util::BinReader& in);
+  static void restore_trace(core::Simulator& sim, util::BinReader& in);
+
+  static std::uint64_t pending_events(const core::Simulator& sim) {
+    return sim.queue_.size();
+  }
+  static std::uint64_t executed_events(const core::Simulator& sim) {
+    return sim.queue_.executed_count();
+  }
+};
+
+}  // namespace roadrunner::checkpoint

@@ -1,0 +1,314 @@
+#include "checkpoint/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "checkpoint/sim_io.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/binary_io.hpp"
+#include "util/log.hpp"
+
+namespace roadrunner::checkpoint {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'R', 'C', 'K'};
+
+// Section tags. Readers skip tags they do not know, so future versions can
+// add sections without breaking old snapshots (only *removing* one, or
+// changing a payload layout, needs a format-version bump).
+constexpr std::uint32_t kSectionMeta = 1;
+constexpr std::uint32_t kSectionIni = 2;
+constexpr std::uint32_t kSectionSim = 3;
+constexpr std::uint32_t kSectionQueue = 4;
+constexpr std::uint32_t kSectionStrategy = 5;
+constexpr std::uint32_t kSectionMetrics = 6;
+constexpr std::uint32_t kSectionTrace = 7;
+
+struct Frame {
+  std::uint32_t version = 0;
+  std::string file_bytes;  ///< backing storage for the section views
+  std::map<std::uint32_t, std::string_view> sections;
+
+  [[nodiscard]] util::BinReader section(std::uint32_t tag) const {
+    auto it = sections.find(tag);
+    if (it == sections.end()) {
+      throw std::runtime_error{"checkpoint: snapshot is missing section " +
+                               std::to_string(tag)};
+    }
+    return util::BinReader{it->second};
+  }
+  [[nodiscard]] bool has(std::uint32_t tag) const {
+    return sections.count(tag) != 0;
+  }
+};
+
+/// Reads and fully validates a snapshot file: magic, version, CRC trailer,
+/// section table. Every failure mode gets its own message so users can tell
+/// "wrong file" from "corrupted file" from "produced by a newer build".
+Frame read_frame(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error{"checkpoint: cannot open '" + path + "'"};
+  }
+  Frame frame;
+  frame.file_bytes.assign(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+  const std::string& bytes = frame.file_bytes;
+
+  // magic(4) + version(4) + section count(4) + crc(4)
+  if (bytes.size() < 16) {
+    throw std::runtime_error{"checkpoint: truncated snapshot '" + path + "'"};
+  }
+  if (bytes.compare(0, 4, kMagic, 4) != 0) {
+    throw std::runtime_error{"checkpoint: '" + path +
+                             "' is not a roadrunner snapshot (bad magic)"};
+  }
+
+  util::BinReader header{std::string_view{bytes}.substr(4)};
+  frame.version = header.u32();
+  if (frame.version > kFormatVersion) {
+    throw std::runtime_error{
+        "checkpoint: '" + path + "' has format version " +
+        std::to_string(frame.version) + " but this build supports up to " +
+        std::to_string(kFormatVersion) + " — produced by a newer build?"};
+  }
+
+  const std::uint32_t stored_crc =
+      util::BinReader{std::string_view{bytes}.substr(bytes.size() - 4)}.u32();
+  const std::uint32_t actual_crc =
+      util::crc32(bytes.data(), bytes.size() - 4);
+  if (stored_crc != actual_crc) {
+    throw std::runtime_error{"checkpoint: CRC mismatch in '" + path +
+                             "' — snapshot is corrupted"};
+  }
+
+  const std::uint32_t section_count = header.u32();
+  util::BinReader body{
+      std::string_view{bytes}.substr(12, bytes.size() - 16)};
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint32_t tag = body.u32();
+    const std::uint64_t size = body.u64();
+    if (size > body.remaining()) {
+      throw std::runtime_error{"checkpoint: truncated snapshot '" + path +
+                               "' (section " + std::to_string(tag) +
+                               " overruns the file)"};
+    }
+    const std::size_t offset = frame.file_bytes.size() - 4 - body.remaining();
+    frame.sections[tag] =
+        std::string_view{bytes}.substr(offset, size);
+    body.sub(size);  // advance past the payload
+  }
+  return frame;
+}
+
+SnapshotInfo read_meta(const Frame& frame) {
+  SnapshotInfo info;
+  info.format_version = frame.version;
+  util::BinReader meta = frame.section(kSectionMeta);
+  info.sim_time_s = meta.f64();
+  info.events_executed = meta.u64();
+  info.pending_events = meta.u64();
+  info.strategy_name = meta.str();
+  info.seed = meta.u64();
+  info.experiment_ini = frame.section(kSectionIni).str();
+  return info;
+}
+
+/// Rebuilds the static substrate (fleet, dataset, partition, model,
+/// strategy object) from an experiment description. Same INI + same seed
+/// means a bit-identical substrate — the snapshot only carries the delta.
+RestoredRun build_run(util::IniFile experiment) {
+  RestoredRun run;
+  run.experiment = std::move(experiment);
+  run.scenario = std::make_shared<scenario::Scenario>(
+      scenario::scenario_from_ini(run.experiment));
+  run.strategy = scenario::strategy_from_ini(run.experiment);
+  run.simulator = run.scenario->make_simulator();
+  run.simulator->set_strategy(run.strategy);
+  return run;
+}
+
+RestoredRun restore_impl(const std::string& path,
+                         const std::map<std::string, std::string>& overrides) {
+  RR_TSPAN("checkpoint", "checkpoint.restore");
+  const Frame frame = read_frame(path);
+  const SnapshotInfo info = read_meta(frame);
+
+  util::IniFile experiment = util::IniFile::parse(info.experiment_ini);
+  for (const auto& [dotted, value] : overrides) {
+    const std::size_t dot = dotted.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 == dotted.size()) {
+      throw std::runtime_error{
+          "checkpoint: override key '" + dotted +
+          "' must have the form section.key (e.g. network.v2c_loss)"};
+    }
+    experiment.set(dotted.substr(0, dot), dotted.substr(dot + 1), value);
+  }
+
+  RestoredRun run = build_run(std::move(experiment));
+  if (run.strategy->name() != info.strategy_name) {
+    throw std::runtime_error{
+        "checkpoint: snapshot was taken under strategy '" +
+        info.strategy_name + "' but the experiment now selects '" +
+        run.strategy->name() +
+        "' — overrides must not change the strategy"};
+  }
+
+  util::BinReader sim_section = frame.section(kSectionSim);
+  SimulatorIo::restore_sim(*run.simulator, sim_section);
+  util::BinReader queue_section = frame.section(kSectionQueue);
+  SimulatorIo::restore_queue(*run.simulator, queue_section);
+  util::BinReader strategy_section = frame.section(kSectionStrategy);
+  run.strategy->load_state(strategy_section);
+  if (frame.has(kSectionMetrics)) {
+    util::BinReader metrics_section = frame.section(kSectionMetrics);
+    SimulatorIo::restore_metrics(*run.simulator, metrics_section);
+  }
+  if (frame.has(kSectionTrace)) {
+    util::BinReader trace_section = frame.section(kSectionTrace);
+    SimulatorIo::restore_trace(*run.simulator, trace_section);
+  }
+
+  RR_LOG_INFO("checkpoint")
+      << "restored '" << path << "' at t=" << info.sim_time_s << "s ("
+      << info.events_executed << " events executed, " << info.pending_events
+      << " pending, strategy=" << info.strategy_name << ")";
+  return run;
+}
+
+}  // namespace
+
+void save(const core::Simulator& sim, const util::IniFile& experiment,
+          const std::string& path) {
+  RR_TSPAN("checkpoint", "checkpoint.save");
+
+  struct Section {
+    std::uint32_t tag;
+    std::string payload;
+  };
+  std::vector<Section> sections;
+  auto add = [&sections](std::uint32_t tag, util::BinWriter&& w) {
+    sections.push_back(Section{tag, std::move(w).take()});
+  };
+
+  util::BinWriter meta;
+  meta.f64(sim.now());
+  meta.u64(SimulatorIo::executed_events(sim));
+  meta.u64(SimulatorIo::pending_events(sim));
+  meta.str(sim.strategy() ? sim.strategy()->name() : std::string{});
+  meta.u64(sim.config().seed);
+  add(kSectionMeta, std::move(meta));
+
+  util::BinWriter ini;
+  ini.str(experiment.to_string());
+  add(kSectionIni, std::move(ini));
+
+  util::BinWriter sim_state;
+  SimulatorIo::save_sim(sim, sim_state);
+  add(kSectionSim, std::move(sim_state));
+
+  util::BinWriter queue;
+  SimulatorIo::save_queue(sim, queue);
+  add(kSectionQueue, std::move(queue));
+
+  util::BinWriter strategy;
+  if (sim.strategy()) sim.strategy()->save_state(strategy);
+  add(kSectionStrategy, std::move(strategy));
+
+  util::BinWriter metrics;
+  SimulatorIo::save_metrics(sim, metrics);
+  add(kSectionMetrics, std::move(metrics));
+
+  util::BinWriter trace;
+  SimulatorIo::save_trace(sim, trace);
+  add(kSectionTrace, std::move(trace));
+
+  util::BinWriter frame;
+  frame.raw(kMagic, sizeof kMagic);
+  frame.u32(kFormatVersion);
+  frame.u32(static_cast<std::uint32_t>(sections.size()));
+  for (const Section& s : sections) {
+    frame.u32(s.tag);
+    frame.u64(s.payload.size());
+    frame.raw(s.payload.data(), s.payload.size());
+  }
+  frame.u32(util::crc32(frame.buffer().data(), frame.buffer().size()));
+
+  // Atomic + durable: a crash mid-save leaves either the old snapshot or
+  // none, never a half-written one; the rename is fsync'd into the
+  // directory so it survives power loss.
+  namespace fs = std::filesystem;
+  const fs::path target{path};
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path());
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      throw std::runtime_error{"checkpoint: cannot write '" + tmp + "'"};
+    }
+    out.write(frame.buffer().data(),
+              static_cast<std::streamsize>(frame.buffer().size()));
+    if (!out) {
+      throw std::runtime_error{"checkpoint: short write to '" + tmp + "'"};
+    }
+  }
+  util::sync_file(tmp);
+  fs::rename(tmp, target);
+  util::sync_dir(target.has_parent_path() ? target.parent_path().string()
+                                          : std::string{"."});
+}
+
+scenario::RunResult RestoredRun::finish() {
+  const std::string name = strategy->name();
+  core::Simulator::RunReport report = simulator->run();
+  return scenario::Scenario::collect_result(*simulator, name, report);
+}
+
+RestoredRun restore(const std::string& path) { return restore_impl(path, {}); }
+
+RestoredRun fork(const std::string& path,
+                 const std::map<std::string, std::string>& overrides) {
+  return restore_impl(path, overrides);
+}
+
+SnapshotInfo peek(const std::string& path) {
+  return read_meta(read_frame(path));
+}
+
+scenario::RunResult run_resumable(const util::IniFile& experiment,
+                                  const std::string& ckpt_path,
+                                  double every_s) {
+  const double period =
+      every_s > 0.0
+          ? every_s
+          : experiment.get_double("scenario", "checkpoint_every_s", 0.0);
+
+  const auto install_autosave = [&](core::Simulator& sim,
+                                    util::IniFile ini) {
+    if (period <= 0.0) return;
+    sim.set_autosave(period,
+                     [ini = std::move(ini), ckpt_path](core::Simulator& s) {
+                       save(s, ini, ckpt_path);
+                     });
+  };
+
+  if (std::filesystem::exists(ckpt_path)) {
+    RestoredRun run = restore(ckpt_path);
+    install_autosave(*run.simulator, run.experiment);
+    return run.finish();
+  }
+
+  RestoredRun run = build_run(experiment);
+  install_autosave(*run.simulator, run.experiment);
+  return run.finish();
+}
+
+}  // namespace roadrunner::checkpoint

@@ -82,6 +82,17 @@ class Network {
 
   [[nodiscard]] const ChannelStats& stats(ChannelKind kind) const;
 
+  // ----- checkpoint support -------------------------------------------------
+  /// The delivery-loss RNG stream, for snapshotting (it advances on every
+  /// roll_delivery; restoring it replays the same loss sequence).
+  [[nodiscard]] std::array<std::uint64_t, 4> rng_state() const {
+    return rng_.state();
+  }
+  void set_rng_state(const std::array<std::uint64_t, 4>& state) {
+    rng_.set_state(state);
+  }
+  void set_stats(ChannelKind kind, const ChannelStats& stats);
+
  private:
   const mobility::FleetModel* fleet_;
   Config config_;

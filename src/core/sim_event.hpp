@@ -1,0 +1,48 @@
+// Typed scheduled-event payload for the Core Simulator's queue.
+//
+// Every event the simulator schedules is one of a closed set of kinds with
+// plain-data fields (plus, for in-flight training, a future whose result is
+// forced and stored at checkpoint time). This is the property the
+// checkpoint subsystem rests on: a pending queue of SimEvents serializes
+// into a snapshot and restores bit-identically, which a queue of closures
+// never could. The one escape hatch — kClosureComputation, backing the
+// closure-based StrategyContext::start_computation — is the one event kind
+// a snapshot rejects (strategies that want checkpointing use the tagged
+// start_computation overload instead).
+#pragma once
+
+#include <functional>
+#include <future>
+
+#include "core/message.hpp"
+#include "core/ml_service.hpp"
+
+namespace roadrunner::strategy {
+class StrategyContext;
+}
+
+namespace roadrunner::core {
+
+enum class SimEventKind : std::uint8_t {
+  kMobilityTick = 0,        ///< periodic encounter/power diff; reschedules
+  kDeliver = 1,             ///< a message leaves the wire (msg)
+  kFinishTraining = 2,      ///< training ends (agent, tag, durations, job)
+  kComputation = 3,         ///< tagged HU computation ends (agent, tag)
+  kTimer = 4,               ///< strategy timer fires (agent, tag)
+  kClosureComputation = 5,  ///< closure HU computation ends (work)
+};
+
+struct SimEvent {
+  SimEventKind kind = SimEventKind::kMobilityTick;
+  AgentId agent = kNoAgent;
+  /// round_tag (kFinishTraining), completion tag (kComputation), or
+  /// timer_id (kTimer).
+  int tag = 0;
+  double duration_s = 0.0;    ///< simulated duration charged for the work
+  double data_amount = 0.0;   ///< samples behind a training result
+  Message msg;                ///< kDeliver payload
+  std::shared_future<TrainResult> job;  ///< kFinishTraining result
+  std::function<void(strategy::StrategyContext&, bool)> work;  ///< closure
+};
+
+}  // namespace roadrunner::core

@@ -76,6 +76,12 @@ void Simulator::set_strategy(
   strategy_ = std::move(strategy);
 }
 
+void Simulator::set_autosave(double every_s,
+                             std::function<void(Simulator&)> fn) {
+  autosave_every_s_ = every_s;
+  autosave_ = std::move(fn);
+}
+
 // ----- observation ---------------------------------------------------------
 
 SimTime Simulator::now() const { return queue_.current_time(); }
@@ -197,9 +203,10 @@ bool Simulator::begin_transfer(Message msg, bool queued) {
   if (network_.channel(msg.channel).max_concurrent_per_agent > 0) {
     ++active_transfers_[std::pair{msg.from, msg.channel}];
   }
-  queue_.schedule(at, [this, msg = std::move(msg)]() mutable {
-    deliver(std::move(msg));
-  });
+  SimEvent ev;
+  ev.kind = SimEventKind::kDeliver;
+  ev.msg = std::move(msg);
+  queue_.schedule(at, std::move(ev));
   return true;
 }
 
@@ -278,12 +285,14 @@ bool Simulator::start_training(AgentId id, int round_tag,
     job = ready.get_future().share();
   }
 
-  const double data_amount = static_cast<double>(data.size());
-  queue_.schedule(now() + duration,
-                  [this, id, round_tag, duration, data_amount, job] {
-                    finish_training(id, round_tag, duration, data_amount,
-                                    job);
-                  });
+  SimEvent ev;
+  ev.kind = SimEventKind::kFinishTraining;
+  ev.agent = id;
+  ev.tag = round_tag;
+  ev.duration_s = duration;
+  ev.data_amount = static_cast<double>(data.size());
+  ev.job = std::move(job);
+  queue_.schedule(now() + duration, std::move(ev));
   metrics_.increment("trainings_started");
   trace_.record(now(), TraceKind::kTrainingStarted, id, kNoAgent,
                 "round=" + std::to_string(round_tag));
@@ -342,37 +351,71 @@ double Simulator::test_accuracy(const ml::Weights& weights) {
 
 const ml::DatasetView& Simulator::test_set() const { return ml_.test_set(); }
 
+std::optional<double> Simulator::reserve_computation(AgentId id,
+                                                     std::uint64_t flops) {
+  Agent& a = agent_mut(id);
+  if (!is_on(id) || a.training) return std::nullopt;
+  const double duration = a.hu.operation_duration(flops);
+  if (!a.hu.reserve(now(), duration)) return std::nullopt;
+  a.training = true;
+  return duration;
+}
+
 bool Simulator::start_computation(
     AgentId id, std::uint64_t flops,
     std::function<void(strategy::StrategyContext&, bool)> work) {
   if (!work) {
     throw std::invalid_argument{"start_computation: null work"};
   }
-  Agent& a = agent_mut(id);
-  if (!is_on(id) || a.training) return false;
-  const double duration = a.hu.operation_duration(flops);
-  if (!a.hu.reserve(now(), duration)) return false;
-  a.training = true;
-  queue_.schedule(now() + duration,
-                  [this, id, duration, work = std::move(work)] {
-                    Agent& agent = agent_mut(id);
-                    agent.training = false;
-                    const bool success = is_on(id);
-                    metrics_.increment(success ? "computations_completed"
-                                               : "computations_discarded");
-                    if (success) metrics_.increment("compute_seconds", duration);
-                    work(*this, success);
-                  });
+  const std::optional<double> duration = reserve_computation(id, flops);
+  if (!duration) return false;
+  SimEvent ev;
+  ev.kind = SimEventKind::kClosureComputation;
+  ev.agent = id;
+  ev.duration_s = *duration;
+  ev.work = std::move(work);
+  queue_.schedule(now() + *duration, std::move(ev));
   return true;
+}
+
+bool Simulator::start_computation(AgentId id, std::uint64_t flops,
+                                  int completion_tag) {
+  const std::optional<double> duration = reserve_computation(id, flops);
+  if (!duration) return false;
+  SimEvent ev;
+  ev.kind = SimEventKind::kComputation;
+  ev.agent = id;
+  ev.tag = completion_tag;
+  ev.duration_s = *duration;
+  queue_.schedule(now() + *duration, std::move(ev));
+  return true;
+}
+
+void Simulator::finish_computation(
+    AgentId id, double duration_s, int tag,
+    const std::function<void(strategy::StrategyContext&, bool)>& work) {
+  Agent& a = agent_mut(id);
+  a.training = false;
+  const bool success = is_on(id);
+  metrics_.increment(success ? "computations_completed"
+                             : "computations_discarded");
+  if (success) metrics_.increment("compute_seconds", duration_s);
+  if (work) {
+    work(*this, success);
+  } else {
+    strategy_->on_computation_complete(*this, id, tag, success);
+  }
 }
 
 void Simulator::schedule_timer(AgentId id, double delay_s, int timer_id) {
   if (delay_s < 0.0) {
     throw std::invalid_argument{"schedule_timer: negative delay"};
   }
-  queue_.schedule(now() + delay_s, [this, id, timer_id] {
-    strategy_->on_timer(*this, id, timer_id);
-  });
+  SimEvent ev;
+  ev.kind = SimEventKind::kTimer;
+  ev.agent = id;
+  ev.tag = timer_id;
+  queue_.schedule(now() + delay_s, std::move(ev));
 }
 
 void Simulator::request_stop() { stop_requested_ = true; }
@@ -428,10 +471,36 @@ void Simulator::mobility_tick() {
 
 void Simulator::schedule_next_tick(double at) {
   if (at > config_.horizon_s) return;
-  queue_.schedule(at, [this, at] {
-    mobility_tick();
-    schedule_next_tick(at + config_.mobility_tick_s);
-  });
+  SimEvent ev;
+  ev.kind = SimEventKind::kMobilityTick;
+  queue_.schedule(at, std::move(ev));
+}
+
+void Simulator::dispatch(SimEvent ev) {
+  switch (ev.kind) {
+    case SimEventKind::kMobilityTick:
+      mobility_tick();
+      // The event's own time is current_time() now; the cadence is
+      // identical to the pre-refactor chained closures.
+      schedule_next_tick(queue_.current_time() + config_.mobility_tick_s);
+      break;
+    case SimEventKind::kDeliver:
+      deliver(std::move(ev.msg));
+      break;
+    case SimEventKind::kFinishTraining:
+      finish_training(ev.agent, ev.tag, ev.duration_s, ev.data_amount,
+                      std::move(ev.job));
+      break;
+    case SimEventKind::kComputation:
+      finish_computation(ev.agent, ev.duration_s, ev.tag, nullptr);
+      break;
+    case SimEventKind::kClosureComputation:
+      finish_computation(ev.agent, ev.duration_s, /*tag=*/0, ev.work);
+      break;
+    case SimEventKind::kTimer:
+      strategy_->on_timer(*this, ev.agent, ev.tag);
+      break;
+  }
 }
 
 void Simulator::export_channel_counters() {
@@ -462,18 +531,34 @@ Simulator::RunReport Simulator::run() {
   telemetry::Span run_span{"sim", "sim.run"};
   static telemetry::Counter events_counter{"sim.events_executed"};
 
-  last_power_.resize(vehicle_ids_.size());
-  for (std::size_t i = 0; i < vehicle_ids_.size(); ++i) {
-    last_power_[i] = fleet_->is_on(agents_[vehicle_ids_[i]].node, 0.0);
+  if (!restored_) {
+    last_power_.resize(vehicle_ids_.size());
+    for (std::size_t i = 0; i < vehicle_ids_.size(); ++i) {
+      last_power_[i] = fleet_->is_on(agents_[vehicle_ids_[i]].node, 0.0);
+    }
+    strategy_->on_start(*this);
+    schedule_next_tick(config_.mobility_tick_s);
   }
+  // A restored run continues mid-flight: on_start, initial power states,
+  // and the tick chain are all part of the reinstated state.
 
-  strategy_->on_start(*this);
-  schedule_next_tick(config_.mobility_tick_s);
+  // Autosaves fire between events, outside the queue: they consume no
+  // event slots, no seq numbers, and no randomness, so a snapshot-resumed
+  // run replays exactly like an uninterrupted one.
+  double next_autosave = std::numeric_limits<double>::infinity();
+  if (autosave_ && autosave_every_s_ > 0.0) {
+    next_autosave = queue_.current_time() + autosave_every_s_;
+  }
 
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.next_time() > config_.horizon_s) break;
-    queue_.run_next();
+    dispatch(queue_.pop_next());
     events_counter.add();
+    if (queue_.current_time() >= next_autosave) {
+      RR_TSPAN("checkpoint", "checkpoint.autosave");
+      autosave_(*this);
+      next_autosave = queue_.current_time() + autosave_every_s_;
+    }
   }
 
   strategy_->on_finish(*this);

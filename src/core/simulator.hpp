@@ -11,6 +11,13 @@
 //  * mobility ticks that diff encounter sets and power states into
 //    strategy events;
 //  * metrics output timestamped in simulated time.
+//
+// The pending-event queue carries typed SimEvent payloads (not closures),
+// so a running simulation is fully serializable: checkpoint::SimulatorIo —
+// a friend — snapshots and reinstates every private field. Autosaves are
+// triggered *between* events by the run loop, never through the queue, so
+// checkpointing is invisible to event counts, sequence numbers, and RNG
+// streams (the determinism contract: a resumed run replays bit-identically).
 #pragma once
 
 #include <deque>
@@ -19,13 +26,19 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 
 #include "core/agent.hpp"
 #include "core/event_queue.hpp"
 #include "core/event_trace.hpp"
 #include "core/message.hpp"
 #include "core/ml_service.hpp"
+#include "core/sim_event.hpp"
 #include "strategy/learning_strategy.hpp"
+
+namespace roadrunner::checkpoint {
+class SimulatorIo;
+}
 
 namespace roadrunner::core {
 
@@ -57,6 +70,12 @@ struct SimulatorConfig {
   /// concurrent run in the process; spans stay distinguishable by tid.
   /// Off by default: instrumented sites then cost a single branch.
   bool telemetry = false;
+  /// Autosave period in *simulated* seconds; 0 disables. The scenario layer
+  /// wires this into an actual checkpoint::save via set_autosave().
+  double checkpoint_every_s = 0.0;
+  /// Directory for autosaved snapshots (scenario layer default: the
+  /// experiment's working directory).
+  std::string checkpoint_dir;
 };
 
 class Simulator final : public strategy::StrategyContext {
@@ -83,6 +102,12 @@ class Simulator final : public strategy::StrategyContext {
 
   void set_strategy(std::shared_ptr<strategy::LearningStrategy> strategy);
 
+  /// Installs the autosave hook: every `every_s` simulated seconds the run
+  /// loop calls `fn` *between* events (never through the event queue, so
+  /// snapshots perturb nothing — event counts, seq numbers, and RNG streams
+  /// are exactly those of an uninterrupted run). every_s <= 0 disables.
+  void set_autosave(double every_s, std::function<void(Simulator&)> fn);
+
   // ----- execution ---------------------------------------------------------
   struct RunReport {
     double sim_end_time_s = 0.0;
@@ -90,7 +115,9 @@ class Simulator final : public strategy::StrategyContext {
     double wall_seconds = 0.0;  ///< for the Req.-6 speed-up metric
     bool stopped_by_strategy = false;
   };
-  /// Runs to completion. May be called once.
+  /// Runs to completion. May be called once. On a simulator reinstated from
+  /// a snapshot this *continues* the original run: on_start and the initial
+  /// mobility tick are skipped (they already happened before the snapshot).
   RunReport run();
 
   [[nodiscard]] const comm::Network& network() const { return network_; }
@@ -100,6 +127,11 @@ class Simulator final : public strategy::StrategyContext {
   }
   [[nodiscard]] const EventTrace& trace() const { return trace_; }
   [[nodiscard]] const SimulatorConfig& config() const { return config_; }
+  [[nodiscard]] const strategy::LearningStrategy* strategy() const {
+    return strategy_.get();
+  }
+  /// True once reinstated from a snapshot (run() then resumes mid-flight).
+  [[nodiscard]] bool restored() const { return restored_; }
 
   // ----- StrategyContext implementation ------------------------------------
   [[nodiscard]] SimTime now() const override;
@@ -127,15 +159,24 @@ class Simulator final : public strategy::StrategyContext {
   bool start_computation(
       AgentId id, std::uint64_t flops,
       std::function<void(strategy::StrategyContext&, bool)> work) override;
+  bool start_computation(AgentId id, std::uint64_t flops,
+                         int completion_tag) override;
   void schedule_timer(AgentId id, double delay_s, int timer_id) override;
   void request_stop() override;
   [[nodiscard]] metrics::Registry& metrics() override { return metrics_; }
   [[nodiscard]] util::Rng& rng() override { return strategy_rng_; }
 
  private:
+  friend class roadrunner::checkpoint::SimulatorIo;
+
   Agent& agent_mut(AgentId id);
+  /// Executes one popped event (the former per-kind closures, as a switch).
+  void dispatch(SimEvent ev);
   void mobility_tick();
   void schedule_next_tick(double at);
+  /// Reserves `id`'s HU for `flops` and marks it training. Returns the
+  /// charged duration, or nullopt if the agent is off/busy.
+  std::optional<double> reserve_computation(AgentId id, std::uint64_t flops);
   /// Starts the wire transfer for `msg` (link check, duration, delivery
   /// event). Returns false and records a failed attempt if the link is not
   /// viable now. `queued` selects the failure notification path: queued
@@ -148,6 +189,9 @@ class Simulator final : public strategy::StrategyContext {
   void finish_training(AgentId id, int round_tag, double duration_s,
                        double data_amount,
                        std::shared_future<TrainResult> job);
+  void finish_computation(AgentId id, double duration_s, int tag,
+                          const std::function<void(strategy::StrategyContext&,
+                                                   bool)>& work);
   void export_channel_counters();
 
   const mobility::FleetModel* fleet_;
@@ -155,7 +199,7 @@ class Simulator final : public strategy::StrategyContext {
   MlService ml_;
   SimulatorConfig config_;
 
-  EventQueue queue_;
+  BasicEventQueue<SimEvent> queue_;
   std::vector<Agent> agents_;
   std::vector<AgentId> vehicle_ids_;
   std::vector<AgentId> rsu_ids_;
@@ -181,9 +225,13 @@ class Simulator final : public strategy::StrategyContext {
   std::map<std::pair<AgentId, comm::ChannelKind>, std::deque<Message>>
       send_backlog_;
 
+  double autosave_every_s_ = 0.0;
+  std::function<void(Simulator&)> autosave_;
+
   bool running_ = false;
   bool ran_ = false;
   bool stop_requested_ = false;
+  bool restored_ = false;
 };
 
 }  // namespace roadrunner::core

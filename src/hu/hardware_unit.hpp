@@ -68,6 +68,17 @@ class HardwareUnit {
   /// workload metric, Req. 4).
   [[nodiscard]] double total_busy_time() const { return total_busy_; }
 
+  // ----- checkpoint support -------------------------------------------------
+  /// Currently reserved slot end times (unordered; compaction is lazy and
+  /// order-independent, so round-tripping these preserves behaviour).
+  [[nodiscard]] const std::vector<double>& slot_ends() const {
+    return slot_ends_;
+  }
+  void restore_state(std::vector<double> slot_ends, double total_busy) {
+    slot_ends_ = std::move(slot_ends);
+    total_busy_ = total_busy;
+  }
+
  private:
   DeviceClass device_;
   /// End times of currently reserved slots; lazily compacted.

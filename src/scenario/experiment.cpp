@@ -38,6 +38,10 @@ ScenarioConfig scenario_from_ini(const IniFile& ini) {
   cfg.trace_events =
       ini.get_bool("scenario", "trace_events", cfg.trace_events);
   cfg.telemetry = ini.get_bool("scenario", "telemetry", cfg.telemetry);
+  cfg.checkpoint_every_s = ini.get_double("scenario", "checkpoint_every_s",
+                                          cfg.checkpoint_every_s);
+  cfg.checkpoint_dir =
+      ini.get("scenario", "checkpoint_dir", cfg.checkpoint_dir);
 
   // [city]
   cfg.city.city_size_m =

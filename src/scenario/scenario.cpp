@@ -110,6 +110,8 @@ std::unique_ptr<core::Simulator> Scenario::make_simulator() const {
   sim_cfg.trace_events = config_.trace_events;
   sim_cfg.telemetry = config_.telemetry;
   sim_cfg.data_arrival_per_s = config_.data_arrival_per_s;
+  sim_cfg.checkpoint_every_s = config_.checkpoint_every_s;
+  sim_cfg.checkpoint_dir = config_.checkpoint_dir;
 
   core::MlService ml_service{prototype_, test_set_};
   auto sim = std::make_unique<core::Simulator>(*fleet_, config_.net,
@@ -127,14 +129,22 @@ std::unique_ptr<core::Simulator> Scenario::make_simulator() const {
 RunResult Scenario::run(
     std::shared_ptr<strategy::LearningStrategy> strategy) const {
   auto sim = make_simulator();
-  RunResult result;
-  result.strategy_name = strategy->name();
+  const std::string name = strategy->name();
   sim->set_strategy(std::move(strategy));
-  result.report = sim->run();
-  result.metrics = sim->metrics_view();
+  core::Simulator::RunReport report = sim->run();
+  return collect_result(*sim, name, report);
+}
+
+RunResult Scenario::collect_result(const core::Simulator& sim,
+                                   const std::string& strategy_name,
+                                   core::Simulator::RunReport report) {
+  RunResult result;
+  result.strategy_name = strategy_name;
+  result.report = report;
+  result.metrics = sim.metrics_view();
   for (std::size_t k = 0; k < comm::kChannelKindCount; ++k) {
     result.channel_stats[k] =
-        sim->network().stats(static_cast<comm::ChannelKind>(k));
+        sim.network().stats(static_cast<comm::ChannelKind>(k));
   }
   result.final_accuracy = result.metrics.counter("final_accuracy");
   return result;

@@ -65,6 +65,12 @@ struct ScenarioConfig {
   /// Samples arriving per vehicle per second (0 = all data at t=0);
   /// models fleets that sense continuously (paper §1, "fresh data").
   double data_arrival_per_s = 0.0;
+  /// Autosave a crash-recovery snapshot every this many simulated seconds
+  /// (0 = no autosaves). Only effective through checkpoint::run_resumable
+  /// or the campaign engine, which install the autosave hook.
+  double checkpoint_every_s = 0.0;
+  /// Where autosaved snapshots land (empty = current directory).
+  std::string checkpoint_dir;
 };
 
 /// Everything a bench needs from one finished run.
@@ -95,6 +101,12 @@ class Scenario {
 
   /// Convenience: make_simulator + set_strategy + run + collect results.
   RunResult run(std::shared_ptr<strategy::LearningStrategy> strategy) const;
+
+  /// Collects a RunResult from a simulator that has finished run() — shared
+  /// by Scenario::run and the checkpoint subsystem's resumed runs.
+  static RunResult collect_result(const core::Simulator& sim,
+                                  const std::string& strategy_name,
+                                  core::Simulator::RunReport report);
 
   [[nodiscard]] const mobility::FleetModel& fleet() const { return *fleet_; }
   [[nodiscard]] const ml::DatasetView& test_set() const { return test_set_; }

@@ -44,6 +44,9 @@ class CentralizedStrategy final : public LearningStrategy {
     return uploaded_.size();
   }
 
+  void save_state(util::BinWriter& out) const override;
+  void load_state(util::BinReader& in) override;
+
   static constexpr const char* kTagData = "raw-data";
   enum TimerId : int { kTimerServerTrain = 1, kTimerRetry = 2, kTimerStop = 3 };
 

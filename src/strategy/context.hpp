@@ -105,6 +105,15 @@ class StrategyContext {
       AgentId id, std::uint64_t flops,
       std::function<void(StrategyContext&, bool success)> work) = 0;
 
+  /// Checkpoint-safe variant: instead of a closure, completion fires
+  /// LearningStrategy::on_computation_complete(id, completion_tag, success).
+  /// Because the pending operation is plain data (agent, tag, duration) it
+  /// can live inside a snapshot; closure-based computations cannot, and a
+  /// checkpoint save() refuses while any are pending. New strategies should
+  /// prefer this overload.
+  virtual bool start_computation(AgentId id, std::uint64_t flops,
+                                 int completion_tag) = 0;
+
   /// Fires LearningStrategy::on_timer(id, timer_id) after `delay_s`.
   virtual void schedule_timer(AgentId id, double delay_s, int timer_id) = 0;
 

@@ -22,6 +22,9 @@ class FederatedStrategy final : public RoundBasedStrategy {
   void on_training_failed(StrategyContext& ctx, AgentId id,
                           int round_tag) override;
 
+  void save_state(util::BinWriter& out) const override;
+  void load_state(util::BinReader& in) override;
+
  protected:
   void on_vehicle_message(StrategyContext& ctx, const Message& msg) override;
 

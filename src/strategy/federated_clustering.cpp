@@ -1,5 +1,7 @@
 #include "strategy/federated_clustering.hpp"
 
+#include "strategy/state_io.hpp"
+
 #include "ml/kmeans.hpp"
 
 namespace roadrunner::strategy {
@@ -70,23 +72,14 @@ void FederatedClusteringStrategy::on_vehicle_message(StrategyContext& ctx,
     const ml::DatasetView data = ctx.available_data(vehicle);
     if (data.empty()) return;
     trained_round_.erase(vehicle);
-    ml::KMeansModel local = from_weights(msg.model);
     const int round = msg.round;
     const std::uint64_t flops =
         lloyd_flops(data.size(), data.base().sample_size());
-    // Local Lloyd refinement, charged to the vehicle's HU.
-    ctx.start_computation(
-        vehicle, flops,
-        [this, vehicle, local, round](StrategyContext& inner_ctx,
-                                      bool success) mutable {
-          if (!success) return;
-          const ml::DatasetView vdata = inner_ctx.available_data(vehicle);
-          if (vdata.empty()) return;
-          ml::kmeans_fit(local, vdata, config_.local_iterations);
-          inner_ctx.set_model(vehicle, to_weights(local),
-                              static_cast<double>(vdata.size()));
-          trained_round_[vehicle] = round;
-        });
+    // Local Lloyd refinement, charged to the vehicle's HU. Tagged (not
+    // closure) completion keeps the pending operation serializable.
+    if (ctx.start_computation(vehicle, flops, round)) {
+      pending_fits_[vehicle] = PendingFit{round, msg.model};
+    }
     return;
   }
   if (msg.tag == kTagRequest) {
@@ -101,6 +94,47 @@ void FederatedClusteringStrategy::on_vehicle_message(StrategyContext& ctx,
     reply.model = ctx.agent(msg.to).model;
     reply.data_amount = ctx.agent(msg.to).model_data_amount;
     ctx.send(std::move(reply));
+  }
+}
+
+void FederatedClusteringStrategy::on_computation_complete(StrategyContext& ctx,
+                                                          AgentId id, int tag,
+                                                          bool success) {
+  const auto it = pending_fits_.find(id);
+  if (it == pending_fits_.end() || it->second.round != tag) return;
+  const PendingFit fit = std::move(it->second);
+  pending_fits_.erase(it);
+  if (!success) return;
+  const ml::DatasetView vdata = ctx.available_data(id);
+  if (vdata.empty()) return;
+  ml::KMeansModel local = from_weights(fit.start);
+  ml::kmeans_fit(local, vdata, config_.local_iterations);
+  ctx.set_model(id, to_weights(local), static_cast<double>(vdata.size()));
+  trained_round_[id] = fit.round;
+}
+
+void FederatedClusteringStrategy::save_state(util::BinWriter& out) const {
+  RoundBasedStrategy::save_state(out);
+  io::write_round_map(out, trained_round_);
+  out.u64(pending_fits_.size());
+  for (const auto& [id, fit] : pending_fits_) {
+    out.u64(id);
+    out.i64(fit.round);
+    io::write_weights(out, fit.start);
+  }
+}
+
+void FederatedClusteringStrategy::load_state(util::BinReader& in) {
+  RoundBasedStrategy::load_state(in);
+  trained_round_ = io::read_round_map(in);
+  pending_fits_.clear();
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const AgentId id = in.u64();
+    PendingFit fit;
+    fit.round = static_cast<int>(in.i64());
+    fit.start = io::read_weights(in);
+    pending_fits_[id] = std::move(fit);
   }
 }
 

@@ -33,6 +33,11 @@ class FederatedClusteringStrategy final : public RoundBasedStrategy {
   }
 
   void on_start(StrategyContext& ctx) override;
+  void on_computation_complete(StrategyContext& ctx, AgentId id,
+                               int completion_tag, bool success) override;
+
+  void save_state(util::BinWriter& out) const override;
+  void load_state(util::BinReader& in) override;
 
  protected:
   [[nodiscard]] ml::Weights initial_global_model(StrategyContext& ctx)
@@ -47,8 +52,18 @@ class FederatedClusteringStrategy final : public RoundBasedStrategy {
   [[nodiscard]] std::uint64_t lloyd_flops(std::size_t samples,
                                           std::size_t dims) const;
 
+  /// A Lloyd refinement in flight on a vehicle's HU: the centroids it
+  /// started from and the round it belongs to. Uses the *tagged*
+  /// start_computation (tag = round), so the pending operation — and with
+  /// it the whole simulation — stays checkpointable.
+  struct PendingFit {
+    int round = -1;
+    ml::Weights start;
+  };
+
   FederatedClusteringConfig config_;
   std::map<AgentId, int> trained_round_;
+  std::map<AgentId, PendingFit> pending_fits_;
 };
 
 }  // namespace roadrunner::strategy

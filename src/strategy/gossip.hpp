@@ -51,6 +51,9 @@ class GossipStrategy final : public LearningStrategy {
 
   [[nodiscard]] std::uint64_t total_merges() const { return total_merges_; }
 
+  void save_state(util::BinWriter& out) const override;
+  void load_state(util::BinReader& in) override;
+
   static constexpr const char* kTagGossip = "gossip-model";
   enum TimerId : int { kTimerRetrain = 1, kTimerEval = 2, kTimerStop = 3 };
 

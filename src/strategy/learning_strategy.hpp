@@ -10,6 +10,7 @@
 #include "comm/channel.hpp"
 #include "core/ml_service.hpp"
 #include "strategy/context.hpp"
+#include "util/binary_io.hpp"
 
 namespace roadrunner::strategy {
 
@@ -64,6 +65,23 @@ class LearningStrategy {
   /// A vehicle's ignition state flipped (paper Req. 1).
   virtual void on_power_on(StrategyContext& /*ctx*/, AgentId /*id*/) {}
   virtual void on_power_off(StrategyContext& /*ctx*/, AgentId /*id*/) {}
+
+  /// A tagged computation (StrategyContext::start_computation with a
+  /// completion_tag) finished. success=false means the agent powered off
+  /// mid-operation and any result must be discarded.
+  virtual void on_computation_complete(StrategyContext& /*ctx*/,
+                                       AgentId /*id*/, int /*completion_tag*/,
+                                       bool /*success*/) {}
+
+  // ----- checkpointing -----------------------------------------------------
+  /// Serializes the strategy's mutable run state (round counters, pending
+  /// sets, buffered models — NOT configuration, which is rebuilt from the
+  /// experiment description). Paired with load_state: a freshly constructed
+  /// strategy given load_state(save_state's output) must behave identically
+  /// to the original from that point on. The default (empty) pairing suits
+  /// stateless strategies.
+  virtual void save_state(util::BinWriter& /*out*/) const {}
+  virtual void load_state(util::BinReader& /*in*/) {}
 };
 
 }  // namespace roadrunner::strategy

@@ -52,6 +52,9 @@ class OpportunisticStrategy final : public RoundBasedStrategy {
   static constexpr const char* kTagOffer = "opp-offer";
   static constexpr const char* kTagReturn = "opp-return";
 
+  void save_state(util::BinWriter& out) const override;
+  void load_state(util::BinReader& in) override;
+
  protected:
   void on_selected(StrategyContext& ctx, AgentId vehicle, int round) override;
   void on_round_closing(StrategyContext& ctx, int round) override;

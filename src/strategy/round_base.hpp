@@ -51,6 +51,12 @@ class RoundBasedStrategy : public LearningStrategy {
   void on_message_failed(StrategyContext& ctx, const Message& msg,
                          comm::LinkStatus reason) override;
 
+  /// Round machinery state (round counter, global model, selection and
+  /// contribution buffers). Derived strategies extend both by calling the
+  /// base first.
+  void save_state(util::BinWriter& out) const override;
+  void load_state(util::BinReader& in) override;
+
   [[nodiscard]] int current_round() const { return round_; }
   [[nodiscard]] const ml::Weights& global_model() const { return global_; }
   [[nodiscard]] const RoundConfig& round_config() const { return config_; }

@@ -43,6 +43,9 @@ class RsuAssistedStrategy final : public RoundBasedStrategy {
   /// Contributions that travelled vehicle->RSU->wire instead of V2C.
   [[nodiscard]] std::uint64_t rsu_relayed() const { return rsu_relayed_; }
 
+  void save_state(util::BinWriter& out) const override;
+  void load_state(util::BinReader& in) override;
+
   static constexpr const char* kTagRsuUpload = "rsu-upload";
   static constexpr const char* kTagRsuRelay = "rsu-relay";
 

@@ -1,0 +1,70 @@
+#include "util/binary_io.hpp"
+
+#include <array>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define RR_HAVE_FSYNC 1
+#endif
+
+namespace roadrunner::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+void sync_file(const std::string& path) {
+#ifdef RR_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    throw std::runtime_error{"sync_file: cannot open " + path};
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error{"sync_file: fsync failed on " + path};
+  }
+#else
+  (void)path;
+#endif
+}
+
+void sync_dir(const std::string& path) {
+#ifdef RR_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error{"sync_dir: cannot open " + path};
+  }
+  // Some filesystems refuse fsync on directories; that is not a durability
+  // bug we can fix, so only open() failures are fatal.
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace roadrunner::util

@@ -1,0 +1,146 @@
+// Little-endian binary (de)serialization primitives for the checkpoint
+// subsystem (and any other module that needs a portable byte format).
+//
+// BinWriter appends fixed-width scalars, strings, and containers to an
+// in-memory buffer; BinReader consumes the same layout and throws
+// std::runtime_error on any truncation or overrun instead of reading
+// garbage. The layout is explicitly little-endian and fixed-width, so a
+// snapshot written on one platform restores on any other.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roadrunner::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+/// `seed` allows incremental computation: crc32(b, crc32(a)) == crc32(a+b)
+/// holds via the conventional pre/post inversion handled internally.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Flushes a file's contents to stable storage (POSIX fsync). No-op on
+/// platforms without fsync. Throws std::runtime_error on failure.
+void sync_file(const std::string& path);
+
+/// Flushes a directory entry to stable storage so a just-renamed file
+/// survives a crash (fsync on the directory fd). No-op where unsupported.
+void sync_dir(const std::string& path);
+
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    append_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// u64 length + raw bytes.
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    u64(b.size());
+    if (!b.empty()) {
+      buf_.append(reinterpret_cast<const char*>(b.data()), b.size());
+    }
+  }
+  /// Raw bytes with no length prefix (for fixed-layout headers).
+  void raw(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  [[nodiscard]] const std::string& buffer() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  std::string buf_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_{data} {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint64_t n = len(u64());
+    std::string s{data_.substr(pos_, n)};
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint64_t n = len(u64());
+    std::vector<std::uint8_t> b(n);
+    if (n != 0) std::memcpy(b.data(), data_.data() + pos_, n);
+    pos_ += n;
+    return b;
+  }
+  /// A sub-reader over the next `n` bytes; advances this reader past them.
+  BinReader sub(std::uint64_t n) {
+    const std::uint64_t m = len(n);
+    BinReader r{data_.substr(pos_, m)};
+    pos_ += m;
+    return r;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw std::runtime_error{"BinReader: truncated input"};
+    }
+  }
+  std::uint64_t len(std::uint64_t n) const {
+    need(n);
+    return n;
+  }
+  template <typename T>
+  T read_le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace roadrunner::util

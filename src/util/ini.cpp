@@ -164,4 +164,15 @@ void IniFile::set(const std::string& section, const std::string& key,
   data_[section][key] = value;
 }
 
+std::string IniFile::to_string() const {
+  std::string out;
+  for (const auto& [section, keys] : data_) {
+    out += "[" + section + "]\n";
+    for (const auto& [key, value] : keys) {
+      out += key + " = " + value + "\n";
+    }
+  }
+  return out;
+}
+
 }  // namespace roadrunner::util

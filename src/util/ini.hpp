@@ -61,6 +61,11 @@ class IniFile {
   void set(const std::string& section, const std::string& key,
            const std::string& value);
 
+  /// Regenerates parseable INI text (sections and keys sorted). Round-trip
+  /// stable: parse(f.to_string()) compares equal to f key-for-key, which is
+  /// what lets checkpoints embed their own rebuild recipe.
+  [[nodiscard]] std::string to_string() const;
+
  private:
   std::map<std::string, std::map<std::string, std::string>> data_;
 };

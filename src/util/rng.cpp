@@ -148,6 +148,13 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
   return out;
 }
 
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0) {
+    throw std::invalid_argument{"Rng::set_state: all-zero state"};
+  }
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+}
+
 Rng Rng::fork(std::string_view tag) const {
   // FNV-1a over the tag, mixed with this stream's state-derived identity.
   std::uint64_t h = 0xCBF29CE484222325ULL;

@@ -8,6 +8,7 @@
 // (see DESIGN.md §4, decision 1).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -88,6 +89,23 @@ class Rng {
   /// Derives an independent child stream identified by `tag`. Stable across
   /// runs and across unrelated fork calls.
   Rng fork(std::string_view tag) const;
+
+  // ----- checkpointing ------------------------------------------------------
+  /// The generator's complete state: the four xoshiro256** words in order.
+  /// Together with set_state() this makes the stream position serializable
+  /// without depending on any stdlib distribution internals — every
+  /// distribution above is implemented in this class from raw next() draws,
+  /// so a (state, call-sequence) pair produces bit-identical values on every
+  /// platform and standard library. save = state(); restore = set_state();
+  /// the restored stream continues exactly where the saved one stopped.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Restores a state captured by state(). The all-zero state is invalid
+  /// for xoshiro256** (the stream would be stuck at 0) and throws
+  /// std::invalid_argument.
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t s_[4];

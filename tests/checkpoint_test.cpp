@@ -1,0 +1,356 @@
+// Checkpoint/restore subsystem tests: golden determinism, mid-run
+// snapshot round trips (the acceptance bar: a resumed run is
+// bit-identical to an uninterrupted one), corruption rejection, and
+// what-if forks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "checkpoint/checkpoint.hpp"
+#include "scenario/experiment.hpp"
+#include "strategy/learning_strategy.hpp"
+#include "util/binary_io.hpp"
+#include "util/rng.hpp"
+
+namespace roadrunner {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string test_ini(const std::string& strategy) {
+  return R"([scenario]
+vehicles = 10
+seed = 11
+horizon_s = 900
+trace_events = true
+[city]
+duration_s = 900
+[data]
+dataset = blobs
+train_pool = 600
+test_size = 120
+partition = iid
+samples_per_vehicle = 40
+[train]
+model = logreg
+epochs = 1
+[strategy]
+name = )" + strategy +
+         R"(
+rounds = 4
+participants = 3
+round_duration_s = 120
+)";
+}
+
+struct RunDigest {
+  std::string trace_csv;
+  std::string metrics_csv;
+  std::uint64_t events = 0;
+  double end_time = 0.0;
+};
+
+RunDigest digest(const core::Simulator& sim,
+                 const core::Simulator::RunReport& report) {
+  RunDigest d;
+  std::ostringstream trace;
+  sim.trace().export_csv(trace);
+  d.trace_csv = trace.str();
+  std::ostringstream metrics;
+  sim.metrics_view().export_csv(metrics);
+  d.metrics_csv = metrics.str();
+  d.events = report.events_executed;
+  d.end_time = report.sim_end_time_s;
+  return d;
+}
+
+/// Runs `ini` start to finish; optionally snapshots once at the first
+/// autosave tick (`snap_path` non-empty) and keeps running to the end.
+RunDigest run_full(const util::IniFile& ini, const std::string& snap_path = {},
+                   double snap_at_every_s = 150.0) {
+  scenario::Scenario scn{scenario::scenario_from_ini(ini)};
+  auto strategy = scenario::strategy_from_ini(ini);
+  auto sim = scn.make_simulator();
+  sim->set_strategy(strategy);
+  bool saved = false;
+  if (!snap_path.empty()) {
+    sim->set_autosave(snap_at_every_s, [&](core::Simulator& s) {
+      if (saved) return;
+      saved = true;
+      checkpoint::save(s, ini, snap_path);
+    });
+  }
+  const auto report = sim->run();
+  if (!snap_path.empty()) {
+    EXPECT_TRUE(saved);
+  }
+  return digest(*sim, report);
+}
+
+fs::path tmp_file(const std::string& name) {
+  return fs::temp_directory_path() / name;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in{p, std::ios::binary};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const fs::path& p, const std::string& bytes) {
+  std::ofstream out{p, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ------------------------------------------------------ rng state ---------
+
+TEST(RngState, RoundTripReproducesTheExactStream) {
+  util::Rng a{42};
+  for (int i = 0; i < 1000; ++i) a.next();
+  const auto snap = a.state();
+  util::Rng b{7};  // different seed, then overwritten
+  b.set_state(snap);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngState, AllZeroStateIsRejected) {
+  util::Rng r{1};
+  EXPECT_THROW(r.set_state({0, 0, 0, 0}), std::invalid_argument);
+}
+
+// ------------------------------------------------- golden determinism ----
+
+TEST(CheckpointDeterminism, IdenticalRerunsProduceIdenticalTraces) {
+  const auto ini = util::IniFile::parse(test_ini("federated"));
+  const RunDigest first = run_full(ini);
+  const RunDigest second = run_full(ini);
+  EXPECT_FALSE(first.trace_csv.empty());
+  EXPECT_EQ(first.trace_csv, second.trace_csv);
+  EXPECT_EQ(first.metrics_csv, second.metrics_csv);
+  EXPECT_EQ(first.events, second.events);
+}
+
+// --------------------------------------------------- mid-run round trip --
+
+class CheckpointRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CheckpointRoundTrip, RestoredRunMatchesUninterruptedRun) {
+  const std::string strategy = GetParam();
+  const auto ini = util::IniFile::parse(test_ini(strategy));
+  const fs::path snap = tmp_file("rr_roundtrip_" + strategy + ".rrck");
+  fs::remove(snap);
+
+  const RunDigest uninterrupted = run_full(ini);
+  // The snapshotting run itself must match too: autosaves fire between
+  // events and may not perturb the simulation.
+  const RunDigest snapshotting = run_full(ini, snap.string());
+  EXPECT_EQ(uninterrupted.trace_csv, snapshotting.trace_csv);
+  EXPECT_EQ(uninterrupted.metrics_csv, snapshotting.metrics_csv);
+
+  ASSERT_TRUE(fs::exists(snap));
+  const auto info = checkpoint::peek(snap.string());
+  EXPECT_EQ(info.format_version, checkpoint::kFormatVersion);
+  EXPECT_EQ(info.strategy_name, strategy);
+  EXPECT_GT(info.sim_time_s, 0.0);
+  EXPECT_LT(info.sim_time_s, uninterrupted.end_time);
+  EXPECT_GT(info.pending_events, 0U);
+
+  // Resume from the mid-run snapshot and run to the end: the acceptance
+  // bar is full equality of the event trace and metrics.
+  checkpoint::RestoredRun resumed = checkpoint::restore(snap.string());
+  EXPECT_TRUE(resumed.simulator->restored());
+  const auto report = resumed.simulator->run();
+  const RunDigest after = digest(*resumed.simulator, report);
+  EXPECT_EQ(uninterrupted.trace_csv, after.trace_csv);
+  EXPECT_EQ(uninterrupted.metrics_csv, after.metrics_csv);
+  EXPECT_EQ(uninterrupted.events, after.events);
+  EXPECT_DOUBLE_EQ(uninterrupted.end_time, after.end_time);
+  fs::remove(snap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, CheckpointRoundTrip,
+                         ::testing::Values("federated", "opportunistic",
+                                           "gossip"));
+
+TEST(CheckpointResume, RunResumablePicksUpFromSnapshot) {
+  const auto ini = util::IniFile::parse(test_ini("federated"));
+  const fs::path snap = tmp_file("rr_resumable.rrck");
+  fs::remove(snap);
+
+  const RunDigest uninterrupted = run_full(ini);
+  run_full(ini, snap.string());  // leaves a mid-run snapshot behind
+  ASSERT_TRUE(fs::exists(snap));
+
+  // A "crashed" campaign job rerun: run_resumable finds the snapshot and
+  // continues instead of starting over. Final metrics must match.
+  const scenario::RunResult resumed =
+      checkpoint::run_resumable(ini, snap.string());
+  const scenario::RunResult fresh = scenario::run_experiment(ini);
+  EXPECT_DOUBLE_EQ(resumed.final_accuracy, fresh.final_accuracy);
+  EXPECT_EQ(resumed.report.events_executed, fresh.report.events_executed);
+  std::ostringstream a, b;
+  resumed.metrics.export_csv(a);
+  fresh.metrics.export_csv(b);
+  EXPECT_EQ(a.str(), b.str());
+  fs::remove(snap);
+}
+
+// ----------------------------------------------------------- rejection ---
+
+class CheckpointRejection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ini_ = util::IniFile::parse(test_ini("federated"));
+    snap_ = tmp_file("rr_reject.rrck");
+    fs::remove(snap_);
+    run_full(ini_, snap_.string());
+    ASSERT_TRUE(fs::exists(snap_));
+    bytes_ = slurp(snap_);
+    ASSERT_GT(bytes_.size(), 32U);
+  }
+  void TearDown() override { fs::remove(snap_); }
+
+  void expect_throw_containing(const std::string& needle) {
+    try {
+      checkpoint::restore(snap_.string());
+      FAIL() << "expected restore to throw (" << needle << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  }
+
+  util::IniFile ini_;
+  fs::path snap_;
+  std::string bytes_;
+};
+
+TEST_F(CheckpointRejection, BadMagic) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  spit(snap_, bad);
+  expect_throw_containing("bad magic");
+}
+
+TEST_F(CheckpointRejection, FlippedByteFailsCrc) {
+  std::string bad = bytes_;
+  bad[bytes_.size() / 2] ^= 0x5A;
+  spit(snap_, bad);
+  expect_throw_containing("CRC");
+}
+
+TEST_F(CheckpointRejection, TruncationFailsCrc) {
+  spit(snap_, bytes_.substr(0, bytes_.size() - 17));
+  expect_throw_containing("");  // truncated or CRC, either way it throws
+}
+
+TEST_F(CheckpointRejection, TinyFileIsTruncated) {
+  spit(snap_, bytes_.substr(0, 8));
+  expect_throw_containing("truncated");
+}
+
+TEST_F(CheckpointRejection, FutureFormatVersionIsRejected) {
+  // Bump the version field (bytes 4..7, little-endian) and re-seal the CRC
+  // so only the version check can fire.
+  std::string bad = bytes_;
+  bad[4] = 99;
+  const std::uint32_t crc =
+      util::crc32(bad.data(), bad.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    bad[bad.size() - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  spit(snap_, bad);
+  expect_throw_containing("version");
+}
+
+TEST_F(CheckpointRejection, PeekValidatesToo) {
+  std::string bad = bytes_;
+  bad[bytes_.size() / 3] ^= 0x11;
+  spit(snap_, bad);
+  EXPECT_THROW(checkpoint::peek(snap_.string()), std::runtime_error);
+}
+
+TEST(CheckpointErrors, MissingFileThrows) {
+  EXPECT_THROW(checkpoint::restore("/nonexistent/nope.rrck"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------- forks --
+
+TEST(CheckpointFork, OverridesApplyFromTheSavedInstant) {
+  const auto ini = util::IniFile::parse(test_ini("federated"));
+  const fs::path snap = tmp_file("rr_fork.rrck");
+  fs::remove(snap);
+  run_full(ini, snap.string());
+  ASSERT_TRUE(fs::exists(snap));
+
+  // Degrade the uplink from the snapshot instant on: the fork must still
+  // complete, and its config must reflect the override.
+  checkpoint::RestoredRun forked =
+      checkpoint::fork(snap.string(), {{"network.v2c_loss", "0.5"}});
+  EXPECT_DOUBLE_EQ(
+      forked.experiment.get_double("network", "v2c_loss", 0.0), 0.5);
+  const auto result = forked.finish();
+  EXPECT_EQ(result.strategy_name, "federated");
+  EXPECT_GT(result.report.events_executed, 0U);
+
+  // Identity fork == plain restore == uninterrupted run.
+  const RunDigest uninterrupted = run_full(ini);
+  checkpoint::RestoredRun identity = checkpoint::fork(snap.string(), {});
+  const auto report = identity.simulator->run();
+  EXPECT_EQ(digest(*identity.simulator, report).trace_csv,
+            uninterrupted.trace_csv);
+  fs::remove(snap);
+}
+
+TEST(CheckpointFork, FleetChangingOverrideIsRejected) {
+  const auto ini = util::IniFile::parse(test_ini("federated"));
+  const fs::path snap = tmp_file("rr_fork_bad.rrck");
+  fs::remove(snap);
+  run_full(ini, snap.string());
+  // 12 vehicles still fit the data pool, so the scenario rebuilds fine and
+  // the restore-time agent-count check is what rejects the fork.
+  EXPECT_THROW(checkpoint::fork(snap.string(), {{"scenario.vehicles", "12"}}),
+               std::runtime_error);
+  EXPECT_THROW(
+      checkpoint::fork(snap.string(), {{"strategy.name", "gossip"}}),
+      std::runtime_error);
+  EXPECT_THROW(checkpoint::fork(snap.string(), {{"malformed", "1"}}),
+               std::runtime_error);
+  fs::remove(snap);
+}
+
+// --------------------------------------------- closure-computation guard --
+
+struct ClosureComputeStrategy final : strategy::LearningStrategy {
+  [[nodiscard]] std::string name() const override { return "closure"; }
+  void on_start(strategy::StrategyContext& ctx) override {
+    // Legacy closure overload: fine to run, impossible to snapshot. Try
+    // every vehicle so at least one (the powered-on ones) accepts.
+    for (const auto id : ctx.vehicle_ids()) {
+      ctx.start_computation(id, 10'000'000'000'000ULL,
+                            [](strategy::StrategyContext&, bool) {});
+    }
+  }
+};
+
+TEST(CheckpointGuards, PendingClosureComputationRefusesToSnapshot) {
+  auto ini = util::IniFile::parse(test_ini("federated"));
+  scenario::Scenario scn{scenario::scenario_from_ini(ini)};
+  auto sim = scn.make_simulator();
+  sim->set_strategy(std::make_shared<ClosureComputeStrategy>());
+  const fs::path snap = tmp_file("rr_closure.rrck");
+  sim->set_autosave(1.0, [&](core::Simulator& s) {
+    checkpoint::save(s, ini, snap.string());
+  });
+  EXPECT_THROW(sim->run(), std::runtime_error);
+  fs::remove(snap);
+}
+
+}  // namespace
+}  // namespace roadrunner
