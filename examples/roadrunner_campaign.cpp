@@ -6,7 +6,7 @@
 //
 //   ./examples/roadrunner_campaign spec.ini [--workers=N] [--store=DIR]
 //        [--out=aggregate.csv] [--plot=metric] [--seeds=N] [--fresh]
-//        [--trace-out=trace.json] [--profile] [--dry-run]
+//        [--trace-out=trace.json] [--profile] [--dry-run] [--list-metrics]
 //        [--checkpoint-every=SIMSECONDS] [--checkpoint-dir=DIR]
 //
 // --trace-out writes a Chrome trace_event JSON of the whole campaign
@@ -15,6 +15,10 @@
 // --dry-run prints the expanded job list (hash, point, seed) without
 // executing anything — the expansion is deterministic, so the printed
 // hashes are exactly the store/checkpoint keys a real run will use.
+// --list-metrics runs ONE job per distinct strategy in the spec and prints
+// the sorted union of metric names those jobs emit — the valid values for
+// --plot and for downstream analysis scripts, discovered rather than
+// guessed (strategies emit different metric families).
 //
 // Kill it mid-campaign and rerun: completed jobs are skipped, and with
 // --checkpoint-every=N each in-flight job autosaves a snapshot every N
@@ -28,6 +32,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <string>
 
 #include "campaign/aggregate.hpp"
@@ -121,6 +127,35 @@ int run(int argc, char** argv) {
                   static_cast<unsigned long long>(job.seed),
                   job.point_label.c_str());
     }
+    return 0;
+  }
+
+  if (args.get_bool("list-metrics", false)) {
+    // One probe job per distinct strategy: metric families differ between
+    // strategies (gossip_merges vs rounds_completed vs central_uploads), so
+    // the union over one representative of each covers the whole campaign.
+    // Per strategy we probe its LAST sweep point: event-driven counters
+    // only exist once their event fires, and later points typically enable
+    // more machinery (e.g. a fault.severity axis rising from 0).
+    const std::vector<campaign::Job> jobs = campaign::expand(spec);
+    std::map<std::string, const campaign::Job*> probe;
+    for (const auto& job : jobs) {
+      if (job.seed_index != 0) continue;
+      probe[job.experiment.get("strategy", "name", "federated")] = &job;
+    }
+    std::set<std::string> metric_names;
+    for (const auto& [strategy, job] : probe) {
+      std::fprintf(stderr, "probing %s (job %s)...\n", strategy.c_str(),
+                   job->hash.c_str());
+      const campaign::JobRecord record = campaign::run_job(*job);
+      for (const auto& [name, value] : record.metrics) {
+        metric_names.insert(name);
+      }
+    }
+    std::printf("%zu metrics emitted by this spec's jobs (%zu strategies "
+                "probed):\n",
+                metric_names.size(), probe.size());
+    for (const auto& name : metric_names) std::printf("%s\n", name.c_str());
     return 0;
   }
 

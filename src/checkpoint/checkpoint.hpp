@@ -31,7 +31,9 @@
 
 namespace roadrunner::checkpoint {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// Version 2: ChannelStats per-cause failure breakdown, fault-injector
+// state, Agent::model_updated_s, Message::corrupted.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Cheap header peek (no scenario rebuild): what a snapshot contains.
 struct SnapshotInfo {

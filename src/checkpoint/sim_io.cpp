@@ -36,6 +36,7 @@ void write_message(util::BinWriter& out, const Message& msg) {
   out.f64(msg.data_amount);
   write_weights(out, msg.model);
   out.u64(msg.extra_bytes);
+  out.boolean(msg.corrupted);
 }
 
 Message read_message(util::BinReader& in) {
@@ -53,6 +54,7 @@ Message read_message(util::BinReader& in) {
   msg.data_amount = in.f64();
   msg.model = read_weights(in);
   msg.extra_bytes = in.u64();
+  msg.corrupted = in.boolean();
   return msg;
 }
 
@@ -63,6 +65,7 @@ void SimulatorIo::save_sim(const core::Simulator& sim, util::BinWriter& out) {
   for (const core::Agent& a : sim.agents_) {
     write_weights(out, a.model);
     out.f64(a.model_data_amount);
+    out.f64(a.model_updated_s);
     out.boolean(a.training);
     const auto& indices = a.data.indices();
     out.u64(indices.size());
@@ -85,7 +88,12 @@ void SimulatorIo::save_sim(const core::Simulator& sim, util::BinWriter& out) {
     out.u64(s.transfers_failed);
     out.u64(s.bytes_attempted);
     out.u64(s.bytes_delivered);
+    for (std::uint64_t count : s.failed_by_cause) out.u64(count);
   }
+
+  // Injector: the plan itself is static config (rebuilt from the embedded
+  // INI); only the RNG stream and recovery-probe flags are run state.
+  sim.injector_.save_state(out);
 
   out.u64(sim.active_encounters_.size());
   for (const auto& [a, b] : sim.active_encounters_) {
@@ -129,6 +137,7 @@ void SimulatorIo::restore_sim(core::Simulator& sim, util::BinReader& in) {
   for (core::Agent& a : sim.agents_) {
     a.model = read_weights(in);
     a.model_data_amount = in.f64();
+    a.model_updated_s = in.f64();
     a.training = in.boolean();
     const std::uint64_t n = in.u64();
     std::vector<std::uint32_t> indices;
@@ -171,8 +180,11 @@ void SimulatorIo::restore_sim(core::Simulator& sim, util::BinReader& in) {
     s.transfers_failed = in.u64();
     s.bytes_attempted = in.u64();
     s.bytes_delivered = in.u64();
+    for (auto& count : s.failed_by_cause) count = in.u64();
     sim.network_.set_stats(static_cast<comm::ChannelKind>(k), s);
   }
+
+  sim.injector_.load_state(in);
 
   sim.active_encounters_.clear();
   const std::uint64_t encounters = in.u64();
@@ -266,8 +278,10 @@ void SimulatorIo::restore_queue(core::Simulator& sim, util::BinReader& in) {
     entry.seq = in.u64();
     SimEvent& ev = entry.payload;
     const std::uint8_t kind = in.u8();
-    // kClosureComputation never appears in a snapshot (save() refuses).
-    if (kind >= static_cast<std::uint8_t>(SimEventKind::kClosureComputation)) {
+    // kClosureComputation never appears in a snapshot (save() refuses), and
+    // anything past the last enumerator is garbage.
+    if (kind == static_cast<std::uint8_t>(SimEventKind::kClosureComputation) ||
+        kind > static_cast<std::uint8_t>(SimEventKind::kFaultCrash)) {
       throw std::runtime_error{"checkpoint: bad event kind in snapshot"};
     }
     ev.kind = static_cast<SimEventKind>(kind);

@@ -138,6 +138,14 @@ RestoredRun restore_impl(const std::string& path,
                          const std::map<std::string, std::string>& overrides) {
   RR_TSPAN("checkpoint", "checkpoint.restore");
   const Frame frame = read_frame(path);
+  if (frame.version < kFormatVersion) {
+    // Section payload layouts changed between versions; peeking the meta
+    // section still works, but a full restore would misparse.
+    throw std::runtime_error{
+        "checkpoint: '" + path + "' has format version " +
+        std::to_string(frame.version) + " but this build restores only " +
+        std::to_string(kFormatVersion) + " — re-run from the experiment INI"};
+  }
   const SnapshotInfo info = read_meta(frame);
 
   util::IniFile experiment = util::IniFile::parse(info.experiment_ini);

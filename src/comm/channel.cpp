@@ -50,6 +50,7 @@ std::string to_string(LinkStatus status) {
     case LinkStatus::kNoCoverage: return "no-coverage";
     case LinkStatus::kRandomLoss: return "random-loss";
     case LinkStatus::kBadEndpoints: return "bad-endpoints";
+    case LinkStatus::kFaultOutage: return "fault-outage";
   }
   return "?";
 }

@@ -57,7 +57,11 @@ enum class LinkStatus : std::uint8_t {
   kNoCoverage,     ///< V2C endpoint in a cellular dead zone
   kRandomLoss,     ///< stochastic loss at delivery time
   kBadEndpoints,   ///< channel cannot connect these agent kinds
+  kFaultOutage,    ///< injected fault (node/region outage, crash reboot)
 };
+
+/// Number of LinkStatus values — sizes the per-cause failure breakdown.
+constexpr std::size_t kLinkStatusCount = 8;
 
 std::string to_string(LinkStatus status);
 

@@ -1,0 +1,42 @@
+// Fault-injection hook consulted by comm::Network on every link decision.
+//
+// The interface lives in comm (not in src/fault/) so the network can consult
+// an injector without a comm -> fault dependency: fault::FaultInjector
+// implements this interface, and the Core Simulator wires it in via
+// Network::set_fault_hook. A null hook (the default) means "no injected
+// faults" and costs one branch per check.
+#pragma once
+
+#include "comm/channel.hpp"
+#include "mobility/fleet_model.hpp"
+
+namespace roadrunner::comm {
+
+/// Time-windowed channel impairments, multiplicatively combined over all
+/// active channel_degrade faults.
+struct ChannelMods {
+  double loss_add = 0.0;          ///< added to the channel's loss probability
+  double bandwidth_factor = 1.0;  ///< multiplies effective bandwidth
+  double latency_factor = 1.0;    ///< multiplies setup latency
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Is this endpoint forced down by an injected fault at `time_s`?
+  /// `node` may be kCloudEndpoint (numeric_limits<NodeId>::max()).
+  [[nodiscard]] virtual bool node_down(mobility::NodeId node,
+                                       double time_s) const = 0;
+
+  /// Is `kind` blacked out around position `p` at `time_s` (region_outage)?
+  [[nodiscard]] virtual bool region_blocked(ChannelKind kind,
+                                            const mobility::Position& p,
+                                            double time_s) const = 0;
+
+  /// Combined channel_degrade impairments active on `kind` at `time_s`.
+  [[nodiscard]] virtual ChannelMods channel_mods(ChannelKind kind,
+                                                 double time_s) const = 0;
+};
+
+}  // namespace roadrunner::comm

@@ -14,6 +14,7 @@
 
 #include "comm/channel.hpp"
 #include "comm/coverage.hpp"
+#include "comm/fault_hook.hpp"
 #include "mobility/fleet_model.hpp"
 #include "util/rng.hpp"
 
@@ -28,13 +29,19 @@ struct LinkCheck {
   [[nodiscard]] bool ok() const { return status == LinkStatus::kOk; }
 };
 
-/// Per-channel traffic statistics, in bytes and transfer counts.
+/// Per-channel traffic statistics, in bytes and transfer counts. Failures
+/// are additionally attributed to their cause (indexed by LinkStatus), so
+/// "transfers_failed" can be broken down into range vs. power vs. coverage
+/// vs. random loss vs. injected faults.
 struct ChannelStats {
   std::uint64_t transfers_attempted = 0;
   std::uint64_t transfers_delivered = 0;
   std::uint64_t transfers_failed = 0;
   std::uint64_t bytes_attempted = 0;
   std::uint64_t bytes_delivered = 0;
+  /// failed_by_cause[status] counts failures with that LinkStatus; the
+  /// kOk slot stays zero and the others sum to transfers_failed.
+  std::array<std::uint64_t, kLinkStatusCount> failed_by_cause{};
 };
 
 class Network {
@@ -49,17 +56,26 @@ class Network {
   /// `fleet` must outlive the network.
   Network(const mobility::FleetModel& fleet, Config config, util::Rng rng);
 
+  /// Installs (or clears, with nullptr) the fault-injection hook. The hook
+  /// is consulted exactly once per viability decision — both check_link and
+  /// roll_delivery go through the same shared path — and must outlive the
+  /// network.
+  void set_fault_hook(const FaultHook* hook) { fault_ = hook; }
+
   /// Is a transfer from `from` to `to` on `kind` viable at `time_s`?
   /// Validates endpoint kinds (V2C requires exactly one cloud endpoint;
   /// V2X forbids the cloud; wired connects RSU/cloud only), power state,
-  /// range, and V2C coverage. Does NOT roll random loss — that happens at
-  /// delivery via roll_delivery().
+  /// range, V2C coverage, and any injected faults (node/region outages).
+  /// Does NOT roll random loss — that happens at delivery via
+  /// roll_delivery().
   [[nodiscard]] LinkCheck check_link(mobility::NodeId from,
                                      mobility::NodeId to, ChannelKind kind,
                                      double time_s) const;
 
-  /// Delivery-time check: revalidates the link (endpoints may have moved or
-  /// powered off mid-transfer, §5.1) and rolls the channel's random loss.
+  /// Delivery-time check: revalidates the link through the same viability
+  /// path as check_link (endpoints may have moved or powered off
+  /// mid-transfer, §5.1) and rolls the channel's random loss, including any
+  /// fault-injected extra loss.
   [[nodiscard]] LinkCheck roll_delivery(mobility::NodeId from,
                                         mobility::NodeId to, ChannelKind kind,
                                         double time_s);
@@ -78,7 +94,8 @@ class Network {
   // Accounting hooks, called by the Core Simulator around each transfer.
   void record_attempt(ChannelKind kind, std::uint64_t bytes);
   void record_delivery(ChannelKind kind, std::uint64_t bytes);
-  void record_failure(ChannelKind kind);
+  /// `cause` attributes the failure in ChannelStats::failed_by_cause.
+  void record_failure(ChannelKind kind, LinkStatus cause);
 
   [[nodiscard]] const ChannelStats& stats(ChannelKind kind) const;
 
@@ -94,9 +111,17 @@ class Network {
   void set_stats(ChannelKind kind, const ChannelStats& stats);
 
  private:
+  /// The single shared viability path behind check_link and roll_delivery:
+  /// endpoint kinds, power, fault outages, range, coverage — everything
+  /// except the delivery-time loss roll. Fault hooks fire exactly once per
+  /// call.
+  [[nodiscard]] LinkCheck viability(mobility::NodeId from, mobility::NodeId to,
+                                    ChannelKind kind, double time_s) const;
+
   const mobility::FleetModel* fleet_;
   Config config_;
   util::Rng rng_;
+  const FaultHook* fault_ = nullptr;
   std::array<ChannelStats, kChannelKindCount> stats_{};
 };
 

@@ -34,6 +34,10 @@ struct Agent {
   ml::Weights model;
   /// Data amount "behind" the current model (FedAvg weighting, §3).
   double model_data_amount = 0.0;
+  /// Simulated time the current model was last replaced or retrained; feeds
+  /// the stale-model-age resilience metric (a vehicle cut off by faults
+  /// keeps serving an ever-older model).
+  double model_updated_s = 0.0;
   /// True while a training operation occupies the agent (§4: "while an
   /// agent is busy training, it may not be available for other operations").
   bool training = false;

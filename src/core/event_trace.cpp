@@ -18,6 +18,8 @@ std::string to_string(TraceKind kind) {
     case TraceKind::kEncounterEnd: return "encounter-end";
     case TraceKind::kPowerOn: return "power-on";
     case TraceKind::kPowerOff: return "power-off";
+    case TraceKind::kVehicleCrash: return "vehicle-crash";
+    case TraceKind::kMessageCorrupted: return "message-corrupted";
   }
   return "?";
 }

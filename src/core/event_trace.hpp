@@ -26,6 +26,8 @@ enum class TraceKind : std::uint8_t {
   kEncounterEnd,
   kPowerOn,
   kPowerOff,
+  kVehicleCrash,       ///< scripted crash fired (detail: lost state)
+  kMessageCorrupted,   ///< delivered payload flagged corrupted by a fault
 };
 
 std::string to_string(TraceKind kind);

@@ -33,6 +33,11 @@ struct Message {
   ml::Weights model;
   /// Additional payload bytes (e.g. raw sensor data in centralized ML).
   std::uint64_t extra_bytes = 0;
+  /// Set at delivery time by an active payload_corruption fault: the bytes
+  /// arrived but the content is garbage. Strategies must detect (checksum,
+  /// modeled as this flag) and discard; using a corrupted payload is a
+  /// strategy bug.
+  bool corrupted = false;
 
   /// Fixed per-message protocol overhead (headers, ids, tag).
   static constexpr std::uint64_t kHeaderBytes = 256;

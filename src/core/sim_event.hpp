@@ -30,6 +30,7 @@ enum class SimEventKind : std::uint8_t {
   kComputation = 3,         ///< tagged HU computation ends (agent, tag)
   kTimer = 4,               ///< strategy timer fires (agent, tag)
   kClosureComputation = 5,  ///< closure HU computation ends (work)
+  kFaultCrash = 6,          ///< scripted vehicle crash (agent; tag = plan idx)
 };
 
 struct SimEvent {

@@ -1,5 +1,6 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -17,12 +18,17 @@ Simulator::Simulator(const mobility::FleetModel& fleet,
                util::Rng{config.seed}.fork("network")},
       ml_{std::move(ml)},
       config_{config},
+      injector_{config.faults.scaled(), util::Rng{config.seed}.fork("fault")},
       trace_{config.trace_events},
       master_rng_{config.seed},
       strategy_rng_{master_rng_.fork("strategy")} {
   if (config_.mobility_tick_s <= 0.0) {
     throw std::invalid_argument{"Simulator: mobility_tick_s <= 0"};
   }
+  // Wired here (not in the init list) because the hook points back into
+  // this object; an empty plan skips the hook so fault-free runs pay only
+  // the null check the Network already had.
+  if (injector_.enabled()) network_.set_fault_hook(&injector_);
   node_to_agent_.assign(fleet.node_count(), kNoAgent);
 }
 
@@ -113,8 +119,14 @@ const std::vector<AgentId>& Simulator::rsu_ids() const { return rsu_ids_; }
 
 bool Simulator::is_on(AgentId id) const {
   const Agent& a = agent(id);
-  if (a.kind == AgentKind::kCloudServer) return true;
-  return fleet_->is_on(a.node, now());
+  // Effective power = ignition AND no injected outage/crash-reboot window;
+  // the cloud is always ignited but can still suffer a node_outage.
+  if (a.kind == AgentKind::kCloudServer) {
+    return !injector_.enabled() ||
+           !injector_.node_down(comm::kCloudEndpoint, now());
+  }
+  if (!fleet_->is_on(a.node, now())) return false;
+  return !injector_.enabled() || !injector_.node_down(a.node, now());
 }
 
 bool Simulator::is_busy(AgentId id) const {
@@ -185,7 +197,7 @@ bool Simulator::begin_transfer(Message msg, bool queued) {
   const comm::LinkCheck check =
       network_.check_link(from_node, to_node, msg.channel, now());
   if (!check.ok()) {
-    network_.record_failure(msg.channel);
+    network_.record_failure(msg.channel, check.status);
     if (queued) {
       // The caller was told "accepted" at queue time; report the broken
       // link the same way a mid-transfer failure would surface.
@@ -241,9 +253,22 @@ void Simulator::deliver(Message msg) {
     metrics_.increment("messages_delivered");
     trace_.record(now(), TraceKind::kMessageDelivered, msg.from, msg.to,
                   msg.tag);
+    if (injector_.enabled()) {
+      // First delivery on a channel after an outage window closes it:
+      // the gap is that window's time-to-recover.
+      for (double delay : injector_.note_delivery(msg.channel, now())) {
+        metrics_.add_point("fault_recovery_s", now(), delay);
+      }
+      if (injector_.roll_corruption(msg.channel, now())) {
+        msg.corrupted = true;
+        metrics_.increment("messages_corrupted");
+        trace_.record(now(), TraceKind::kMessageCorrupted, msg.from, msg.to,
+                      msg.tag);
+      }
+    }
     strategy_->on_message(*this, msg);
   } else {
-    network_.record_failure(msg.channel);
+    network_.record_failure(msg.channel, check.status);
     metrics_.increment("messages_failed");
     trace_.record(now(), TraceKind::kMessageFailed, msg.from, msg.to,
                   comm::to_string(check.status));
@@ -266,7 +291,8 @@ bool Simulator::start_training(AgentId id, int round_tag,
 
   const std::uint64_t flops =
       ml_.estimate_train_flops(data.size(), config.epochs);
-  const double duration = a.hu.operation_duration(flops);
+  const double duration =
+      a.hu.operation_duration(flops) * compute_slowdown(a);
   if (!a.hu.reserve(now(), duration)) return false;
   a.training = true;
 
@@ -307,7 +333,14 @@ void Simulator::finish_training(AgentId id, int round_tag, double duration_s,
   RR_TSPAN("sim", "sim.finish_training");
   Agent& a = agent_mut(id);
   a.training = false;
-  if (!is_on(id)) {
+  // A crash mid-training wipes the in-flight result even if the vehicle has
+  // already rebooted by completion time (crash times are static plan data,
+  // so this needs no extra mutable state).
+  const bool crashed =
+      injector_.enabled() && a.kind == AgentKind::kVehicle &&
+      injector_.crashed_between(a.node, now() - duration_s, now());
+  if (crashed) metrics_.increment("crash_trainings_lost");
+  if (crashed || !is_on(id)) {
     // The driver powered the vehicle off mid-training: the result is lost
     // (paper §5.2: a reporter turning off "effectively discards" its work).
     metrics_.increment("trainings_discarded");
@@ -318,6 +351,7 @@ void Simulator::finish_training(AgentId id, int round_tag, double duration_s,
   TrainResult result = job.get();  // blocks only if the job is still running
   a.model = std::move(result.weights);
   a.model_data_amount = data_amount;
+  a.model_updated_s = now();
 
   strategy::TrainingOutcome outcome;
   outcome.round_tag = round_tag;
@@ -335,6 +369,7 @@ void Simulator::set_model(AgentId id, ml::Weights weights,
   Agent& a = agent_mut(id);
   a.model = std::move(weights);
   a.model_data_amount = data_amount;
+  a.model_updated_s = now();
 }
 
 void Simulator::set_data(AgentId id, ml::DatasetView data) {
@@ -346,6 +381,9 @@ ml::Weights Simulator::fresh_model() {
 }
 
 double Simulator::test_accuracy(const ml::Weights& weights) {
+  // A wiped model (e.g. lost in a vehicle_crash fault) classifies nothing:
+  // score it zero instead of faulting when loading empty weights.
+  if (weights.empty()) return 0.0;
   return ml_.test(weights).accuracy;
 }
 
@@ -355,7 +393,8 @@ std::optional<double> Simulator::reserve_computation(AgentId id,
                                                      std::uint64_t flops) {
   Agent& a = agent_mut(id);
   if (!is_on(id) || a.training) return std::nullopt;
-  const double duration = a.hu.operation_duration(flops);
+  const double duration =
+      a.hu.operation_duration(flops) * compute_slowdown(a);
   if (!a.hu.reserve(now(), duration)) return std::nullopt;
   a.training = true;
   return duration;
@@ -420,16 +459,51 @@ void Simulator::schedule_timer(AgentId id, double delay_s, int timer_id) {
 
 void Simulator::request_stop() { stop_requested_ = true; }
 
+double Simulator::compute_slowdown(const Agent& a) const {
+  // Stragglers target vehicles only; the all-vehicles wildcard must not
+  // leak onto RSU/cloud nodes.
+  if (!injector_.enabled() || a.kind != AgentKind::kVehicle) return 1.0;
+  return injector_.hu_slowdown(a.node, now());
+}
+
+// ----- fault coupling -------------------------------------------------------
+
+void Simulator::apply_crash(AgentId id, std::size_t plan_index) {
+  const fault::FaultEvent& ev = injector_.event(plan_index);
+  Agent& a = agent_mut(id);
+  metrics_.increment("vehicle_crashes");
+  std::string lost;
+  if (ev.lose_model && !a.model.empty()) {
+    a.model = {};
+    a.model_data_amount = 0.0;
+    a.model_updated_s = now();
+    metrics_.increment("crash_models_lost");
+    lost += "model";
+  }
+  if (ev.lose_data && !a.data.empty()) {
+    a.data = ml::DatasetView{};
+    metrics_.increment("crash_data_views_lost");
+    lost += lost.empty() ? "data" : "+data";
+  }
+  trace_.record(now(), TraceKind::kVehicleCrash, id, kNoAgent,
+                lost.empty() ? "lost=none" : "lost=" + lost);
+  // No strategy notification here: the injector holds the node down for the
+  // reboot window, so on_power_off/on fire through the next mobility tick's
+  // regular diff — exactly like an ignition power cycle.
+}
+
 // ----- mobility coupling ---------------------------------------------------
 
 void Simulator::mobility_tick() {
   RR_TSPAN("sim", "sim.mobility_tick");
   const SimTime t = now();
 
-  // Power-state diff for vehicles.
+  // Power-state diff for vehicles. Uses the *effective* power state (is_on)
+  // so injected outages and crash reboots surface as the same
+  // on_power_off/on events an ignition cycle produces.
   for (std::size_t i = 0; i < vehicle_ids_.size(); ++i) {
     const AgentId id = vehicle_ids_[i];
-    const bool on = fleet_->is_on(agents_[id].node, t);
+    const bool on = is_on(id);
     if (on != last_power_[i]) {
       last_power_[i] = on;
       trace_.record(t, on ? TraceKind::kPowerOn : TraceKind::kPowerOff, id);
@@ -500,6 +574,9 @@ void Simulator::dispatch(SimEvent ev) {
     case SimEventKind::kTimer:
       strategy_->on_timer(*this, ev.agent, ev.tag);
       break;
+    case SimEventKind::kFaultCrash:
+      apply_crash(ev.agent, static_cast<std::size_t>(ev.tag));
+      break;
   }
 }
 
@@ -512,9 +589,38 @@ void Simulator::export_channel_counters() {
                          static_cast<double>(s.bytes_attempted));
     metrics_.set_counter(prefix + "_delivered",
                          static_cast<double>(s.bytes_delivered));
-    metrics_.set_counter("transfers_" + comm::to_string(kind) + "_failed",
+    const std::string transfers = "transfers_" + comm::to_string(kind);
+    metrics_.set_counter(transfers + "_failed",
                          static_cast<double>(s.transfers_failed));
+    // Per-cause breakdown. Every cause is exported (zeros included) so
+    // campaign CSV columns are identical across sweep points.
+    for (std::size_t c = 1; c < comm::kLinkStatusCount; ++c) {
+      const auto cause = static_cast<comm::LinkStatus>(c);
+      metrics_.set_counter(
+          transfers + "_failed_" + comm::to_string(cause),
+          static_cast<double>(s.failed_by_cause[c]));
+    }
   }
+}
+
+void Simulator::export_model_age_metrics(double end_time_s) {
+  // Age of each vehicle's serving model at end of run; percentiles via the
+  // nearest-rank method on the sorted ages (deterministic, no interpolation).
+  std::vector<double> ages;
+  ages.reserve(vehicle_ids_.size());
+  for (AgentId v : vehicle_ids_) {
+    ages.push_back(end_time_s - agents_[v].model_updated_s);
+  }
+  if (ages.empty()) return;
+  std::sort(ages.begin(), ages.end());
+  auto percentile = [&](double p) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(ages.size())));
+    return ages[std::min(rank == 0 ? 0 : rank - 1, ages.size() - 1)];
+  };
+  metrics_.set_counter("stale_model_age_p50_s", percentile(0.50));
+  metrics_.set_counter("stale_model_age_p90_s", percentile(0.90));
+  metrics_.set_counter("stale_model_age_max_s", ages.back());
 }
 
 // ----- run loop ------------------------------------------------------------
@@ -534,10 +640,29 @@ Simulator::RunReport Simulator::run() {
   if (!restored_) {
     last_power_.resize(vehicle_ids_.size());
     for (std::size_t i = 0; i < vehicle_ids_.size(); ++i) {
-      last_power_[i] = fleet_->is_on(agents_[vehicle_ids_[i]].node, 0.0);
+      // Effective power (ignition AND no injected outage), matching the
+      // mobility-tick diff.
+      last_power_[i] = is_on(vehicle_ids_[i]);
     }
     strategy_->on_start(*this);
     schedule_next_tick(config_.mobility_tick_s);
+    // Scripted crashes become regular queue events, so they serialize into
+    // snapshots like everything else (a restored run must not re-schedule
+    // them — pending ones are already in the reinstated queue).
+    for (std::size_t idx : injector_.crash_indices()) {
+      const fault::FaultEvent& fe = injector_.event(idx);
+      if (fe.vehicle >= node_to_agent_.size() ||
+          node_to_agent_[fe.vehicle] == kNoAgent) {
+        throw std::invalid_argument{
+            "Simulator: vehicle_crash targets unbound vehicle node " +
+            std::to_string(fe.vehicle)};
+      }
+      SimEvent ev;
+      ev.kind = SimEventKind::kFaultCrash;
+      ev.agent = node_to_agent_[fe.vehicle];
+      ev.tag = static_cast<int>(idx);
+      queue_.schedule(fe.at_s, std::move(ev));
+    }
   }
   // A restored run continues mid-flight: on_start, initial power states,
   // and the tick chain are all part of the reinstated state.
@@ -563,6 +688,7 @@ Simulator::RunReport Simulator::run() {
 
   strategy_->on_finish(*this);
   export_channel_counters();
+  export_model_age_metrics(queue_.current_time());
 
   // Per-vehicle computational workload (Req. 4): cumulative HU-busy time.
   double max_compute = 0.0;

@@ -34,6 +34,7 @@
 #include "core/message.hpp"
 #include "core/ml_service.hpp"
 #include "core/sim_event.hpp"
+#include "fault/injector.hpp"
 #include "strategy/learning_strategy.hpp"
 
 namespace roadrunner::checkpoint {
@@ -76,6 +77,11 @@ struct SimulatorConfig {
   /// Directory for autosaved snapshots (scenario layer default: the
   /// experiment's working directory).
   std::string checkpoint_dir;
+  /// Scripted fault timeline (already resolved against the scenario; see
+  /// fault::FaultPlan::resolved). The simulator applies `faults.severity`
+  /// via scaled() and drives the injector from a dedicated "fault" RNG
+  /// stream, so fault randomness never perturbs other components.
+  fault::FaultPlan faults;
 };
 
 class Simulator final : public strategy::StrategyContext {
@@ -127,6 +133,9 @@ class Simulator final : public strategy::StrategyContext {
   }
   [[nodiscard]] const EventTrace& trace() const { return trace_; }
   [[nodiscard]] const SimulatorConfig& config() const { return config_; }
+  [[nodiscard]] const fault::FaultInjector& injector() const {
+    return injector_;
+  }
   [[nodiscard]] const strategy::LearningStrategy* strategy() const {
     return strategy_.get();
   }
@@ -173,6 +182,16 @@ class Simulator final : public strategy::StrategyContext {
   /// Executes one popped event (the former per-kind closures, as a switch).
   void dispatch(SimEvent ev);
   void mobility_tick();
+  /// Fires a scripted vehicle_crash: drops the configured local state and
+  /// counts the losses. The power-off/-on notifications surface through the
+  /// regular mobility-tick diff (the injector holds the node down for the
+  /// reboot window).
+  void apply_crash(AgentId id, std::size_t plan_index);
+  /// Straggler-fault multiplier on HU durations for this agent, 1 when none.
+  [[nodiscard]] double compute_slowdown(const Agent& a) const;
+  /// Stale-model age percentiles over the fleet at end of run (resilience
+  /// metric: vehicles cut off by faults serve ever-older models).
+  void export_model_age_metrics(double end_time_s);
   void schedule_next_tick(double at);
   /// Reserves `id`'s HU for `flops` and marks it training. Returns the
   /// charged duration, or nullopt if the agent is off/busy.
@@ -198,6 +217,10 @@ class Simulator final : public strategy::StrategyContext {
   comm::Network network_;
   MlService ml_;
   SimulatorConfig config_;
+  /// Owns the active-fault set; the network holds a FaultHook pointer to it
+  /// (wired in the constructor), so it must precede nothing that outlives
+  /// the network. Inert (and never consulted) without a fault plan.
+  fault::FaultInjector injector_;
 
   BasicEventQueue<SimEvent> queue_;
   std::vector<Agent> agents_;

@@ -1,0 +1,159 @@
+// Scripted fault timelines (paper Req. 1/3: agents "become unavailable at
+// any time", communication "may fail at any time"). A FaultPlan is an
+// ordered list of typed fault events parsed from `[fault.N]` INI sections;
+// it is pure data — the FaultInjector interprets it during a run.
+//
+// Plan grammar (all keys per `[fault.N]` section, N = 0, 1, ...):
+//
+//   [fault]
+//   severity = 1.0            # scales every magnitude below; 0 disables
+//
+//   [fault.0]
+//   kind = channel_degrade    # time-windowed channel impairment
+//   channel = v2c             # v2c | v2x | wired
+//   start_s = 100
+//   end_s = 400
+//   loss = 0.3                # added loss probability
+//   bandwidth_factor = 0.5    # multiplies effective bandwidth
+//   latency_factor = 2.0      # multiplies setup latency
+//
+//   [fault.1]
+//   kind = region_outage      # circular geographic blackout
+//   x_m = 1000, y_m = 1000, radius_m = 500
+//   channels = v2c,v2x        # affected channels (default: v2c)
+//   start_s = 0, end_s = 600
+//
+//   [fault.2]
+//   kind = node_outage        # scripted RSU/cloud downtime
+//   target = cloud            # cloud | rsu:K (K-th RSU) | node id
+//   start_s = 200, end_s = 300
+//
+//   [fault.3]
+//   kind = hu_straggler       # per-vehicle compute slowdown
+//   vehicle = 3               # vehicle index, or "all"
+//   slowdown = 4.0            # duration multiplier (> 1 = slower)
+//   start_s = 0, end_s = 1e9
+//
+//   [fault.4]
+//   kind = vehicle_crash      # forced power-off + reboot with state loss
+//   vehicle = 7
+//   at_s = 500
+//   reboot_after_s = 60
+//   lose_model = true
+//   lose_data = false
+//
+//   [fault.5]
+//   kind = payload_corruption # delivery-time corruption the strategy must
+//   channel = v2x             # detect and discard
+//   probability = 0.2
+//   start_s = 0, end_s = 1e9
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "mobility/fleet_model.hpp"
+#include "util/ini.hpp"
+
+namespace roadrunner::fault {
+
+enum class FaultKind : std::uint8_t {
+  kChannelDegrade = 0,
+  kRegionOutage = 1,
+  kNodeOutage = 2,
+  kHuStraggler = 3,
+  kVehicleCrash = 4,
+  kPayloadCorruption = 5,
+};
+
+std::string to_string(FaultKind kind);
+
+/// Symbolic node_outage target, resolved to a concrete NodeId (or the cloud
+/// endpoint) by FaultPlan::resolved() once the scenario knows its RSU nodes.
+enum class OutageTarget : std::uint8_t {
+  kCloud = 0,
+  kRsu = 1,   ///< `node` is an RSU *index* until resolved
+  kNode = 2,  ///< `node` is already a concrete fleet NodeId
+};
+
+/// One scripted fault. A single plain struct for all kinds (tagged by
+/// `kind`) keeps plans trivially serializable and severity-scalable;
+/// irrelevant fields stay at their defaults.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kChannelDegrade;
+
+  /// Active window [start_s, end_s) for windowed kinds (everything except
+  /// vehicle_crash, which fires once at `at_s`).
+  double start_s = 0.0;
+  double end_s = std::numeric_limits<double>::infinity();
+
+  // --- channel_degrade & payload_corruption ---------------------------------
+  comm::ChannelKind channel = comm::ChannelKind::kV2C;
+  double loss_add = 0.0;
+  double bandwidth_factor = 1.0;
+  double latency_factor = 1.0;
+
+  // --- region_outage ---------------------------------------------------------
+  mobility::Position center{};
+  double radius_m = 0.0;
+  /// Which channels the blackout affects (indexed by ChannelKind).
+  std::array<bool, comm::kChannelKindCount> channels{};
+
+  // --- node_outage ------------------------------------------------------------
+  OutageTarget target = OutageTarget::kNode;
+  mobility::NodeId node = 0;
+
+  // --- hu_straggler & vehicle_crash -------------------------------------------
+  bool all_vehicles = false;
+  std::size_t vehicle = 0;  ///< vehicle index (== fleet NodeId by convention)
+  double slowdown = 1.0;
+
+  // --- vehicle_crash ------------------------------------------------------------
+  double at_s = 0.0;
+  double reboot_after_s = 0.0;
+  bool lose_model = true;
+  bool lose_data = false;
+
+  // --- payload_corruption ---------------------------------------------------------
+  double probability = 0.0;
+
+  /// Window membership (half-open; a zero-length window is never active).
+  [[nodiscard]] bool active_at(double time_s) const {
+    return time_s >= start_s && time_s < end_s;
+  }
+};
+
+/// An ordered fault timeline plus the severity scalar that scales it.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  /// Campaign axis (`fault.severity`): 1 = the plan as written, 0 = no
+  /// faults, >1 = harsher. Applied by scaled().
+  double severity = 1.0;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Resolves symbolic node_outage targets against the scenario: RSU index
+  /// K -> rsu_nodes[K], cloud -> comm::kCloudEndpoint. Also validates
+  /// vehicle indices against `vehicle_count`. Throws std::invalid_argument
+  /// on out-of-range targets.
+  [[nodiscard]] FaultPlan resolved(
+      const std::vector<mobility::NodeId>& rsu_nodes,
+      std::size_t vehicle_count) const;
+
+  /// Applies `severity` to every magnitude and returns the concrete plan
+  /// (result severity == 1). Probabilities scale linearly (clamped to
+  /// [0, 1]); factors interpolate from the identity, 1 + (f - 1) * s;
+  /// node_outage windows and crash reboot times stretch linearly; region
+  /// radii scale linearly. severity <= 0 yields an empty plan.
+  [[nodiscard]] FaultPlan scaled() const;
+};
+
+/// Parses `[fault]` (severity) and all `[fault.N]` sections. Unknown kinds,
+/// channels, or targets throw std::runtime_error naming the section.
+FaultPlan plan_from_ini(const util::IniFile& ini);
+
+}  // namespace roadrunner::fault

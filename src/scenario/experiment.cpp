@@ -124,6 +124,9 @@ ScenarioConfig scenario_from_ini(const IniFile& ini) {
   cfg.net.v2x.max_concurrent_per_agent = get_size(
       ini, "network", "v2x_max_concurrent",
       cfg.net.v2x.max_concurrent_per_agent);
+
+  // [fault] + [fault.N]
+  cfg.faults = fault::plan_from_ini(ini);
   return cfg;
 }
 

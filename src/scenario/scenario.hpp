@@ -12,6 +12,7 @@
 #include "comm/network.hpp"
 #include "core/simulator.hpp"
 #include "data/gaussian_blobs.hpp"
+#include "fault/fault_plan.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic_images.hpp"
 #include "mobility/city_model.hpp"
@@ -71,6 +72,13 @@ struct ScenarioConfig {
   double checkpoint_every_s = 0.0;
   /// Where autosaved snapshots land (empty = current directory).
   std::string checkpoint_dir;
+
+  // ----- fault injection -----------------------------------------------------
+  /// Scripted fault timeline ([fault.N] INI sections). Symbolic targets
+  /// (cloud, rsu:K) are resolved against this scenario's nodes when the
+  /// simulator is built; `faults.severity` scales all magnitudes (the
+  /// `fault.severity` campaign axis).
+  fault::FaultPlan faults;
 };
 
 /// Everything a bench needs from one finished run.

@@ -44,6 +44,13 @@ void CentralizedStrategy::try_upload(StrategyContext& ctx, AgentId id) {
 
 void CentralizedStrategy::on_message(StrategyContext& ctx,
                                      const Message& msg) {
+  if (msg.corrupted) {
+    // Corrupted sensor batch: dropped at ingest; the vehicle may retry on a
+    // later upload interval (it is no longer marked in flight).
+    ctx.metrics().increment("corrupted_payloads_discarded");
+    in_flight_.erase(msg.from);
+    return;
+  }
   if (msg.tag != kTagData || msg.to != ctx.cloud_id()) return;
   in_flight_.erase(msg.from);
   if (uploaded_.contains(msg.from)) return;

@@ -102,6 +102,11 @@ void GossipStrategy::exchange(StrategyContext& ctx, AgentId from,
 }
 
 void GossipStrategy::on_message(StrategyContext& ctx, const Message& msg) {
+  if (msg.corrupted) {
+    // A corrupted gossip payload fails its checksum and is never merged.
+    ctx.metrics().increment("corrupted_payloads_discarded");
+    return;
+  }
   if (msg.tag != kTagGossip) return;
   const AgentId me = msg.to;
   if (ctx.agent(me).model.empty()) {

@@ -200,6 +200,12 @@ void RoundBasedStrategy::finalize_round(StrategyContext& ctx) {
 }
 
 void RoundBasedStrategy::on_message(StrategyContext& ctx, const Message& msg) {
+  if (msg.corrupted) {
+    // Fault-injected corruption: the checksum fails, the payload is dropped
+    // (a lost contribution, exactly like a delivery failure).
+    ctx.metrics().increment("corrupted_payloads_discarded");
+    return;
+  }
   if (msg.to == ctx.cloud_id() && msg.tag == kTagReply) {
     if (msg.round == round_) {
       accept_contribution(ctx, msg.from,

@@ -206,7 +206,12 @@ class CheckpointRejection : public ::testing::Test {
  protected:
   void SetUp() override {
     ini_ = util::IniFile::parse(test_ini("federated"));
-    snap_ = tmp_file("rr_reject.rrck");
+    // One file per test: ctest -j runs each discovered test in its own
+    // process, so a shared name races.
+    snap_ = tmp_file(
+        std::string{"rr_reject_"} +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".rrck");
     fs::remove(snap_);
     run_full(ini_, snap_.string());
     ASSERT_TRUE(fs::exists(snap_));

@@ -149,13 +149,16 @@ TEST(Network, StatsAccounting) {
   net.record_attempt(ChannelKind::kV2X, 1000);
   net.record_attempt(ChannelKind::kV2X, 500);
   net.record_delivery(ChannelKind::kV2X, 1000);
-  net.record_failure(ChannelKind::kV2X);
+  net.record_failure(ChannelKind::kV2X, LinkStatus::kOutOfRange);
   const auto& s = net.stats(ChannelKind::kV2X);
   EXPECT_EQ(s.transfers_attempted, 2U);
   EXPECT_EQ(s.bytes_attempted, 1500U);
   EXPECT_EQ(s.transfers_delivered, 1U);
   EXPECT_EQ(s.bytes_delivered, 1000U);
   EXPECT_EQ(s.transfers_failed, 1U);
+  EXPECT_EQ(s.failed_by_cause[static_cast<std::size_t>(
+                LinkStatus::kOutOfRange)],
+            1U);
   // Other channels untouched.
   EXPECT_EQ(net.stats(ChannelKind::kV2C).transfers_attempted, 0U);
 }
