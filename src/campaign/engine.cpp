@@ -1,9 +1,7 @@
 #include "campaign/engine.hpp"
 
-#include <chrono>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <system_error>
 
@@ -11,11 +9,23 @@
 #include "metrics/analysis.hpp"
 #include "scenario/experiment.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/stopwatch.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace roadrunner::campaign {
 
 namespace {
+
+// Progress accounting shared between campaign workers; annotated so clang's
+// -Wthread-safety proves every access happens under the mutex (the TSan CI
+// lane checks the same dynamically).
+struct ProgressState {
+  util::Mutex mutex;
+  std::size_t completed RR_GUARDED_BY(mutex) = 0;
+  // Serializes on_progress invocations so user callbacks never interleave.
+  util::Mutex callback_mutex;
+};
 
 const char* channel_prefix(comm::ChannelKind kind) {
   switch (kind) {
@@ -42,7 +52,7 @@ JobRecord run_job(const Job& job, const std::string& ckpt_path,
   }
   static telemetry::Counter jobs_counter{"campaign.jobs_executed"};
   jobs_counter.add();
-  const auto start = std::chrono::steady_clock::now();
+  const util::Stopwatch watch;
   const scenario::RunResult result =
       ckpt_path.empty()
           ? scenario::run_experiment(job.experiment)
@@ -92,16 +102,14 @@ JobRecord run_job(const Job& job, const std::string& ckpt_path,
   record.metrics.emplace_back(
       "events_executed", static_cast<double>(result.report.events_executed));
 
-  record.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  record.wall_seconds = watch.elapsed_s();
   return record;
 }
 
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const EngineOptions& options) {
   telemetry::Span campaign_span{"campaign", "campaign.run"};
-  const auto campaign_start = std::chrono::steady_clock::now();
+  const util::Stopwatch campaign_watch;
   const std::vector<Job> jobs = expand(spec);
   if (campaign_span.active()) {
     campaign_span.set_args("jobs=" + std::to_string(jobs.size()) +
@@ -141,8 +149,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     }
   }
 
-  std::mutex progress_mutex;
-  std::size_t completed = 0;
+  ProgressState progress_state;
   auto report_progress = [&] {
     if (!options.on_progress) return;
     Progress progress;
@@ -150,13 +157,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     progress.resumed = result.resumed;
     std::size_t done = 0;
     {
-      std::lock_guard lock{progress_mutex};
-      done = completed;
+      util::MutexLock lock{progress_state.mutex};
+      done = progress_state.completed;
     }
     progress.completed = done;
-    progress.elapsed_s = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - campaign_start)
-                             .count();
+    progress.elapsed_s = campaign_watch.elapsed_s();
     progress.jobs_per_s = progress.elapsed_s > 0.0
                               ? static_cast<double>(done) / progress.elapsed_s
                               : 0.0;
@@ -172,7 +177,6 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // the global pool here would deadlock (workers waiting on shards only
   // other workers could run).
   util::ThreadPool pool{options.workers};
-  std::mutex callback_mutex;
   pool.parallel_for(pending.size(), [&](std::size_t p) {
     const std::size_t i = pending[p];
     const std::string ckpt = job_ckpt_path(jobs[i]);
@@ -196,17 +200,15 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       pending_gauge.set(static_cast<double>(pool.pending()));
     }
     {
-      std::lock_guard lock{progress_mutex};
-      ++completed;
+      util::MutexLock lock{progress_state.mutex};
+      ++progress_state.completed;
     }
-    std::lock_guard lock{callback_mutex};
+    util::MutexLock lock{progress_state.callback_mutex};
     report_progress();
   });
 
   result.executed = pending.size();
-  result.wall_seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - campaign_start)
-                            .count();
+  result.wall_seconds = campaign_watch.elapsed_s();
   return result;
 }
 

@@ -202,7 +202,7 @@ void save(const core::Simulator& sim, const util::IniFile& experiment,
   };
   std::vector<Section> sections;
   auto add = [&sections](std::uint32_t tag, util::BinWriter&& w) {
-    sections.push_back(Section{tag, std::move(w).take()});
+    sections.emplace_back(tag, std::move(w).take());
   };
 
   util::BinWriter meta;

@@ -37,7 +37,7 @@ class BasicEventQueue {
     if (at < current_time_) {
       throw std::logic_error{"EventQueue: scheduling into the past"};
     }
-    heap_.push_back(Entry{at, next_seq_++, std::move(payload)});
+    heap_.emplace_back(at, next_seq_++, std::move(payload));
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 

@@ -27,7 +27,7 @@ std::string to_string(TraceKind kind) {
 void EventTrace::record(SimTime time_s, TraceKind kind, AgentId a, AgentId b,
                         std::string detail) {
   if (!enabled_) return;
-  events_.push_back(TraceEvent{time_s, kind, a, b, std::move(detail)});
+  events_.emplace_back(time_s, kind, a, b, std::move(detail));
 }
 
 std::vector<TraceEvent> EventTrace::filter(TraceKind kind) const {

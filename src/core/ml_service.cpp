@@ -45,8 +45,10 @@ std::future<TrainResult> MlService::train_async(ml::Weights start,
   // std::async with the launch::async policy gives one thread per in-flight
   // training; concurrent trainings per round are bounded by round fan-out,
   // which is small (tens). Evaluation inside stays single-threaded to avoid
-  // nested pool deadlocks.
-  return std::async(std::launch::async,
+  // nested pool deadlocks — routing through ThreadPool::global() would have
+  // a campaign worker's training wait on shards only other trainings could
+  // run, hence the sanctioned exception to the raw-thread rule.
+  return std::async(std::launch::async,  // rr-lint: allow(raw-thread)
                     [this, start = std::move(start), data = std::move(data),
                      config, job_rng]() mutable {
                       return train(std::move(start), std::move(data), config,

@@ -1,12 +1,12 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
+#include "util/stopwatch.hpp"
 
 namespace roadrunner::core {
 
@@ -436,8 +436,9 @@ void Simulator::finish_computation(
   Agent& a = agent_mut(id);
   a.training = false;
   const bool success = is_on(id);
-  metrics_.increment(success ? "computations_completed"
-                             : "computations_discarded");
+  metrics_.increment(success  // rr-lint: allow(metric-name) two fixed names
+                         ? "computations_completed"
+                         : "computations_discarded");
   if (success) metrics_.increment("compute_seconds", duration_s);
   if (work) {
     work(*this, success);
@@ -585,18 +586,20 @@ void Simulator::export_channel_counters() {
     const auto kind = static_cast<comm::ChannelKind>(k);
     const auto& s = network_.stats(kind);
     const std::string prefix = "bytes_" + comm::to_string(kind);
-    metrics_.set_counter(prefix + "_attempted",
+    // Dynamic metric families keyed by channel kind / failure cause: the
+    // name set is bounded by two small enums, so the schema stays closed.
+    metrics_.set_counter(prefix + "_attempted",  // rr-lint: allow(metric-name)
                          static_cast<double>(s.bytes_attempted));
-    metrics_.set_counter(prefix + "_delivered",
+    metrics_.set_counter(prefix + "_delivered",  // rr-lint: allow(metric-name)
                          static_cast<double>(s.bytes_delivered));
     const std::string transfers = "transfers_" + comm::to_string(kind);
-    metrics_.set_counter(transfers + "_failed",
+    metrics_.set_counter(transfers + "_failed",  // rr-lint: allow(metric-name)
                          static_cast<double>(s.transfers_failed));
     // Per-cause breakdown. Every cause is exported (zeros included) so
     // campaign CSV columns are identical across sweep points.
     for (std::size_t c = 1; c < comm::kLinkStatusCount; ++c) {
       const auto cause = static_cast<comm::LinkStatus>(c);
-      metrics_.set_counter(
+      metrics_.set_counter(  // rr-lint: allow(metric-name)
           transfers + "_failed_" + comm::to_string(cause),
           static_cast<double>(s.failed_by_cause[c]));
     }
@@ -633,7 +636,7 @@ Simulator::RunReport Simulator::run() {
   }
   if (config_.telemetry) telemetry::set_enabled(true);
   running_ = true;
-  const auto wall_start = std::chrono::steady_clock::now();
+  const util::Stopwatch wall_watch;
   telemetry::Span run_span{"sim", "sim.run"};
   static telemetry::Counter events_counter{"sim.events_executed"};
 
@@ -695,7 +698,8 @@ Simulator::RunReport Simulator::run() {
   double total_compute = 0.0;
   for (AgentId v : vehicle_ids_) {
     const double busy = agents_[v].hu.total_busy_time();
-    metrics_.set_counter("compute_s_vehicle_" + std::to_string(v), busy);
+    metrics_.set_counter(  // rr-lint: allow(metric-name) per-vehicle family
+        "compute_s_vehicle_" + std::to_string(v), busy);
     max_compute = std::max(max_compute, busy);
     total_compute += busy;
   }
@@ -709,10 +713,7 @@ Simulator::RunReport Simulator::run() {
   report.sim_end_time_s = queue_.current_time();
   report.events_executed = queue_.executed_count();
   report.stopped_by_strategy = stop_requested_;
-  report.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  report.wall_seconds = wall_watch.elapsed_s();
   // Simulated-time metrics only: wall time lives in the RunReport so the
   // registry stays byte-identical across reruns of the same seed.
   metrics_.set_counter("events_executed",

@@ -30,7 +30,7 @@ void validate_name(const std::string& name, const char* what) {
 void Registry::add_point(const std::string& series, double time_s,
                          double value) {
   validate_name(series, "series");
-  series_[series].push_back(Point{time_s, value});
+  series_[series].emplace_back(time_s, value);
 }
 
 void Registry::increment(const std::string& counter, double delta) {

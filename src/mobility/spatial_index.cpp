@@ -1,5 +1,6 @@
 #include "mobility/spatial_index.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -41,6 +42,12 @@ std::vector<std::size_t> SpatialIndex::within(const Position& query,
       }
     }
   }
+  // Results are gathered in cell order, which depends on insertion order;
+  // emit in ascending index order so downstream consumers (encounter
+  // scheduling, gossip peer choice) see an order independent of how the
+  // index was built. The candidate set is small (a 3x3 neighbourhood), so
+  // the sort is noise next to the distance checks.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -78,6 +85,10 @@ std::vector<std::pair<std::size_t, std::size_t>> SpatialIndex::pairs_within(
       }
     }
   }
+  // The outer loop walks the unordered cell map in hash-bucket order, so
+  // the raw pair order depends on insertion order and stdlib internals.
+  // Sorting makes the emitted order a pure function of the positions.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

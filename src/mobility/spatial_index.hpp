@@ -24,13 +24,16 @@ class SpatialIndex {
   SpatialIndex(const std::vector<Position>& positions, double cell_size);
 
   /// Indices of all points within `radius` of `query` (excluding `exclude`
-  /// if in range of the vector). Requires radius <= cell_size for the 3x3
-  /// neighbourhood scan to be exhaustive; throws otherwise.
+  /// if in range of the vector), in ascending index order — deterministic
+  /// regardless of insertion order or hash-bucket layout (DESIGN.md §10).
+  /// Requires radius <= cell_size for the 3x3 neighbourhood scan to be
+  /// exhaustive; throws otherwise.
   [[nodiscard]] std::vector<std::size_t> within(
       const Position& query, double radius,
       std::size_t exclude = static_cast<std::size_t>(-1)) const;
 
-  /// All unordered pairs (i < j) with distance <= radius.
+  /// All unordered pairs (i < j) with distance <= radius, sorted
+  /// lexicographically — same determinism guarantee as within().
   [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> pairs_within(
       double radius) const;
 

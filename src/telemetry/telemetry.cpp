@@ -34,7 +34,7 @@ Telemetry::ThreadBuffer& Telemetry::local_buffer() {
   if (buf == nullptr) {
     auto owned = std::make_unique<ThreadBuffer>();
     buf = owned.get();
-    std::lock_guard lock{registry_mutex_};
+    util::MutexLock lock{registry_mutex_};
     buf->tid = next_tid_++;
     buffers_.push_back(std::move(owned));
     t_buffer = buf;
@@ -43,7 +43,7 @@ Telemetry::ThreadBuffer& Telemetry::local_buffer() {
 }
 
 void Telemetry::flush_locked(ThreadBuffer& buffer) {
-  std::lock_guard store_lock{store_mutex_};
+  util::MutexLock store_lock{store_mutex_};
   store_.insert(store_.end(), std::make_move_iterator(buffer.events.begin()),
                 std::make_move_iterator(buffer.events.end()));
   buffer.events.clear();
@@ -51,14 +51,14 @@ void Telemetry::flush_locked(ThreadBuffer& buffer) {
 
 void Telemetry::record(SpanEvent event) {
   ThreadBuffer& buffer = local_buffer();
-  std::lock_guard lock{buffer.mutex};
+  util::MutexLock lock{buffer.mutex};
   event.tid = buffer.tid;
   buffer.events.push_back(std::move(event));
   if (buffer.events.size() >= kFlushThreshold) flush_locked(buffer);
 }
 
 std::atomic<double>& Telemetry::counter_cell(std::string_view name) {
-  std::lock_guard lock{scalar_mutex_};
+  util::MutexLock lock{scalar_mutex_};
   auto it = counters_.find(std::string{name});
   if (it == counters_.end()) {
     it = counters_
@@ -74,22 +74,22 @@ void Telemetry::counter_add(std::string_view name, double delta) {
 }
 
 void Telemetry::gauge_set(std::string_view name, double value) {
-  std::lock_guard lock{scalar_mutex_};
+  util::MutexLock lock{scalar_mutex_};
   gauges_[std::string{name}] = value;
 }
 
 std::vector<SpanEvent> Telemetry::snapshot() {
-  std::lock_guard registry_lock{registry_mutex_};
+  util::MutexLock registry_lock{registry_mutex_};
   for (auto& buffer : buffers_) {
-    std::lock_guard lock{buffer->mutex};
+    util::MutexLock lock{buffer->mutex};
     if (!buffer->events.empty()) flush_locked(*buffer);
   }
-  std::lock_guard store_lock{store_mutex_};
+  util::MutexLock store_lock{store_mutex_};
   return store_;
 }
 
 std::map<std::string, double> Telemetry::counters() const {
-  std::lock_guard lock{scalar_mutex_};
+  util::MutexLock lock{scalar_mutex_};
   std::map<std::string, double> out;
   for (const auto& [name, cell] : counters_) {
     out[name] = cell->load(std::memory_order_relaxed);
@@ -98,21 +98,21 @@ std::map<std::string, double> Telemetry::counters() const {
 }
 
 std::map<std::string, double> Telemetry::gauges() const {
-  std::lock_guard lock{scalar_mutex_};
+  util::MutexLock lock{scalar_mutex_};
   return gauges_;
 }
 
 void Telemetry::clear() {
-  std::lock_guard registry_lock{registry_mutex_};
+  util::MutexLock registry_lock{registry_mutex_};
   for (auto& buffer : buffers_) {
-    std::lock_guard lock{buffer->mutex};
+    util::MutexLock lock{buffer->mutex};
     buffer->events.clear();
   }
   {
-    std::lock_guard store_lock{store_mutex_};
+    util::MutexLock store_lock{store_mutex_};
     store_.clear();
   }
-  std::lock_guard scalar_lock{scalar_mutex_};
+  util::MutexLock scalar_lock{scalar_mutex_};
   for (auto& [name, cell] : counters_) {
     cell->store(0.0, std::memory_order_relaxed);
   }

@@ -20,10 +20,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace roadrunner::telemetry {
 
@@ -100,28 +101,31 @@ class Telemetry {
 
  private:
   struct ThreadBuffer {
-    std::mutex mutex;  ///< owner appends; exporters drain
-    std::vector<SpanEvent> events;
-    std::uint32_t tid = 0;
+    util::Mutex mutex;  ///< owner appends; exporters drain
+    std::vector<SpanEvent> events RR_GUARDED_BY(mutex);
+    std::uint32_t tid = 0;  ///< written once at registration, then read-only
   };
 
   Telemetry() = default;
 
-  ThreadBuffer& local_buffer();
-  void flush_locked(ThreadBuffer& buffer);  ///< caller holds buffer.mutex
+  ThreadBuffer& local_buffer() RR_EXCLUDES(registry_mutex_);
+  void flush_locked(ThreadBuffer& buffer)
+      RR_REQUIRES(buffer.mutex) RR_EXCLUDES(store_mutex_);
 
   // Lock order (outer to inner): registry -> buffer -> store; scalar
   // independent.
-  mutable std::mutex registry_mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::uint32_t next_tid_ = 1;
+  mutable util::Mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      RR_GUARDED_BY(registry_mutex_);
+  std::uint32_t next_tid_ RR_GUARDED_BY(registry_mutex_) = 1;
 
-  std::mutex store_mutex_;
-  std::vector<SpanEvent> store_;
+  util::Mutex store_mutex_;
+  std::vector<SpanEvent> store_ RR_GUARDED_BY(store_mutex_);
 
-  mutable std::mutex scalar_mutex_;
-  std::map<std::string, std::unique_ptr<std::atomic<double>>> counters_;
-  std::map<std::string, double> gauges_;
+  mutable util::Mutex scalar_mutex_;
+  std::map<std::string, std::unique_ptr<std::atomic<double>>> counters_
+      RR_GUARDED_BY(scalar_mutex_);
+  std::map<std::string, double> gauges_ RR_GUARDED_BY(scalar_mutex_);
 
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace roadrunner::util {
 
@@ -10,9 +11,9 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 // Guarded by g_emit_mutex (not atomic): a sink swap must wait for the
 // message currently being written, or the old stream could be destroyed
-// mid-emission.
-std::ostream* g_sink = nullptr;
-std::mutex g_emit_mutex;
+// mid-emission. The annotation makes clang verify that discipline.
+Mutex g_emit_mutex;
+std::ostream* g_sink RR_GUARDED_BY(g_emit_mutex) = nullptr;
 
 constexpr std::string_view level_name(LogLevel level) {
   switch (level) {
@@ -29,14 +30,14 @@ constexpr std::string_view level_name(LogLevel level) {
 void Log::set_level(LogLevel level) { g_level.store(level); }
 LogLevel Log::level() { return g_level.load(); }
 void Log::set_sink(std::ostream* sink) {
-  std::lock_guard lock{g_emit_mutex};
+  MutexLock lock{g_emit_mutex};
   g_sink = sink;
 }
 
 void Log::write(LogLevel level, std::string_view component,
                 std::string_view message) {
   if (level < g_level.load()) return;
-  std::lock_guard lock{g_emit_mutex};
+  MutexLock lock{g_emit_mutex};
   std::ostream* sink = g_sink;
   if (sink == nullptr) sink = &std::clog;
   (*sink) << '[' << level_name(level) << "] [" << component << "] " << message

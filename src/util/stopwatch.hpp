@@ -1,0 +1,33 @@
+// Wall-clock stopwatch: the one sanctioned way to measure host time outside
+// the telemetry layer. rr-lint's `wall-clock` rule forbids raw
+// std::chrono::*_clock reads on simulation-visible paths (tools/rr_lint.py,
+// DESIGN.md §10); timing that feeds *reports* (never the metrics Registry or
+// a checkpoint) goes through this type instead, so every clock read in the
+// tree lives in util/ or telemetry/ and the determinism audit stays a grep.
+#pragma once
+
+#include <chrono>
+
+namespace roadrunner::util {
+
+/// Measures elapsed host wall time from construction (or the last restart).
+/// Values are informational only — callers must keep them out of anything
+/// that is byte-compared across reruns (result-store metrics, snapshots).
+class Stopwatch {
+ public:
+  Stopwatch() : start_{std::chrono::steady_clock::now()} {}
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace roadrunner::util

@@ -1,0 +1,43 @@
+// Clang thread-safety-analysis annotations (-Wthread-safety), expanding to
+// nothing on GCC and other compilers. Applied to util::Mutex (sync.hpp) and
+// the shared-state classes built on it — util::ThreadPool, the telemetry
+// sink, util::Log, and the campaign engine's progress state — so lock
+// discipline is checked at compile time on clang and at runtime by the TSan
+// CI lane everywhere else (DESIGN.md §10).
+//
+// Naming follows the Clang documentation's canonical macro set with an RR_
+// prefix to avoid colliding with downstream users' definitions.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define RR_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define RR_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+#define RR_CAPABILITY(x) RR_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define RR_SCOPED_CAPABILITY RR_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define RR_GUARDED_BY(x) RR_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define RR_PT_GUARDED_BY(x) RR_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define RR_ACQUIRE(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define RR_RELEASE(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RR_TRY_ACQUIRE(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define RR_REQUIRES(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define RR_EXCLUDES(...) RR_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define RR_RETURN_CAPABILITY(x) RR_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define RR_NO_THREAD_SAFETY_ANALYSIS \
+  RR_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -17,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock{mutex_};
+    MutexLock lock{mutex_};
     stopping_ = true;
   }
   cv_.notify_all();
@@ -28,8 +29,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock{mutex_};
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock{mutex_};
+      // Explicit wait loop (not the predicate overload): guarded reads stay
+      // in this annotated scope, and condition_variable_any releases and
+      // reacquires mutex_ itself.
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -37,19 +41,19 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock{mutex_};
+      MutexLock lock{mutex_};
       --busy_;
     }
   }
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard lock{mutex_};
+  MutexLock lock{mutex_};
   return tasks_.size();
 }
 
 std::size_t ThreadPool::busy() const {
-  std::lock_guard lock{mutex_};
+  MutexLock lock{mutex_};
   return busy_;
 }
 
@@ -62,10 +66,15 @@ void ThreadPool::parallel_for(std::size_t count,
     return;
   }
 
+  // Completion state shared with the shard tasks. Everything lives on this
+  // stack frame, so the last touch a shard makes must happen-before the
+  // wait below returns: the done-count increment and its notify both occur
+  // under done_mutex, which closes the race where a worker notified a
+  // condition variable the waiter had already destroyed.
   std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::size_t done = 0;
   std::condition_variable done_cv;
   std::mutex done_mutex;
 
@@ -80,21 +89,22 @@ void ThreadPool::parallel_for(std::size_t count,
         if (!first_error) first_error = std::current_exception();
       }
     }
-    {
-      std::lock_guard lock{done_mutex};
-      done.fetch_add(1);
-    }
-    done_cv.notify_one();
+    std::lock_guard lock{done_mutex};
+    ++done;
+    done_cv.notify_one();  // under the lock: the waiter cannot win the race
+                           // to destroy done_cv before this call returns
   };
 
   {
-    std::lock_guard lock{mutex_};
+    MutexLock lock{mutex_};
     for (std::size_t s = 0; s < shards; ++s) tasks_.push(shard);
   }
   cv_.notify_all();
 
-  std::unique_lock lock{done_mutex};
-  done_cv.wait(lock, [&] { return done.load() == shards; });
+  {
+    std::unique_lock lock{done_mutex};
+    done_cv.wait(lock, [&] { return done == shards; });
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

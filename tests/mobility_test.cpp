@@ -193,6 +193,74 @@ TEST(SpatialIndex, ExcludeParameter) {
   for (std::size_t i : got) EXPECT_NE(i, 0U);
 }
 
+// Regression for DESIGN.md §10: query results must come out in sorted-id
+// order — a pure function of the geometric content — no matter how points
+// were fed to the constructor (insertion order is what shapes the hash
+// map's bucket layout, which used to leak into pairs_within's order).
+TEST(SpatialIndex, DeterministicOrderUnderInsertionPermutation) {
+  util::Rng rng{2026};
+  std::vector<Position> pts(120);
+  for (auto& p : pts) {
+    p = {rng.uniform(0.0, 800.0), rng.uniform(0.0, 800.0)};
+  }
+  const double radius = 75.0;
+  const std::vector<Position> queries{
+      {100, 100}, {400, 400}, {799, 1}, {0, 0}, {250, 600}};
+
+  std::vector<std::size_t> order(pts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Canonical answers from the identity ordering, as position sequences.
+  std::vector<std::vector<std::pair<double, double>>> canonical_within;
+  std::vector<std::pair<double, double>> canonical_pair_points;
+
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Position> permuted(pts.size());
+    for (std::size_t i = 0; i < order.size(); ++i) permuted[i] = pts[order[i]];
+    SpatialIndex index{permuted, radius};
+
+    // within(): exactly the brute-force answer in ascending id order —
+    // not merely the same set.
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const auto got = index.within(queries[qi], radius);
+      std::vector<std::size_t> expect;
+      for (std::size_t i = 0; i < permuted.size(); ++i) {
+        if (distance(permuted[i], queries[qi]) <= radius) expect.push_back(i);
+      }
+      EXPECT_EQ(got, expect) << "trial " << trial << " query " << qi;
+      // Cross-permutation: the answer identifies the same physical points.
+      std::vector<std::pair<double, double>> points;
+      points.reserve(got.size());
+      for (std::size_t i : got) points.emplace_back(permuted[i].x, permuted[i].y);
+      std::sort(points.begin(), points.end());
+      if (trial == 0) {
+        canonical_within.push_back(points);
+      } else {
+        EXPECT_EQ(points, canonical_within[qi]) << "trial " << trial;
+      }
+    }
+
+    // pairs_within(): exactly the sorted brute-force pair list.
+    auto got_pairs = index.pairs_within(radius);
+    auto expect_pairs = brute_force_pairs(permuted, radius);
+    std::sort(expect_pairs.begin(), expect_pairs.end());
+    EXPECT_EQ(got_pairs, expect_pairs) << "trial " << trial;
+    std::vector<std::pair<double, double>> pair_points;
+    for (const auto& [i, j] : got_pairs) {
+      pair_points.emplace_back(permuted[i].x + permuted[j].x,
+                               permuted[i].y + permuted[j].y);
+    }
+    std::sort(pair_points.begin(), pair_points.end());
+    if (trial == 0) {
+      canonical_pair_points = pair_points;
+    } else {
+      EXPECT_EQ(pair_points, canonical_pair_points) << "trial " << trial;
+    }
+
+    rng.shuffle(order);
+  }
+}
+
 TEST(SpatialIndex, RejectsRadiusBeyondCellSize) {
   std::vector<Position> pts{{0, 0}};
   SpatialIndex index{pts, 50.0};

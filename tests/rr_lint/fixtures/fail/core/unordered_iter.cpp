@@ -1,0 +1,15 @@
+// Golden fixture: must produce exactly one `unordered-iter` finding. Lives
+// under a `core/` path segment so the order-sensitive scope applies.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+inline std::vector<std::string> emit_names(
+    const std::unordered_map<std::string, double>& table) {
+  std::unordered_map<std::string, double> local = table;
+  std::vector<std::string> out;
+  for (const auto& entry : local) {  // bucket-order iteration: flagged
+    out.push_back(entry.first);
+  }
+  return out;
+}

@@ -1,0 +1,9 @@
+// Golden fixture: must produce exactly one `metric-name` finding
+// (computed-name variant).
+#include <string>
+
+#include "metrics/registry.hpp"
+
+inline void open_ended_schema(roadrunner::metrics::Registry& reg, int shard) {
+  reg.increment("shard_" + std::to_string(shard));  // computed name: flagged
+}

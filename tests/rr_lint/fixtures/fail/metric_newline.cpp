@@ -1,0 +1,8 @@
+// Golden fixture: must produce exactly one `metric-name` finding
+// (newline-literal variant; the Registry would throw at runtime, the lint
+// catches it before the build).
+#include "metrics/registry.hpp"
+
+inline void broken_name(roadrunner::metrics::Registry& reg) {
+  reg.increment("accuracy\nper_round");  // newline in a metric name: flagged
+}

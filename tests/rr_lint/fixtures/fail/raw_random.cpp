@@ -1,0 +1,8 @@
+// Golden fixture: must produce exactly one `raw-random` finding.
+#include <cstdlib>
+#include <random>
+
+inline int nondeterministic_draw() {
+  std::mt19937 engine{42};  // raw engine outside util/rng: flagged
+  return static_cast<int>(engine());
+}

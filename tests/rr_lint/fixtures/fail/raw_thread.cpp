@@ -1,0 +1,7 @@
+// Golden fixture: must produce exactly one `raw-thread` finding.
+#include <thread>
+
+inline void fire_and_forget() {
+  std::thread worker{[] {}};  // ad-hoc thread outside util/thread_pool: flagged
+  worker.join();
+}

@@ -1,0 +1,7 @@
+// Golden fixture: must produce exactly one `wall-clock` finding.
+#include <chrono>
+
+inline double host_now_s() {
+  const auto now = std::chrono::steady_clock::now();  // flagged
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

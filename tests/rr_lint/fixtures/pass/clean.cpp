@@ -1,0 +1,54 @@
+// Golden fixture: idiomatic roadrunner code that every rr-lint rule must
+// accept. If this file ever produces a finding, a rule has grown a false
+// positive (tests/rr_lint/rr_lint_test.py).
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/registry.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace roadrunner::fixture {
+
+struct Config {
+  std::string accuracy_series = "accuracy";
+};
+
+// Mentioning a clock inside a comment or a string is fine: the lint strips
+// comments and blanks string literals before matching. steady_clock, rand().
+inline const char* kBanner = "system_clock is only text here; std::thread too";
+
+inline void record_metrics(metrics::Registry& reg, const Config& config,
+                           double now) {
+  reg.add_point(config.accuracy_series, now, 0.5);  // identifier chain: ok
+  reg.add_point("loss", now, 0.25);                 // literal: ok
+  reg.increment("rounds_completed");
+  reg.set_counter("final_accuracy", 0.9);
+}
+
+inline double draw(util::Rng& parent) {
+  util::Rng rng = parent.fork("fixture");  // named fork: the sanctioned path
+  return rng.uniform();
+}
+
+inline double timed_work() {
+  const util::Stopwatch watch;  // sanctioned wall-clock facade
+  util::ThreadPool::global().parallel_for(4, [](std::size_t) {});
+  return watch.elapsed_s();
+}
+
+// Unordered maps may exist anywhere; only *iteration* in order-sensitive
+// dirs is flagged — and lookups are always fine.
+inline int lookup(const std::unordered_map<int, int>& m, int key) {
+  auto it = m.find(key);
+  return it == m.end() ? 0 : it->second;
+}
+
+// `runtime(...)`, `sim_time(...)` and member `.time()` calls must not trip
+// the wall-clock rule's `time(` pattern.
+inline double runtime(double sim_time) { return sim_time; }
+
+}  // namespace roadrunner::fixture

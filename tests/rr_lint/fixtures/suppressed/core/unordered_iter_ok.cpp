@@ -1,0 +1,15 @@
+// Golden fixture: suppressed unordered iteration in an order-sensitive
+// path segment (`core/`). Must lint clean.
+#include <unordered_map>
+
+inline double commutative_sum(const std::unordered_map<int, double>& table) {
+  std::unordered_map<int, double> local = table;
+  double sum = 0.0;
+  // Order cannot reach any output: addition over doubles from a bounded
+  // set... actually FP addition is order-sensitive, which is exactly why
+  // real code should sort — but this fixture only tests the trailer.
+  for (const auto& entry : local) {  // rr-lint: allow(unordered-iter)
+    sum += entry.second;
+  }
+  return sum;
+}

@@ -1,0 +1,31 @@
+// Golden fixture: one would-be violation per rule, each silenced by an
+// `// rr-lint: allow(<rule>)` trailer. Must lint clean — this is the
+// regression test for the suppression syntax itself.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "metrics/registry.hpp"
+
+inline int suppressed_draw() {
+  std::mt19937 engine{7};  // rr-lint: allow(raw-random) fixture only
+  return static_cast<int>(engine());
+}
+
+inline double suppressed_clock() {
+  const auto t = std::chrono::steady_clock::now();  // rr-lint: allow(wall-clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+inline void suppressed_thread() {
+  std::thread t{[] {}};  // rr-lint: allow(raw-thread) fixture only
+  t.join();
+}
+
+inline void suppressed_metric(roadrunner::metrics::Registry& reg, int shard) {
+  // Two rules on one line, comma-separated.
+  reg.increment("shard_" + std::to_string(shard));  // rr-lint: allow(metric-name,raw-random)
+}

@@ -1,0 +1,513 @@
+#!/usr/bin/env python3
+"""rr-lint: repo-specific determinism & concurrency lint for roadrunner.
+
+The framework's reproducibility contract (DESIGN.md §4, §10) rests on
+conventions no compiler enforces: every random draw flows through a named
+``util::Rng`` fork, no simulation-visible path reads wall-clock time or
+iterates an unordered container, and all threading goes through
+``util::ThreadPool``. This tool turns those conventions into machine-checked
+rules using regexes plus lightweight C++ token scanning — no libclang, no
+compile step, runs in milliseconds as a ctest target and a CI gate.
+
+Usage:
+  rr_lint.py                       # lint src/ and examples/ under --root
+  rr_lint.py FILE [FILE...]        # lint specific files (fixture testing)
+  rr_lint.py --list-rules          # print the rule table
+  rr_lint.py --explain RULE        # rationale + how to fix a violation
+
+Suppression: append ``// rr-lint: allow(<rule>)`` to the offending line
+(comma-separate several rule ids). Suppressions are deliberate, reviewable
+markers — e.g. a dynamically built metric name that is known newline-free.
+
+Exit status: 0 = clean, 1 = violations found, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Rule table. Each rule: id, summary, rationale/fix text (--explain), and a
+# scope note. Detection logic lives in the check_* functions below; this
+# table is the single source of truth for ids and documentation, and is
+# unit-tested against golden fixtures in tests/rr_lint/.
+# --------------------------------------------------------------------------
+
+RULES = {
+    "raw-random": {
+        "summary": "std::rand/srand/random_device/raw mt19937 outside util/rng",
+        "scope": "src/ and examples/, except src/util/rng.*",
+        "explain": """\
+Every stochastic draw must come from a named util::Rng fork
+(`rng.fork("tag")`), seeded from the experiment's master seed. Raw engines
+break the paired-seed comparison contract: std::rand and std::mt19937 are
+stdlib-specific (libstdc++ vs libc++ streams differ), and
+std::random_device is nondeterministic by design, so a single call anywhere
+on a simulation-visible path makes same-seed runs diverge.
+
+Fix: take a util::Rng (or fork one from the component's parent stream).
+For genuinely non-simulation randomness (none known today), suppress with
+`// rr-lint: allow(raw-random)` and justify in a comment.""",
+    },
+    "wall-clock": {
+        "summary": "wall-clock reads outside telemetry/ and util/",
+        "scope": "src/ and examples/, except src/telemetry/ and src/util/",
+        "explain": """\
+Simulated time comes from the event queue (`Simulator::now()`); host time
+is an observability concern that belongs to telemetry/ (spans) and util/
+(Stopwatch). A system_clock/steady_clock/time() read anywhere else is
+either dead code or a determinism leak waiting to be aggregated into a
+metric — wall-clock values must never reach the metrics Registry or a
+checkpoint (DESIGN.md §8: aggregates are byte-compared across reruns).
+
+Fix: use util::Stopwatch for wall timing that stays in reports, RR_TSPAN
+for profiling, or Simulator::now() for simulated time. If a new layer
+legitimately needs a clock read, suppress with
+`// rr-lint: allow(wall-clock)` and keep the value out of metrics.""",
+    },
+    "unordered-iter": {
+        "summary": "iteration over unordered containers in order-sensitive dirs",
+        "scope": "src/checkpoint/, src/metrics/, src/core/, src/fault/",
+        "explain": """\
+checkpoint/, metrics/, core/ and fault/ feed serialization and metric
+export, where emission order is part of the byte-identical contract.
+Iterating a std::unordered_map/set there makes output depend on
+hash-bucket layout — stable on one build, silently different on another
+stdlib or after a rehash, which breaks checkpoint round-trips and
+same-seed CSV comparison.
+
+Fix: use std::map/std::set, keep a parallel sorted index, or copy keys
+out and sort before emitting. If iteration order provably cannot reach
+any output (e.g. accumulating into a commutative sum), suppress with
+`// rr-lint: allow(unordered-iter)` and say why in a comment.""",
+    },
+    "raw-thread": {
+        "summary": "std::thread/jthread/async or detach outside util/thread_pool",
+        "scope": "src/ and examples/, except src/util/thread_pool.*",
+        "explain": """\
+All parallelism goes through util::ThreadPool: it reduces in deterministic
+index order, owns the only std::thread objects, and is where the
+thread-safety annotations and the TSan lane concentrate. Ad-hoc
+std::thread/std::async use bypasses the pool's shutdown ordering, and a
+detached thread can outlive the telemetry sink and the result store —
+a use-after-free that only fires at exit.
+
+Fix: submit work with ThreadPool::parallel_for (or the global() pool).
+If a dedicated thread is truly required, put it behind a util/ facade and
+suppress there with `// rr-lint: allow(raw-thread)`.""",
+    },
+    "metric-name": {
+        "summary": "metric registration with a non-literal or newline-bearing name",
+        "scope": "src/ and examples/ (Registry and telemetry scalar calls)",
+        "explain": """\
+Metric names are schema: the campaign store, the aggregate CSV, and the
+--list-metrics surface all key on them. A name must be a string literal
+(newline-free — the Registry throws on '\\n' at runtime, this rule moves
+that to lint time) or a named constant/config member, so the set of
+metrics is statically enumerable. Inline concatenation and conditional
+expressions produce open-ended name sets that silently fork the store
+schema between runs.
+
+Fix: hoist the name into a constant or a config field. For deliberately
+dynamic families (e.g. per-channel counters like transfers_<ch>_failed),
+suppress with `// rr-lint: allow(metric-name)` — the suppression is the
+documented registry of dynamic metric families.""",
+    },
+}
+
+# Directories (as posix path fragments) with special roles.
+ORDER_SENSITIVE_DIRS = ("/checkpoint/", "/metrics/", "/core/", "/fault/")
+WALL_CLOCK_EXEMPT = ("/telemetry/", "/util/")
+RNG_HOME = "/util/rng."
+THREAD_HOME = "/util/thread_pool."
+
+SUPPRESS_RE = re.compile(r"//\s*rr-lint:\s*allow\(([^)]*)\)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Lightweight C++ source preparation: strip comments (preserving newlines so
+# line numbers survive) and optionally blank out string/char literal
+# contents so regexes never match inside text. Handles raw strings.
+# --------------------------------------------------------------------------
+
+
+def strip_comments(text: str) -> str:
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = _skip_literal(text, i)
+            out.append(text[i:j])
+            i = j
+        elif c == "R" and text[i : i + 2] == 'R"':
+            j = _skip_raw_string(text, i)
+            out.append(text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def blank_strings(text: str) -> str:
+    """On comment-stripped text, replace literal contents with spaces."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "R" and text[i : i + 2] == 'R"':
+            j = _skip_raw_string(text, i)
+            out.append('R"' + "".join(ch if ch == "\n" else " " for ch in text[i + 2 : j - 1]) + '"')
+            i = j
+        elif c in "\"'":
+            j = _skip_literal(text, i)
+            out.append(c + " " * max(0, j - i - 2) + (text[j - 1] if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _skip_literal(text: str, i: int) -> int:
+    quote = text[i]
+    j = i + 1
+    n = len(text)
+    while j < n:
+        if text[j] == "\\":
+            j += 2
+            continue
+        if text[j] == quote or text[j] == "\n":
+            return j + 1
+        j += 1
+    return n
+
+
+def _skip_raw_string(text: str, i: int) -> int:
+    m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
+    if not m:
+        return i + 1
+    close = ")" + m.group(1) + '"'
+    j = text.find(close, i + m.end())
+    return len(text) if j == -1 else j + len(close)
+
+
+def suppressed_rules(raw_line: str) -> set:
+    rules = set()
+    for m in SUPPRESS_RE.finditer(raw_line):
+        rules.update(r.strip() for r in m.group(1).split(",") if r.strip())
+    return rules
+
+
+# --------------------------------------------------------------------------
+# Per-rule checks.
+# --------------------------------------------------------------------------
+
+RAW_RANDOM_RE = re.compile(
+    r"(?<![\w:])(?:std\s*::\s*)?(rand|srand|random_device|mt19937(?:_64)?|"
+    r"minstd_rand0?|ranlux\d+(?:_base)?|default_random_engine|knuth_b)\b(?<!\w_rand)"
+)
+
+WALL_CLOCK_RE = re.compile(
+    r"(?:\b(?:system_clock|steady_clock|high_resolution_clock)\b)|"
+    r"(?<![\w.:>])(?:time|clock|gettimeofday|clock_gettime|localtime|gmtime)\s*\("
+)
+
+RAW_THREAD_RE = re.compile(
+    r"(?:\bstd\s*::\s*(?:thread|jthread|async)\b)|(?:\.\s*detach\s*\(\s*\))"
+)
+
+
+def posix(path: Path) -> str:
+    return "/" + path.as_posix().lstrip("/")
+
+
+def check_line_rules(path: Path, raw_lines, code_lines, findings):
+    p = posix(path)
+    scan_random = RNG_HOME not in p
+    scan_clock = not any(d in p for d in WALL_CLOCK_EXEMPT)
+    scan_thread = THREAD_HOME not in p
+
+    for idx, code in enumerate(code_lines):
+        lineno = idx + 1
+        allowed = suppressed_rules(raw_lines[idx])
+        if scan_random and "raw-random" not in allowed:
+            m = RAW_RANDOM_RE.search(code)
+            if m:
+                findings.append(
+                    Finding(path, lineno, "raw-random",
+                            f"raw random source `{m.group(0).strip()}` — use a "
+                            "named util::Rng fork (see --explain raw-random)"))
+        if scan_clock and "wall-clock" not in allowed:
+            m = WALL_CLOCK_RE.search(code)
+            if m:
+                findings.append(
+                    Finding(path, lineno, "wall-clock",
+                            f"wall-clock read `{m.group(0).strip()}` outside "
+                            "telemetry/|util/ — use util::Stopwatch or RR_TSPAN"))
+        if scan_thread and "raw-thread" not in allowed:
+            m = RAW_THREAD_RE.search(code)
+            if m:
+                findings.append(
+                    Finding(path, lineno, "raw-thread",
+                            f"raw threading `{m.group(0).strip()}` outside "
+                            "util/thread_pool — use util::ThreadPool"))
+
+
+# ---- unordered-iter -------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(r"\b(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
+USING_ALIAS_RE = re.compile(r"\busing\s+(\w+)\s*=")
+
+
+def _match_angle(text: str, start: int) -> int:
+    """Index just past the '>' matching the '<' at text[start]."""
+    depth = 0
+    i = start
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return i  # malformed / not a template argument list
+        i += 1
+    return n
+
+
+def unordered_names(code: str) -> set:
+    """Identifiers declared with an unordered container type (incl. aliases)."""
+    names = set()
+    aliases = set()
+    for m in UNORDERED_DECL_RE.finditer(code):
+        open_angle = code.find("<", m.start())
+        end = _match_angle(code, open_angle)
+        # `using Foo = std::unordered_map<...>;` registers an alias.
+        prefix = code[max(0, m.start() - 80) : m.start()]
+        am = None
+        for am in USING_ALIAS_RE.finditer(prefix):
+            pass
+        if am is not None and prefix[am.end():].strip() in ("", "std::", "std ::"):
+            aliases.add(am.group(1))
+            continue
+        decl = re.match(r"\s*(?:&|\*|const\b)?\s*(\w+)\s*(?:[;={(,)]|$)", code[end:])
+        if decl:
+            names.add(decl.group(1))
+    if aliases:
+        alias_re = re.compile(r"\b(" + "|".join(map(re.escape, aliases)) + r")\b\s*(?:&|\*|const\b)?\s*(\w+)\s*[;={(]")
+        for m in alias_re.finditer(code):
+            names.add(m.group(2))
+    return names
+
+
+def check_unordered_iter(path: Path, raw_lines, code_lines, findings, extra_names):
+    p = posix(path)
+    if not any(d in p for d in ORDER_SENSITIVE_DIRS):
+        return
+    code = "\n".join(code_lines)
+    names = unordered_names(code) | extra_names
+    range_for = re.compile(r"\bfor\s*\([^;)]*?:\s*(?:\*|&)?\s*([A-Za-z_][\w.>\-]*)\s*\)")
+    begin_call = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*c?begin\s*\(")
+    inline_unordered = re.compile(r"\bfor\s*\([^;)]*?:\s*[^)]*\bunordered_(?:map|set)\b")
+    for idx, line in enumerate(code_lines):
+        lineno = idx + 1
+        if "unordered-iter" in suppressed_rules(raw_lines[idx]):
+            continue
+        hit = None
+        m = range_for.search(line)
+        if m and m.group(1).rstrip("._") and m.group(1).split(".")[0].split("->")[0] in names:
+            hit = m.group(1)
+        if hit is None:
+            m = begin_call.search(line)
+            if m and m.group(1) in names:
+                hit = m.group(1)
+        if hit is None and inline_unordered.search(line):
+            hit = "unordered container expression"
+        if hit is not None:
+            findings.append(
+                Finding(path, lineno, "unordered-iter",
+                        f"iteration over unordered container `{hit}` in an "
+                        "order-sensitive directory — emit in sorted order"))
+
+
+# ---- metric-name ----------------------------------------------------------
+
+METRIC_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(add_point|increment|set_counter|counter_add|gauge_set)\s*\(")
+
+IDENT_CHAIN_RE = re.compile(
+    r"^[A-Za-z_][\w]*(?:\s*(?:::|\.|->)\s*[A-Za-z_]\w*|\s*\(\s*\)|\s*\[\s*\w+\s*\])*$")
+
+
+def _extract_first_arg(code: str, open_paren: int):
+    """Return (arg_text, ok) for the first argument of the call at '('."""
+    depth = 0
+    i = open_paren
+    n = len(code)
+    start = open_paren + 1
+    while i < n:
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return code[start:i], True
+        elif c == "," and depth == 1:
+            return code[start:i], True
+        elif c in "\"'":
+            i = _skip_literal(code, i) - 1
+        i += 1
+    return "", False
+
+
+STRING_LITERAL_ONLY_RE = re.compile(r'^\s*(?:"(?:[^"\\]|\\.)*"\s*)+$')
+
+
+def check_metric_names(path: Path, raw_lines, code, findings):
+    for m in METRIC_CALL_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        if "metric-name" in suppressed_rules(raw_lines[lineno - 1]):
+            continue
+        arg, ok = _extract_first_arg(code, code.find("(", m.end() - 1))
+        if not ok:
+            continue
+        arg = arg.strip()
+        if STRING_LITERAL_ONLY_RE.match(arg):
+            if "\\n" in arg or "\\r" in arg:
+                findings.append(
+                    Finding(path, lineno, "metric-name",
+                            f"{m.group(1)}: metric name literal contains a "
+                            "newline escape — names must be single-line"))
+            continue
+        if IDENT_CHAIN_RE.match(arg):
+            continue  # named constant / config member: statically enumerable
+        findings.append(
+            Finding(path, lineno, "metric-name",
+                    f"{m.group(1)}: metric name is a computed expression "
+                    f"(`{' '.join(arg.split())[:60]}`) — hoist to a constant "
+                    "or suppress to register a dynamic metric family"))
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh", ".ipp"}
+
+
+def collect_files(root: Path):
+    files = []
+    for sub in ("src", "examples"):
+        base = root / sub
+        if base.is_dir():
+            files.extend(p for p in sorted(base.rglob("*")) if p.suffix in CXX_SUFFIXES)
+    return files
+
+
+def lint_files(files):
+    findings = []
+    # Pre-pass: unordered-typed member names declared in headers of the
+    # order-sensitive dirs, visible to their .cpp files.
+    shared_names = {}
+    for path in files:
+        p = posix(path)
+        for d in ORDER_SENSITIVE_DIRS:
+            if d in p and path.suffix in (".hpp", ".h", ".hh"):
+                code = strip_comments(path.read_text(encoding="utf-8", errors="replace"))
+                shared_names.setdefault(d, set()).update(unordered_names(code))
+    for path in files:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = text.split("\n")
+        code = strip_comments(text)
+        nostr = blank_strings(code)
+        code_lines = nostr.split("\n")
+        check_line_rules(path, raw_lines, code_lines, findings)
+        extra = set()
+        for d in ORDER_SENSITIVE_DIRS:
+            if d in posix(path):
+                extra |= shared_names.get(d, set())
+        check_unordered_iter(path, raw_lines, code_lines, findings, extra)
+        check_metric_names(path, raw_lines, code, findings)
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="files to lint (default: src/ and examples/ under --root)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repo root for the default file set")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--explain", metavar="RULE")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(r) for r in RULES)
+        for rule, info in RULES.items():
+            print(f"{rule:<{width}}  {info['summary']}")
+            print(f"{'':<{width}}  scope: {info['scope']}")
+        return 0
+    if args.explain:
+        info = RULES.get(args.explain)
+        if info is None:
+            print(f"unknown rule: {args.explain} (try --list-rules)", file=sys.stderr)
+            return 2
+        print(f"[{args.explain}] {info['summary']}")
+        print(f"scope: {info['scope']}\n")
+        print(info["explain"])
+        return 0
+
+    files = args.files or collect_files(args.root)
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        for f in missing:
+            print(f"rr-lint: no such file: {f}", file=sys.stderr)
+        return 2
+    findings = lint_files(files)
+    for finding in findings:
+        print(finding)
+    if not args.quiet:
+        print(f"rr-lint: {len(files)} files, {len(findings)} violation(s)",
+              file=sys.stderr)
+    if findings:
+        print("rr-lint: run with --explain <rule> for rationale and fixes",
+              file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
