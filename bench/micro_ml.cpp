@@ -1,14 +1,28 @@
 // Micro-benchmarks for the ML substrate: tensor matmul, the paper CNN's
 // forward/backward, FedAvg aggregation, and model serialization. These
 // bound the per-agent training cost that dominates learning experiments.
+//
+// Two modes:
+//  * default — self-timed headline numbers (conv GFLOP/s, CNN train
+//    steps/s, FedAvg merges/s, serialize MB/s) written to BENCH_ml.json
+//    through the shared bench::BenchJson writer, the file the CI perf lane
+//    tracks against main (tools/perf_compare.py);
+//  * --gbench — the full google-benchmark suite below, for interactive
+//    drill-down with proper statistical repetition.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "data/synthetic_images.hpp"
 #include "ml/fedavg.hpp"
 #include "ml/loss.hpp"
 #include "ml/models.hpp"
 #include "ml/serialize.hpp"
 #include "ml/trainer.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -134,6 +148,177 @@ void BM_SyntheticImageGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SyntheticImageGeneration);
 
+// ---- self-timed headline mode (default) -----------------------------------
+
+/// Calls fn repeatedly (after two warm-up calls) until `min_s` wall seconds
+/// elapse; returns (elapsed seconds, iterations). Coarse by design — the
+/// perf lane compares ratios against main with a 15% gate, so sub-percent
+/// timer fidelity buys nothing here; use --gbench for that.
+template <typename Fn>
+std::pair<double, std::uint64_t> time_loop(Fn&& fn, double min_s) {
+  fn();
+  fn();
+  util::Stopwatch sw;
+  std::uint64_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (sw.elapsed_s() < min_s);
+  return {sw.elapsed_s(), iters};
+}
+
+int headline_main(const util::CliArgs& args) {
+  const double min_s = args.get_double("min-time", 0.5);
+  bench::BenchJson json{"micro_ml"};
+  double total_wall = 0.0;
+  std::printf("=== ML substrate headline numbers ===\n\n");
+
+  // Conv GFLOP/s: one Conv2D(3->16, k5) over a 16x3x32x32 batch. FLOPs are
+  // counted as 2x the forward MACs the layer reports (multiply + add).
+  {
+    const std::size_t batch = 16;
+    util::Rng rng{11};
+    ml::Network net;
+    net.append(std::make_unique<ml::Conv2D>(3, 16, 5));
+    ml::prime_and_init(net, {3, 32, 32}, rng);
+    ml::Tensor x{{batch, 3, 32, 32}};
+    for (float& v : x.values()) v = static_cast<float>(rng.uniform());
+    ml::Tensor out = net.forward(x);  // fixes spatial dims for flops_per_sample
+    const double flops_per_batch =
+        2.0 * static_cast<double>(net.flops_per_sample()) *
+        static_cast<double>(batch);
+    const auto [wall, iters] = time_loop(
+        [&] {
+          out = net.forward(x);
+        },
+        min_s);
+    const double gflops =
+        flops_per_batch * static_cast<double>(iters) / wall / 1e9;
+    const double samples_per_s =
+        static_cast<double>(iters * batch) / wall;
+    std::printf("%-32s %8.2f GFLOP/s  %10.0f samples/s\n",
+                "conv 3->16 k5, batch 16", gflops, samples_per_s);
+    json.begin_run("conv 3->16 k5, batch 16");
+    json.metric("gflops", gflops);
+    json.metric("samples_per_s", samples_per_s);
+    total_wall += wall;
+  }
+
+  // Paper CNN: forward-only throughput, then a full train step (forward +
+  // loss + backward), both on the Fig. 4 batch size.
+  {
+    const std::size_t batch = 16;
+    auto ds = std::make_shared<ml::Dataset>(small_images(batch));
+    util::Rng rng{12};
+    ml::Network net = ml::make_paper_cnn();
+    ml::prime_and_init(net, {3, 32, 32}, rng);
+    auto view = ml::DatasetView::all(ds);
+    ml::Tensor x;
+    std::vector<std::int32_t> y;
+    view.gather_batch(0, batch, x, y);
+    ml::Tensor out = net.forward(x);
+    const double flops_per_batch =
+        2.0 * static_cast<double>(net.flops_per_sample()) *
+        static_cast<double>(batch);
+
+    {
+      const auto [wall, iters] = time_loop(
+          [&] {
+            out = net.forward(x);
+          },
+          min_s);
+      const double gflops =
+          flops_per_batch * static_cast<double>(iters) / wall / 1e9;
+      const double samples_per_s = static_cast<double>(iters * batch) / wall;
+      std::printf("%-32s %8.2f GFLOP/s  %10.0f samples/s\n",
+                  "paper CNN forward, batch 16", gflops, samples_per_s);
+      json.begin_run("paper CNN forward, batch 16");
+      json.metric("gflops", gflops);
+      json.metric("samples_per_s", samples_per_s);
+      total_wall += wall;
+    }
+    {
+      const auto [wall, iters] = time_loop(
+          [&] {
+            net.zero_grad();
+            ml::Tensor logits = net.forward(x);
+            auto loss = ml::softmax_cross_entropy(logits, y);
+            net.backward(loss.grad);
+          },
+          min_s);
+      const double steps_per_s = static_cast<double>(iters) / wall;
+      const double samples_per_s = static_cast<double>(iters * batch) / wall;
+      std::printf("%-32s %8.2f steps/s   %10.0f samples/s\n",
+                  "paper CNN train step, batch 16", steps_per_s,
+                  samples_per_s);
+      json.begin_run("paper CNN train step, batch 16");
+      json.metric("steps_per_s", steps_per_s);
+      json.metric("samples_per_s", samples_per_s);
+      total_wall += wall;
+    }
+  }
+
+  // FedAvg over 15 contributors — the aggregation cost of one busy round.
+  {
+    util::Rng rng{13};
+    ml::Network net = ml::make_paper_cnn();
+    ml::prime_and_init(net, {3, 32, 32}, rng);
+    std::vector<ml::WeightedModel> contributions;
+    for (std::size_t i = 0; i < 15; ++i) {
+      net.init_params(rng);
+      contributions.push_back(ml::WeightedModel{net.weights(), 80.0});
+    }
+    const auto [wall, iters] = time_loop(
+        [&] {
+          auto merged = ml::fed_avg(contributions);
+          static_cast<void>(merged);
+        },
+        min_s);
+    const double merges_per_s = static_cast<double>(iters) / wall;
+    std::printf("%-32s %8.2f merges/s\n", "fedavg, 15 contributors",
+                merges_per_s);
+    json.begin_run("fedavg, 15 contributors");
+    json.metric("merges_per_s", merges_per_s);
+    total_wall += wall;
+  }
+
+  // Weight serialization — what every model transfer in the simulator pays.
+  {
+    util::Rng rng{14};
+    ml::Network net = ml::make_paper_cnn();
+    ml::prime_and_init(net, {3, 32, 32}, rng);
+    const auto w = net.weights();
+    const double bytes = static_cast<double>(ml::weights_byte_size(w));
+    const auto [wall, iters] = time_loop(
+        [&] {
+          auto blob = ml::serialize_weights(w);
+          static_cast<void>(blob);
+        },
+        min_s);
+    const double mb_per_s = bytes * static_cast<double>(iters) / wall / 1e6;
+    std::printf("%-32s %8.2f MB/s\n", "serialize weights", mb_per_s);
+    json.begin_run("serialize weights");
+    json.metric("mb_per_s", mb_per_s);
+    total_wall += wall;
+  }
+
+  json.total("total_wall_s", total_wall);
+  std::printf("\n");
+  json.write(args.get("json", "BENCH_ml.json"));
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  if (args.get_bool("gbench", false)) {
+    // Hand google-benchmark a bare argv (our flags are not its flags).
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return headline_main(args);
+}

@@ -46,50 +46,48 @@ void report(const char* label, const scenario::RunResult& r) {
                            r.report.events_executed});
 }
 
-/// Shortest round-trip double formatting, reusing the CSV layer's helper.
-std::string num(double v) { return util::CsvWriter::field(v); }
-
 /// Machine-readable companion to the human table, for CI regression
 /// tracking: per-run events/s and wall seconds plus whole-bench totals.
+/// Schema and formatting come from the shared bench::BenchJson writer.
 void write_json(const std::string& path) {
-  std::ofstream out{path};
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
+  bench::BenchJson json{"sim_speed"};
   double total_wall = 0.0;
   std::uint64_t total_events = 0;
-  out << "{\n  \"bench\": \"sim_speed\",\n  \"runs\": [\n";
-  for (std::size_t i = 0; i < g_runs.size(); ++i) {
-    const RunLine& r = g_runs[i];
+  for (const RunLine& r : g_runs) {
     total_wall += r.wall_s;
     total_events += r.events;
-    const double eps = static_cast<double>(r.events) / std::max(1e-9, r.wall_s);
-    out << "    {\"label\": \"" << r.label << "\", \"sim_s\": " << num(r.sim_s)
-        << ", \"wall_s\": " << num(r.wall_s) << ", \"events\": " << r.events
-        << ", \"events_per_s\": " << num(eps) << "}"
-        << (i + 1 < g_runs.size() ? ",\n" : "\n");
+    json.begin_run(r.label);
+    json.metric("sim_s", r.sim_s);
+    json.metric("wall_s", r.wall_s);
+    json.metric("events", r.events);
+    json.metric("events_per_s",
+                static_cast<double>(r.events) / std::max(1e-9, r.wall_s));
   }
-  out << "  ],\n  \"total_wall_s\": " << num(total_wall)
-      << ",\n  \"total_events\": " << total_events
-      << ",\n  \"total_events_per_s\": "
-      << num(static_cast<double>(total_events) / std::max(1e-9, total_wall))
-      << "\n}\n";
-  std::printf("\nwrote %s\n", path.c_str());
+  json.total("total_wall_s", total_wall);
+  json.total("total_events", total_events);
+  json.total("total_events_per_s",
+             static_cast<double>(total_events) / std::max(1e-9, total_wall));
+  std::printf("\n");
+  json.write(path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::CliArgs args{argc, argv};
-  std::printf("=== R6: simulation speed-up over real time ===\n\n");
+  // --fast shrinks every workload (shorter horizons, fewer rounds, smaller
+  // pools) for the CI perf lane: the measured events/s stays comparable
+  // run-to-run because the labels and per-run mix are unchanged.
+  const bool fast = args.get_bool("fast", false);
+  std::printf("=== R6: simulation speed-up over real time%s ===\n\n",
+              fast ? " (--fast)" : "");
 
   // 1. Pure fleet + encounter simulation, no learning.
   for (std::size_t vehicles : {50U, 200U}) {
     auto cfg = bench::ablation_scenario(31);
     cfg.vehicles = vehicles;
     cfg.train_pool_size = std::max<std::size_t>(9000, vehicles * 60 * 2);
-    cfg.horizon_s = 20000.0;
+    cfg.horizon_s = fast ? 4000.0 : 20000.0;
     scenario::Scenario scenario{cfg};
     const auto result = scenario.run(std::make_shared<IdleStrategy>());
     char label[64];
@@ -101,9 +99,10 @@ int main(int argc, char** argv) {
   // 2. Full learning workload (FL over the MLP problem).
   {
     auto cfg = bench::ablation_scenario(31);
+    if (fast) cfg.horizon_s = 8000.0;
     scenario::Scenario scenario{cfg};
     strategy::RoundConfig round;
-    round.rounds = 20;
+    round.rounds = fast ? 5 : 20;
     round.participants = 5;
     round.round_duration_s = 30.0;
     const auto result =
@@ -115,15 +114,15 @@ int main(int argc, char** argv) {
   {
     auto cfg = bench::ablation_scenario(31);
     cfg.dataset = "images";
-    cfg.train_pool_size = 6000;
-    cfg.test_size = 500;
+    cfg.train_pool_size = fast ? 2000 : 6000;
+    cfg.test_size = fast ? 200 : 500;
     cfg.vehicles = 40;
-    cfg.samples_per_vehicle = 80;
+    cfg.samples_per_vehicle = fast ? 40 : 80;
     cfg.model = "paper_cnn";
     cfg.train.learning_rate = 0.005F;
     scenario::Scenario scenario{cfg};
     strategy::RoundConfig round;
-    round.rounds = 8;
+    round.rounds = fast ? 2 : 8;
     round.participants = 5;
     round.round_duration_s = 30.0;
     const auto result =

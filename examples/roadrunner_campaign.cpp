@@ -8,6 +8,14 @@
 //        [--out=aggregate.csv] [--plot=metric] [--seeds=N] [--fresh]
 //        [--trace-out=trace.json] [--profile] [--dry-run] [--list-metrics]
 //        [--checkpoint-every=SIMSECONDS] [--checkpoint-dir=DIR]
+//        [--serve=[HOST:]PORT] [--connect=[HOST:]PORT]
+//
+// --serve turns this process into a distributed-campaign coordinator: it
+// expands the spec, listens on the endpoint, hands jobs to workers
+// (roadrunner_worker, or this binary with --connect), and writes the same
+// store and aggregate CSV a local run would — byte-identical, whatever the
+// fleet looks like (DESIGN.md §11). --connect joins such a coordinator as a
+// worker instead of running a campaign; the spec argument is ignored.
 //
 // --trace-out writes a Chrome trace_event JSON of the whole campaign
 // (open in https://ui.perfetto.dev); --profile prints a per-category
@@ -35,9 +43,13 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 
 #include "campaign/aggregate.hpp"
 #include "campaign/engine.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "dist/worker.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/cli.hpp"
@@ -90,11 +102,53 @@ std::string format_eta(double seconds) {
   return buf;
 }
 
+int usage_error(const char* program, const std::string& reason) {
+  std::fprintf(stderr, "error: %s\n", reason.c_str());
+  std::fprintf(stderr,
+               "usage: %s [spec.ini] [--workers=N] [--store=DIR] "
+               "[--out=FILE] [--seeds=N] [--fresh]\n"
+               "       [--serve=[HOST:]PORT] [--connect=[HOST:]PORT] "
+               "[--name=WORKER] [--shard-store=DIR]\n"
+               "       [--checkpoint-every=SIMSECONDS] "
+               "[--checkpoint-dir=DIR] [--dry-run] [--list-metrics]\n",
+               program);
+  return 2;
+}
+
 int run(int argc, char** argv) {
   util::CliArgs args{argc, argv};
   // Exports on scope exit, so the trace covers the entire campaign.
   telemetry::TraceSession telemetry_session{args.get("trace-out", ""),
                                             args.get_bool("profile", false)};
+
+  // Worker mode: join a coordinator instead of running a campaign. No spec
+  // is read — the coordinator ships each job as fully resolved INI text.
+  if (args.has("connect")) {
+    dist::WorkerOptions wopts;
+    std::tie(wopts.host, wopts.port) =
+        dist::parse_endpoint(args.get("connect", ""));
+    wopts.name = args.get("name", "worker");
+    wopts.shard_store_dir = args.get("shard-store", "");
+    wopts.checkpoint_dir = args.get("checkpoint-dir", "");
+    wopts.max_jobs = static_cast<std::size_t>(args.get_int("max-jobs", 0));
+    std::printf("worker %s connecting to %s:%u\n", wopts.name.c_str(),
+                wopts.host.c_str(), static_cast<unsigned>(wopts.port));
+    const dist::WorkerReport report = dist::run_worker(wopts);
+    std::printf("worker %s: %zu jobs run, %zu accepted, %zu duplicate (%s)\n",
+                wopts.name.c_str(), report.jobs_run, report.results_accepted,
+                report.results_duplicate, report.shutdown_reason.c_str());
+    return 0;
+  }
+
+  // Validated up front (not just on the paths that use it) so a typo like
+  // --workers=O fails fast even with --dry-run. 0 and negatives used to be
+  // silently coerced to "auto-size"; now they are a usage error.
+  std::size_t worker_count = 0;
+  try {
+    worker_count = util::parse_worker_count(args, "workers");
+  } catch (const std::invalid_argument& e) {
+    return usage_error(argv[0], e.what());
+  }
 
   util::IniFile ini;
   std::string spec_path;
@@ -160,7 +214,7 @@ int run(int argc, char** argv) {
   }
 
   campaign::EngineOptions options;
-  options.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  options.workers = worker_count;
   if (!args.get_bool("fresh", false)) {
     options.store_dir =
         args.get("store", ini.get("campaign", "store", spec.name + "_results"));
@@ -186,15 +240,42 @@ int run(int argc, char** argv) {
     std::fflush(stdout);
   };
 
-  const campaign::CampaignResult result = campaign::run_campaign(spec, options);
-  std::printf("\rdone: %zu executed, %zu resumed in %.1f s (%.2f jobs/s)%20s\n",
-              result.executed, result.resumed, result.wall_seconds,
-              result.executed > 0 && result.wall_seconds > 0.0
-                  ? static_cast<double>(result.executed) / result.wall_seconds
-                  : 0.0,
-              "");
+  std::vector<campaign::JobRecord> records;
+  if (args.has("serve")) {
+    // Coordinator mode: same store, same aggregate outputs, but the jobs
+    // run wherever a worker connects from.
+    dist::CoordinatorOptions copts;
+    std::tie(copts.host, copts.port) = dist::parse_endpoint(
+        args.get("serve", ""), "127.0.0.1", /*allow_port_zero=*/true);
+    copts.store_dir = options.store_dir;
+    copts.checkpoint_every_s = options.checkpoint_every_s;
+    copts.lease_s = args.get_double("lease", copts.lease_s);
+    copts.on_progress = options.on_progress;
+    dist::Coordinator coordinator{spec, copts};
+    std::printf("serving   %s:%u — join with --connect=%s:%u\n",
+                copts.host.c_str(), static_cast<unsigned>(coordinator.port()),
+                copts.host.c_str(), static_cast<unsigned>(coordinator.port()));
+    std::fflush(stdout);  // fleet launch scripts wait for this line
+    dist::CoordinatorResult result = coordinator.serve();
+    std::printf("\rdone: %zu executed, %zu resumed in %.1f s%20s\n",
+                result.executed, result.resumed, result.wall_seconds, "");
+    std::printf("fleet     %zu workers seen, %zu jobs requeued, "
+                "%zu duplicate results dropped\n",
+                result.workers_seen, result.requeued, result.duplicates);
+    records = std::move(result.records);
+  } else {
+    campaign::CampaignResult result = campaign::run_campaign(spec, options);
+    std::printf(
+        "\rdone: %zu executed, %zu resumed in %.1f s (%.2f jobs/s)%20s\n",
+        result.executed, result.resumed, result.wall_seconds,
+        result.executed > 0 && result.wall_seconds > 0.0
+            ? static_cast<double>(result.executed) / result.wall_seconds
+            : 0.0,
+        "");
+    records = std::move(result.records);
+  }
 
-  const auto summaries = campaign::summarize(result.records);
+  const auto summaries = campaign::summarize(records);
 
   // Aggregate CSV.
   const std::string out_path = args.get("out", spec.name + "_aggregate.csv");

@@ -1,0 +1,328 @@
+#include "dist/coordinator.hpp"
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/protocol.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/socket.hpp"
+#include "util/stopwatch.hpp"
+
+namespace roadrunner::dist {
+
+namespace {
+
+telemetry::Counter g_jobs_assigned{"dist.jobs_assigned"};
+telemetry::Counter g_jobs_merged{"dist.jobs_merged"};
+telemetry::Counter g_requeues{"dist.requeues"};
+telemetry::Counter g_duplicates{"dist.duplicate_results"};
+telemetry::Gauge g_progress{"dist.progress"};
+telemetry::Gauge g_eta{"dist.eta_s"};
+telemetry::Gauge g_workers{"dist.workers_connected"};
+
+}  // namespace
+
+struct Coordinator::Impl {
+  /// One connected worker. `job` is the index of its in-flight assignment;
+  /// `lease` restarts on assignment, heartbeat, and result, so silence
+  /// longer than options.lease_s means the worker is gone.
+  struct Client {
+    util::Socket socket;
+    std::string name;
+    bool welcomed = false;
+    std::optional<std::size_t> job;
+    util::Stopwatch lease;
+  };
+
+  campaign::CampaignSpec spec;
+  CoordinatorOptions options;
+  std::vector<campaign::Job> jobs;
+  std::optional<campaign::ResultStore> store;
+  util::Listener listener;
+
+  // serve() state.
+  std::vector<campaign::JobRecord> records;
+  std::vector<char> merged;
+  std::deque<std::size_t> pending;  ///< unassigned jobs, expansion order
+  std::vector<std::size_t> requeue_count;
+  std::vector<std::unique_ptr<Client>> clients;
+  CoordinatorResult stats;
+  std::size_t merged_total = 0;
+  util::Stopwatch wall;
+
+  Impl(campaign::CampaignSpec spec_in, CoordinatorOptions options_in)
+      : spec{std::move(spec_in)},
+        options{std::move(options_in)},
+        jobs{campaign::expand(spec)},
+        listener{options.host, options.port} {
+    if (!options.store_dir.empty()) store.emplace(options.store_dir);
+  }
+
+  void report_progress() {
+    const double elapsed = wall.elapsed_s();
+    campaign::Progress progress;
+    progress.total = jobs.size();
+    progress.resumed = stats.resumed;
+    progress.completed = stats.executed;
+    progress.elapsed_s = elapsed;
+    progress.jobs_per_s =
+        elapsed > 0.0 ? static_cast<double>(stats.executed) / elapsed : 0.0;
+    const std::size_t remaining = jobs.size() - merged_total;
+    progress.eta_s = progress.jobs_per_s > 0.0
+                         ? static_cast<double>(remaining) / progress.jobs_per_s
+                         : 0.0;
+    if (telemetry::enabled()) {
+      g_progress.set(jobs.empty() ? 1.0
+                                  : static_cast<double>(merged_total) /
+                                        static_cast<double>(jobs.size()));
+      g_eta.set(progress.eta_s);
+    }
+    if (options.on_progress) options.on_progress(progress);
+  }
+
+  /// Returns the job to the front of the queue (requeued work runs before
+  /// the untouched tail, so stragglers finish promptly). Throws once a job
+  /// has burned through its requeue budget — at that point the job itself
+  /// is failing, not the fleet.
+  void requeue(std::size_t job_index) {
+    if (merged[job_index] != 0) return;  // finished elsewhere meanwhile
+    if (++requeue_count[job_index] > options.max_requeues_per_job) {
+      throw std::runtime_error{
+          "dist: job " + jobs[job_index].hash + " requeued more than " +
+          std::to_string(options.max_requeues_per_job) +
+          " times; it appears to fail deterministically"};
+    }
+    pending.push_front(job_index);
+    ++stats.requeued;
+    g_requeues.add();
+  }
+
+  void drop_client(std::size_t i) {
+    Client& client = *clients[i];
+    if (client.job.has_value()) requeue(*client.job);
+    client.socket.close();
+  }
+
+  void merge_result(Client& client, const JobResultMsg& msg) {
+    ResultAck ack;
+    const bool known = msg.job_index < jobs.size() &&
+                       msg.record.hash == jobs[msg.job_index].hash;
+    if (!known) {
+      ack.accepted = false;  // stale or corrupt; never merge it
+    } else if (merged[msg.job_index] != 0) {
+      ack.accepted = false;  // requeued job finished elsewhere first
+      ++stats.duplicates;
+      g_duplicates.add();
+    } else {
+      if (store.has_value()) store->save(msg.record);
+      records[msg.job_index] = msg.record;
+      merged[msg.job_index] = 1;
+      ++merged_total;
+      ++stats.executed;
+      g_jobs_merged.add();
+      if (telemetry::enabled() && !client.name.empty()) {
+        bump_worker_counter(client.name);
+      }
+    }
+    if (client.job == msg.job_index) client.job.reset();
+    client.lease.restart();
+    send_frame(client.socket, MsgType::kResultAck, encode_result_ack(ack));
+    if (ack.accepted) report_progress();
+  }
+
+  /// Per-worker throughput counter; the family is dynamic by design.
+  static void bump_worker_counter(const std::string& worker) {
+    telemetry::Telemetry::instance().counter_add(  // rr-lint: allow(metric-name)
+        "dist.worker." + worker + ".jobs", 1.0);
+  }
+
+  void assign_or_wait(Client& client) {
+    if (client.job.has_value()) {
+      // A worker never requests with a job in flight; if one does, its old
+      // assignment is lost on its side — put it back.
+      requeue(*client.job);
+      client.job.reset();
+    }
+    if (pending.empty()) {
+      send_frame(client.socket, MsgType::kNoWork,
+                 encode_no_work(NoWork{options.retry_ms}));
+      return;
+    }
+    const std::size_t index = pending.front();
+    pending.pop_front();
+    const campaign::Job& job = jobs[index];
+    JobAssign assign;
+    assign.job_index = index;
+    assign.hash = job.hash;
+    assign.point_index = job.point_index;
+    assign.seed_index = job.seed_index;
+    assign.seed = job.seed;
+    assign.point_label = job.point_label;
+    assign.experiment_text = job.experiment.to_string();
+    if (!send_frame(client.socket, MsgType::kJobAssign,
+                    encode_job_assign(assign))) {
+      pending.push_front(index);  // never sent; not a requeue
+      return;
+    }
+    client.job = index;
+    client.lease.restart();
+    g_jobs_assigned.add();
+  }
+
+  /// Handles one frame from client `i`. Returns false when the connection
+  /// should be dropped (EOF, version mismatch, protocol violation).
+  bool handle_client(std::size_t i) {
+    Client& client = *clients[i];
+    std::optional<Frame> frame;
+    try {
+      // poll() said readable, so the frame header is at most one partial
+      // read away; the timeout only bounds a malicious half-frame.
+      frame = recv_frame(client.socket, 10'000);
+    } catch (const std::exception&) {
+      return false;  // truncated or oversized frame
+    }
+    if (!frame.has_value()) return false;  // clean EOF
+    switch (frame->type) {
+      case MsgType::kHello: {
+        const Hello hello = decode_hello(frame->payload);
+        if (hello.version != kProtocolVersion) {
+          send_frame(client.socket, MsgType::kShutdown,
+                     encode_shutdown(Shutdown{
+                         "protocol version mismatch (coordinator speaks v" +
+                         std::to_string(kProtocolVersion) + ")"}));
+          return false;
+        }
+        client.name = hello.worker_name;
+        client.welcomed = true;
+        ++stats.workers_seen;
+        Welcome welcome;
+        welcome.campaign_name = spec.name;
+        welcome.total_jobs = jobs.size();
+        welcome.checkpoint_every_s = options.checkpoint_every_s;
+        return send_frame(client.socket, MsgType::kWelcome,
+                          encode_welcome(welcome));
+      }
+      case MsgType::kJobRequest:
+        if (!client.welcomed) return false;
+        assign_or_wait(client);
+        return true;
+      case MsgType::kHeartbeat:
+        client.lease.restart();
+        return true;
+      case MsgType::kJobResult:
+        if (!client.welcomed) return false;
+        try {
+          merge_result(client, decode_job_result(frame->payload));
+        } catch (const std::exception&) {
+          return false;  // malformed record
+        }
+        return true;
+      default:
+        return false;  // client sent a server-only message
+    }
+  }
+
+  void check_leases() {
+    for (auto& client : clients) {
+      if (client->socket.valid() && client->job.has_value() &&
+          client->lease.elapsed_s() > options.lease_s) {
+        // Neither heartbeat nor result within the lease: treat the worker
+        // as hung and take its job back. The connection is closed too — if
+        // the worker recovers and reports late, the dedup path drops it.
+        requeue(*client->job);
+        client->job.reset();
+        client->socket.close();
+      }
+    }
+  }
+
+  void prune_clients() {
+    std::erase_if(clients, [](const std::unique_ptr<Client>& client) {
+      return !client->socket.valid();
+    });
+    g_workers.set(static_cast<double>(clients.size()));
+  }
+
+  CoordinatorResult serve() {
+    RR_TSPAN("dist", "dist.serve");
+    wall.restart();
+    records.assign(jobs.size(), campaign::JobRecord{});
+    merged.assign(jobs.size(), 0);
+    requeue_count.assign(jobs.size(), 0);
+    pending.clear();
+    stats = CoordinatorResult{};
+    merged_total = 0;
+
+    // Resume pass: anything the canonical store already holds never hits
+    // the wire (same semantics as the in-process engine).
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (store.has_value() && store->contains(jobs[i].hash)) {
+        records[i] = store->load(jobs[i].hash);
+        merged[i] = 1;
+        ++merged_total;
+        ++stats.resumed;
+      } else {
+        pending.push_back(i);
+      }
+    }
+    report_progress();
+
+    while (merged_total < jobs.size()) {
+      std::vector<int> fds;
+      fds.reserve(clients.size() + 1);
+      fds.push_back(listener.fd());
+      for (const auto& client : clients) fds.push_back(client->socket.fd());
+      const std::vector<unsigned> events = util::poll_fds(fds, 100);
+
+      if ((events[0] & util::kPollIn) != 0) {
+        if (auto accepted = listener.accept(0); accepted.has_value()) {
+          auto client = std::make_unique<Client>();
+          client->socket = std::move(*accepted);
+          clients.push_back(std::move(client));
+          g_workers.set(static_cast<double>(clients.size()));
+        }
+      }
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        const unsigned ev = events.size() > i + 1 ? events[i + 1] : 0;
+        if (ev == 0) continue;
+        bool keep = false;
+        if ((ev & util::kPollIn) != 0) keep = handle_client(i);
+        if (!keep) drop_client(i);
+      }
+      check_leases();
+      prune_clients();
+    }
+
+    // Campaign complete: tell everyone still connected to go home.
+    for (auto& client : clients) {
+      if (client->socket.valid()) {
+        send_frame(client->socket, MsgType::kShutdown,
+                   encode_shutdown(Shutdown{"campaign complete"}));
+        client->socket.close();
+      }
+    }
+    clients.clear();
+    g_workers.set(0.0);
+
+    stats.records = std::move(records);
+    stats.wall_seconds = wall.elapsed_s();
+    g_progress.set(1.0);
+    g_eta.set(0.0);
+    return std::move(stats);
+  }
+};
+
+Coordinator::Coordinator(campaign::CampaignSpec spec,
+                         CoordinatorOptions options)
+    : impl_{std::make_unique<Impl>(std::move(spec), std::move(options))} {}
+
+Coordinator::~Coordinator() = default;
+
+std::uint16_t Coordinator::port() const { return impl_->listener.port(); }
+
+CoordinatorResult Coordinator::serve() { return impl_->serve(); }
+
+}  // namespace roadrunner::dist

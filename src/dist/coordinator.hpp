@@ -1,0 +1,92 @@
+// Campaign coordinator: owns the expanded job list and the canonical
+// ResultStore, serves jobs to workers over the dist protocol, and merges
+// their results back — the "modular, scalable V&V as a service" shape
+// (Digital Twins in the Cloud, PAPERS.md) for our campaign engine.
+//
+// Robustness model:
+//  * Pull scheduling: workers request jobs when idle; joining or leaving
+//    mid-campaign needs no rebalancing (elastic membership).
+//  * Liveness: every assignment carries a lease, refreshed by heartbeats
+//    and results. A worker that disconnects or goes silent past the lease
+//    has its in-flight job requeued.
+//  * At-most-once merge: a requeued job can still produce a late result
+//    from its original worker; the first record per job hash wins, later
+//    ones are acknowledged-but-dropped, so nothing double-counts.
+//  * Durability: merged records land in the canonical store through the
+//    same fsync-tmp-rename protocol the in-process engine uses; killing
+//    and restarting the coordinator resumes from the store.
+//
+// Determinism: job payloads are fully resolved experiment INIs whose seeds
+// derive from job identity alone, and results are indexed by expansion
+// order — so the aggregate CSV of a distributed run is byte-identical to a
+// single-process `--workers=N` run regardless of worker count, scheduling,
+// requeues, or duplicate results (asserted by tests/dist_test.cpp and the
+// dist-loopback CI lane).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+
+namespace roadrunner::dist {
+
+struct CoordinatorOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; Coordinator::port() reports the actual one.
+  std::uint16_t port = 0;
+  /// Canonical result store. Empty = in-memory only (no resume).
+  std::string store_dir;
+  /// Mid-job autosave period forwarded to workers (simulated seconds).
+  double checkpoint_every_s = 0.0;
+  /// Assignment lease: requeue a job whose worker has neither heartbeat
+  /// nor result for this many wall seconds.
+  double lease_s = 120.0;
+  /// Backoff we hand idle workers when the queue is momentarily empty.
+  std::uint32_t retry_ms = 250;
+  /// A job requeued more than this many times aborts the campaign — it is
+  /// failing deterministically, not losing workers.
+  std::size_t max_requeues_per_job = 5;
+  /// Serialized progress callback, same shape as the in-process engine's.
+  std::function<void(const campaign::Progress&)> on_progress;
+};
+
+struct CoordinatorResult {
+  /// One record per job in expansion order, exactly like run_campaign.
+  std::vector<campaign::JobRecord> records;
+  std::size_t executed = 0;   ///< merged from workers this run
+  std::size_t resumed = 0;    ///< satisfied from the store before serving
+  std::size_t requeued = 0;   ///< assignments returned to the queue
+  std::size_t duplicates = 0; ///< late results dropped by hash dedup
+  std::size_t workers_seen = 0;
+  double wall_seconds = 0.0;
+};
+
+class Coordinator {
+ public:
+  /// Expands the spec and binds the listener (so port() is valid before
+  /// serve() blocks). Throws on spec errors or if the endpoint is taken.
+  Coordinator(campaign::CampaignSpec spec, CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Serves until every job has a merged record, then tells connected
+  /// workers to shut down and returns. Throws if a job exceeds
+  /// max_requeues_per_job.
+  CoordinatorResult serve();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace roadrunner::dist

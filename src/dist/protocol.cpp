@@ -1,0 +1,247 @@
+#include "dist/protocol.hpp"
+
+#include <stdexcept>
+
+#include "util/binary_io.hpp"
+
+namespace roadrunner::dist {
+
+namespace {
+
+util::BinReader reader(const std::string& payload) {
+  return util::BinReader{std::string_view{payload}};
+}
+
+}  // namespace
+
+std::string encode_hello(const Hello& msg) {
+  util::BinWriter w;
+  w.u32(msg.version);
+  w.str(msg.worker_name);
+  return w.take();
+}
+
+Hello decode_hello(const std::string& payload) {
+  auto r = reader(payload);
+  Hello msg;
+  msg.version = r.u32();
+  msg.worker_name = r.str();
+  return msg;
+}
+
+std::string encode_welcome(const Welcome& msg) {
+  util::BinWriter w;
+  w.u32(msg.version);
+  w.str(msg.campaign_name);
+  w.u64(msg.total_jobs);
+  w.f64(msg.checkpoint_every_s);
+  return w.take();
+}
+
+Welcome decode_welcome(const std::string& payload) {
+  auto r = reader(payload);
+  Welcome msg;
+  msg.version = r.u32();
+  msg.campaign_name = r.str();
+  msg.total_jobs = r.u64();
+  msg.checkpoint_every_s = r.f64();
+  return msg;
+}
+
+std::string encode_job_assign(const JobAssign& msg) {
+  util::BinWriter w;
+  w.u64(msg.job_index);
+  w.str(msg.hash);
+  w.u64(msg.point_index);
+  w.u64(msg.seed_index);
+  w.u64(msg.seed);
+  w.str(msg.point_label);
+  w.str(msg.experiment_text);
+  return w.take();
+}
+
+JobAssign decode_job_assign(const std::string& payload) {
+  auto r = reader(payload);
+  JobAssign msg;
+  msg.job_index = r.u64();
+  msg.hash = r.str();
+  msg.point_index = r.u64();
+  msg.seed_index = r.u64();
+  msg.seed = r.u64();
+  msg.point_label = r.str();
+  msg.experiment_text = r.str();
+  return msg;
+}
+
+std::string encode_no_work(const NoWork& msg) {
+  util::BinWriter w;
+  w.u32(msg.retry_ms);
+  return w.take();
+}
+
+NoWork decode_no_work(const std::string& payload) {
+  auto r = reader(payload);
+  NoWork msg;
+  msg.retry_ms = r.u32();
+  return msg;
+}
+
+void encode_record(const campaign::JobRecord& record, std::string& out) {
+  util::BinWriter w;
+  w.str(record.hash);
+  w.u64(record.point_index);
+  w.u64(record.seed_index);
+  w.u64(record.seed);
+  w.str(record.point_label);
+  w.str(record.strategy_name);
+  w.f64(record.wall_seconds);
+  w.u64(record.metrics.size());
+  for (const auto& [name, value] : record.metrics) {
+    w.str(name);
+    w.f64(value);
+  }
+  out += w.buffer();
+}
+
+campaign::JobRecord decode_record(const std::string& payload) {
+  auto r = reader(payload);
+  campaign::JobRecord record;
+  record.hash = r.str();
+  record.point_index = static_cast<std::size_t>(r.u64());
+  record.seed_index = static_cast<std::size_t>(r.u64());
+  record.seed = r.u64();
+  record.point_label = r.str();
+  record.strategy_name = r.str();
+  record.wall_seconds = r.f64();
+  const std::uint64_t n = r.u64();
+  record.metrics.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const double value = r.f64();
+    record.metrics.emplace_back(std::move(name), value);
+  }
+  return record;
+}
+
+std::string encode_job_result(const JobResultMsg& msg) {
+  util::BinWriter w;
+  w.u64(msg.job_index);
+  std::string out = w.take();
+  encode_record(msg.record, out);
+  return out;
+}
+
+JobResultMsg decode_job_result(const std::string& payload) {
+  auto r = reader(payload);
+  JobResultMsg msg;
+  msg.job_index = r.u64();
+  // The record is the remainder of the payload; re-parse it through the
+  // shared decoder to keep one source of truth for the layout.
+  msg.record = decode_record(payload.substr(sizeof(std::uint64_t)));
+  return msg;
+}
+
+std::string encode_result_ack(const ResultAck& msg) {
+  util::BinWriter w;
+  w.boolean(msg.accepted);
+  return w.take();
+}
+
+ResultAck decode_result_ack(const std::string& payload) {
+  auto r = reader(payload);
+  ResultAck msg;
+  msg.accepted = r.boolean();
+  return msg;
+}
+
+std::string encode_heartbeat(const Heartbeat& msg) {
+  util::BinWriter w;
+  w.u64(msg.job_index);
+  return w.take();
+}
+
+Heartbeat decode_heartbeat(const std::string& payload) {
+  auto r = reader(payload);
+  Heartbeat msg;
+  msg.job_index = r.u64();
+  return msg;
+}
+
+std::string encode_shutdown(const Shutdown& msg) {
+  util::BinWriter w;
+  w.str(msg.reason);
+  return w.take();
+}
+
+Shutdown decode_shutdown(const std::string& payload) {
+  auto r = reader(payload);
+  Shutdown msg;
+  msg.reason = r.str();
+  return msg;
+}
+
+bool send_frame(util::Socket& socket, MsgType type,
+                const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::runtime_error{"dist: frame payload exceeds limit"};
+  }
+  util::BinWriter header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u8(static_cast<std::uint8_t>(type));
+  std::string frame = header.take();
+  frame += payload;
+  return socket.send_all(frame.data(), frame.size());
+}
+
+std::optional<Frame> recv_frame(util::Socket& socket, int timeout_ms) {
+  char header[5];
+  if (!socket.recv_exact(header, sizeof header, timeout_ms)) {
+    return std::nullopt;
+  }
+  util::BinReader r{std::string_view{header, sizeof header}};
+  const std::uint32_t length = r.u32();
+  const std::uint8_t type = r.u8();
+  if (length > kMaxFramePayload) {
+    throw std::runtime_error{"dist: oversized frame (" +
+                             std::to_string(length) + " bytes)"};
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.resize(length);
+  if (length > 0 &&
+      !socket.recv_exact(frame.payload.data(), length, timeout_ms)) {
+    throw std::runtime_error{"dist: peer closed mid-frame"};
+  }
+  return frame;
+}
+
+std::pair<std::string, std::uint16_t> parse_endpoint(
+    const std::string& text, const std::string& default_host,
+    bool allow_port_zero) {
+  std::string host = default_host;
+  std::string port_text = text;
+  const auto colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  unsigned long port = 0;
+  bool ok = !port_text.empty();
+  if (ok) {
+    try {
+      std::size_t pos = 0;
+      port = std::stoul(port_text, &pos);
+      ok = pos == port_text.size() && port <= 65535 &&
+           (port > 0 || allow_port_zero);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    throw std::invalid_argument{"bad endpoint '" + text +
+                                "' (expected HOST:PORT or PORT)"};
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace roadrunner::dist

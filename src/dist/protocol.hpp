@@ -1,0 +1,159 @@
+// Wire protocol for the distributed campaign service (DESIGN.md §11): a
+// coordinator expands a CampaignSpec into the usual FNV-hashed job list and
+// serves it to workers over TCP with pull ("work-stealing") semantics —
+// workers ask for a job whenever they are idle, so a fast machine naturally
+// drains more of the queue than a slow one and no static partitioning is
+// needed.
+//
+// Framing: u32 little-endian payload length | u8 message type | payload.
+// Payloads are util::BinWriter layouts — the same fixed-width little-endian
+// primitives the checkpoint format uses, so a frame encoded on any platform
+// decodes on any other and doubles cross the wire bit-exactly (the §10.4
+// determinism contract extends across process boundaries: a metric value
+// computed on a worker must land byte-identical in the coordinator's
+// aggregate CSV).
+//
+// The conversation:
+//
+//   worker                     coordinator
+//     Hello{version,name}  ->
+//                          <-  Welcome{version,campaign,total,ckpt_every}
+//     JobRequest{}         ->
+//                          <-  JobAssign{index,hash,...,experiment_ini}
+//     Heartbeat{index}     ->                     (periodic, while running)
+//     JobResult{index,rec} ->
+//                          <-  ResultAck{accepted}   (false = deduplicated)
+//     ...                      (loop)
+//                          <-  NoWork{retry_ms}      (queue empty, not done)
+//                          <-  Shutdown{reason}      (campaign complete)
+//
+// Failure semantics live in the coordinator: a worker that disconnects or
+// stops heartbeating has its in-flight job requeued; a requeued job that
+// still gets a late result is dropped by hash dedup (at-most-once merge).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "campaign/store.hpp"
+#include "util/socket.hpp"
+
+namespace roadrunner::dist {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a frame payload; anything larger is a corrupt or hostile
+/// length prefix, rejected before allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 64U << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kJobRequest = 3,
+  kJobAssign = 4,
+  kNoWork = 5,
+  kJobResult = 6,
+  kResultAck = 7,
+  kHeartbeat = 8,
+  kShutdown = 9,
+};
+
+struct Frame {
+  MsgType type{};
+  std::string payload;
+};
+
+struct Hello {
+  std::uint32_t version = kProtocolVersion;
+  std::string worker_name;
+};
+
+struct Welcome {
+  std::uint32_t version = kProtocolVersion;
+  std::string campaign_name;
+  std::uint64_t total_jobs = 0;
+  /// Mid-job autosave period the coordinator wants workers to use
+  /// (simulated seconds; 0 disables).
+  double checkpoint_every_s = 0.0;
+};
+
+struct JobAssign {
+  std::uint64_t job_index = 0;  ///< position in the expansion order
+  std::string hash;
+  std::uint64_t point_index = 0;
+  std::uint64_t seed_index = 0;
+  std::uint64_t seed = 0;
+  std::string point_label;
+  /// The fully resolved experiment, as INI text (IniFile::to_string —
+  /// round-trip stable, so the worker reconstructs the identical Job).
+  std::string experiment_text;
+};
+
+struct NoWork {
+  std::uint32_t retry_ms = 250;
+};
+
+struct JobResultMsg {
+  std::uint64_t job_index = 0;
+  campaign::JobRecord record;
+};
+
+struct ResultAck {
+  /// False when the coordinator already held a record for this job hash
+  /// (the job was requeued and finished elsewhere first).
+  bool accepted = true;
+};
+
+struct Heartbeat {
+  std::uint64_t job_index = 0;
+};
+
+struct Shutdown {
+  std::string reason;
+};
+
+// Payload encode/decode. Decoders throw std::runtime_error on truncated or
+// malformed payloads (BinReader overruns surface as exceptions, never as
+// garbage reads).
+std::string encode_hello(const Hello& msg);
+Hello decode_hello(const std::string& payload);
+std::string encode_welcome(const Welcome& msg);
+Welcome decode_welcome(const std::string& payload);
+std::string encode_job_assign(const JobAssign& msg);
+JobAssign decode_job_assign(const std::string& payload);
+std::string encode_no_work(const NoWork& msg);
+NoWork decode_no_work(const std::string& payload);
+std::string encode_job_result(const JobResultMsg& msg);
+JobResultMsg decode_job_result(const std::string& payload);
+std::string encode_result_ack(const ResultAck& msg);
+ResultAck decode_result_ack(const std::string& payload);
+std::string encode_heartbeat(const Heartbeat& msg);
+Heartbeat decode_heartbeat(const std::string& payload);
+std::string encode_shutdown(const Shutdown& msg);
+Shutdown decode_shutdown(const std::string& payload);
+
+/// JobRecord <-> bytes (shared by JobResultMsg and tests). Metric values
+/// travel as raw f64 bits, so records survive the wire bit-exactly.
+void encode_record(const campaign::JobRecord& record, std::string& out);
+campaign::JobRecord decode_record(const std::string& payload);
+
+/// Sends one framed message. Returns false if the peer has gone away.
+bool send_frame(util::Socket& socket, MsgType type,
+                const std::string& payload);
+
+/// Receives one framed message. Returns nullopt on clean EOF at a frame
+/// boundary; throws on truncation, oversized length prefixes, or timeout.
+std::optional<Frame> recv_frame(util::Socket& socket, int timeout_ms = -1);
+
+/// Parses "HOST:PORT" / ":PORT" / "PORT" into (host, port); the host
+/// defaults to `default_host`. Throws std::invalid_argument on a missing
+/// or malformed port. Port 0 is rejected unless `allow_port_zero` — it is
+/// meaningless to connect to, but a coordinator may bind it to request an
+/// ephemeral port (--serve=:0; the actual port is printed on startup).
+std::pair<std::string, std::uint16_t> parse_endpoint(
+    const std::string& text, const std::string& default_host = "127.0.0.1",
+    bool allow_port_zero = false);
+
+}  // namespace roadrunner::dist

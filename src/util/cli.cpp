@@ -57,4 +57,27 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   throw std::invalid_argument{"CliArgs: bad boolean for --" + name};
 }
 
+std::size_t parse_worker_count(const CliArgs& args, const std::string& name,
+                               std::size_t fallback) {
+  if (!args.has(name)) return fallback;
+  const std::string value = args.get(name, "");
+  long long parsed = 0;
+  bool ok = !value.empty();
+  if (ok) {
+    try {
+      std::size_t pos = 0;
+      parsed = std::stoll(value, &pos);
+      ok = pos == value.size();
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (!ok || parsed <= 0) {
+    throw std::invalid_argument{"--" + name + "=" + value +
+                                ": expected a positive integer (omit the "
+                                "flag to auto-size to the hardware)"};
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 }  // namespace roadrunner::util

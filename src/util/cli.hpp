@@ -38,4 +38,13 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Parses a worker/parallelism count flag. An absent flag returns
+/// `fallback` (0 conventionally means "auto-size to the hardware"); a flag
+/// that is present must be a positive integer — `--workers=0`, negatives,
+/// and junk all throw std::invalid_argument with a usage-ready message
+/// instead of silently auto-sizing (or, for a negative value cast through
+/// size_t, trying to spawn 2^64 threads).
+std::size_t parse_worker_count(const CliArgs& args, const std::string& name,
+                               std::size_t fallback = 0);
+
 }  // namespace roadrunner::util

@@ -1,0 +1,282 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace roadrunner::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error{"socket: " + what + ": " +
+                           std::strerror(errno)};  // NOLINT(concurrency-mt-unsafe)
+}
+
+#ifdef _WIN32
+[[noreturn]] void unsupported() {
+  throw std::runtime_error{"socket: not supported on this platform"};
+}
+#endif
+
+}  // namespace
+
+#ifndef _WIN32
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_{other.fd_} { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_to(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    throw std::runtime_error{"socket: cannot resolve " + host + ":" + service};
+  }
+  int fd = -1;
+  int saved_errno = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) {
+    errno = saved_errno;
+    fail("connect to " + host + ":" + service);
+  }
+  // Frames are small and latency-sensitive (job hand-off, heartbeats);
+  // Nagle coalescing would only add round trips.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket{fd};
+}
+
+bool Socket::send_all(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::recv_exact(void* data, std::size_t size, int timeout_ms) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    if (timeout_ms >= 0 && !wait_readable(timeout_ms)) {
+      throw std::runtime_error{"socket: recv timed out"};
+    }
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF on a frame boundary
+      throw std::runtime_error{"socket: peer closed mid-frame"};
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::wait_readable(int timeout_ms) const {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail("poll");
+    }
+    return rc > 0;
+  }
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error{"socket: bad listen address " + host};
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_{other.fd_}, port_{other.port_} {
+  other.fd_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail("poll");
+    }
+    if (rc == 0) return std::nullopt;
+    break;
+  }
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    // The peer can vanish between poll and accept; that is a timeout, not
+    // an error, from the caller's point of view.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == EINTR) {
+      return std::nullopt;
+    }
+    fail("accept");
+  }
+  int one = 1;
+  setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket{client};
+}
+
+std::vector<unsigned> poll_fds(const std::vector<int>& fds, int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (const int fd : fds) {
+    pollfd pfd{};
+    pfd.fd = fd;  // negative fds are legal: poll ignores them
+    pfd.events = POLLIN;
+    pfds.push_back(pfd);
+  }
+  std::vector<unsigned> events(fds.size(), 0);
+  for (;;) {
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail("poll");
+    }
+    break;
+  }
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    unsigned mask = 0;
+    if ((pfds[i].revents & POLLIN) != 0) mask |= kPollIn;
+    if ((pfds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+      mask |= kPollHup;
+    }
+    events[i] = mask;
+  }
+  return events;
+}
+
+#else  // _WIN32
+
+Socket::~Socket() {}
+Socket::Socket(Socket&&) noexcept {}
+Socket& Socket::operator=(Socket&&) noexcept { return *this; }
+void Socket::close() {}
+Socket Socket::connect_to(const std::string&, std::uint16_t) { unsupported(); }
+bool Socket::send_all(const void*, std::size_t) { unsupported(); }
+bool Socket::recv_exact(void*, std::size_t, int) { unsupported(); }
+bool Socket::wait_readable(int) const { unsupported(); }
+Listener::Listener(const std::string&, std::uint16_t) { unsupported(); }
+Listener::~Listener() {}
+Listener::Listener(Listener&&) noexcept {}
+Listener& Listener::operator=(Listener&&) noexcept { return *this; }
+void Listener::close() {}
+std::optional<Socket> Listener::accept(int) { unsupported(); }
+std::vector<unsigned> poll_fds(const std::vector<int>&, int) { unsupported(); }
+
+#endif
+
+}  // namespace roadrunner::util

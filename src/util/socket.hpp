@@ -1,0 +1,99 @@
+// TCP socket facade: the one sanctioned home for POSIX socket syscalls,
+// exactly as util/thread_pool is for std::thread (both enforced by
+// rr-lint's `raw-thread` rule). The distributed campaign service speaks a
+// small length-prefixed protocol over these types; keeping every socket(),
+// connect(), accept() and poll() behind this wall means the concurrency
+// audit of the dist layer stays a grep, and SIGPIPE/partial-write/timeout
+// handling is implemented once.
+//
+// All sockets are blocking; readiness is observed with poll-based waits so
+// callers compose timeouts without fiddling with fcntl. Writes use
+// MSG_NOSIGNAL, so a peer that died mid-campaign surfaces as a return value
+// instead of killing the process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace roadrunner::util {
+
+/// Connected TCP stream. Move-only; the destructor closes the descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected descriptor (from Listener::accept).
+  explicit Socket(int fd) : fd_{fd} {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or resolvable name). Throws
+  /// std::runtime_error naming the endpoint on failure.
+  static Socket connect_to(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Sends the whole buffer, looping over partial writes. Returns false if
+  /// the peer closed the connection (EPIPE/ECONNRESET — never a signal);
+  /// throws std::runtime_error on any other error.
+  bool send_all(const void* data, std::size_t size);
+
+  /// Reads exactly `size` bytes. Returns false on clean EOF before the
+  /// first byte. Throws on errors, on EOF mid-buffer (a truncated frame is
+  /// a protocol violation), or when `timeout_ms >= 0` elapses first.
+  bool recv_exact(void* data, std::size_t size, int timeout_ms = -1);
+
+  /// True when a read would not block (data or EOF pending). A negative
+  /// timeout waits indefinitely.
+  [[nodiscard]] bool wait_readable(int timeout_ms) const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to host:port. Port 0 binds an ephemeral port;
+/// port() reports the actual one (how tests and --serve=:0 avoid races).
+class Listener {
+ public:
+  Listener(const std::string& host, std::uint16_t port);
+  ~Listener();
+
+  Listener(Listener&&) noexcept;
+  Listener& operator=(Listener&&) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection, waiting at most `timeout_ms` (0 =
+  /// non-blocking probe, negative = wait indefinitely). Returns nullopt on
+  /// timeout.
+  std::optional<Socket> accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Readiness event bits reported by poll_fds.
+inline constexpr unsigned kPollIn = 1;   ///< read would not block
+inline constexpr unsigned kPollHup = 2;  ///< peer hung up / error state
+
+/// One poll() over many descriptors (the coordinator's event loop).
+/// Returns a mask of kPollIn/kPollHup per input fd; all zero on timeout.
+/// Entries with fd < 0 are ignored (always report 0).
+std::vector<unsigned> poll_fds(const std::vector<int>& fds, int timeout_ms);
+
+}  // namespace roadrunner::util

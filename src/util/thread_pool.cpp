@@ -57,6 +57,14 @@ std::size_t ThreadPool::busy() const {
   return busy_;
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    MutexLock lock{mutex_};
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;

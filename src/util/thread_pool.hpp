@@ -47,6 +47,13 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues one fire-and-forget task (the distributed campaign worker
+  /// runs its job this way while the calling thread keeps heartbeating).
+  /// The task must not throw — there is no join point to deliver the
+  /// exception to; catch inside and hand the error back through shared
+  /// state. Tasks still pending at destruction run to completion first.
+  void submit(std::function<void()> task) RR_EXCLUDES(mutex_);
+
   /// Process-wide pool, sized from hardware concurrency, built on first use
   /// (C++ magic static: concurrent first calls are safe).
   static ThreadPool& global();

@@ -1,0 +1,6 @@
+// Golden fixture: must produce exactly one `raw-thread` finding — the
+// rule also guards the POSIX socket surface outside util/socket.
+inline int open_raw_connection() {
+  const int fd = socket(2, 1, 0);  // syscall outside util/socket: flagged
+  return fd;
+}

@@ -25,6 +25,10 @@ inline void suppressed_thread() {
   t.join();
 }
 
+inline int suppressed_socket() {
+  return socket(2, 1, 0);  // rr-lint: allow(raw-thread) fixture only
+}
+
 inline void suppressed_metric(roadrunner::metrics::Registry& reg, int shard) {
   // Two rules on one line, comma-separated.
   reg.increment("shard_" + std::to_string(shard));  // rr-lint: allow(metric-name,raw-random)

@@ -27,6 +27,7 @@ EXPECTED_FAIL = {
     "wall_clock.cpp": "wall-clock",
     "core/unordered_iter.cpp": "unordered-iter",
     "raw_thread.cpp": "raw-thread",
+    "dist/raw_socket.cpp": "raw-thread",
     "metric_name.cpp": "metric-name",
     "metric_newline.cpp": "metric-name",
 }

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""perf_compare: regression gate over the BENCH_*.json files.
+
+Compares a current bench JSON (written by bench/sim_speed or bench/micro_ml
+through bench::BenchJson) against a baseline produced by the same bench on
+the main branch, and fails (exit 1) when any throughput metric regressed by
+more than --tolerance (default 15%).
+
+Only higher-is-better metrics are compared: keys ending in ``_per_s``,
+``gflops``, and ``merges_per_s``-style rates. Wall-clock and count fields
+(``wall_s``, ``events``, ``sim_s``) are informational and ignored — they
+change legitimately when workloads change.
+
+Runs are matched by label; labels present on one side only are reported but
+never fail the gate (benches gain and lose runs across PRs). A missing or
+unparseable baseline is a warning and exit 0 — the first PR that adds a
+bench has nothing on main to compare against.
+
+Usage:
+  perf_compare.py --baseline main/BENCH_ml.json --current BENCH_ml.json \
+                  [--tolerance 0.15]
+
+Exit status: 0 = no regression (or no baseline), 1 = regression, 2 = usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def is_throughput_key(key: str) -> bool:
+    return key.endswith("_per_s") or key == "gflops"
+
+
+def load_runs(path: Path):
+    """Returns {label: {metric: value}} plus {total key: value}."""
+    data = json.loads(path.read_text())
+    runs = {}
+    for run in data.get("runs", []):
+        label = run.get("label", "?")
+        runs[label] = {
+            k: v for k, v in run.items()
+            if k != "label" and isinstance(v, (int, float))
+        }
+    totals = {
+        k: v for k, v in data.items()
+        if isinstance(v, (int, float)) and is_throughput_key(k)
+    }
+    if totals:
+        runs["<totals>"] = totals
+    return data.get("bench", path.stem), runs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="bench JSON from the main branch")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="bench JSON from this checkout")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="maximum allowed fractional regression "
+                             "(0.15 = 15%%)")
+    args = parser.parse_args(argv)
+
+    if not args.current.is_file():
+        print(f"perf_compare: no current file {args.current}", file=sys.stderr)
+        return 2
+    try:
+        bench, current = load_runs(args.current)
+    except (json.JSONDecodeError, OSError) as e:
+        print(f"perf_compare: cannot read {args.current}: {e}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        _, baseline = load_runs(args.baseline)
+    except (json.JSONDecodeError, OSError, FileNotFoundError) as e:
+        print(f"perf_compare: no usable baseline ({e}); skipping comparison")
+        return 0
+
+    regressions = []
+    print(f"perf_compare: {bench} vs baseline "
+          f"(tolerance {args.tolerance:.0%})")
+    for label, metrics in current.items():
+        base_metrics = baseline.get(label)
+        if base_metrics is None:
+            print(f"  NEW   {label} (not in baseline)")
+            continue
+        for key, value in sorted(metrics.items()):
+            if not is_throughput_key(key):
+                continue
+            base = base_metrics.get(key)
+            if base is None or base <= 0:
+                continue
+            ratio = value / base
+            tag = "ok"
+            if ratio < 1.0 - args.tolerance:
+                tag = "REGRESSION"
+                regressions.append((label, key, base, value))
+            elif ratio > 1.0 + args.tolerance:
+                tag = "improved"
+            print(f"  {tag:<10} {label} :: {key}: "
+                  f"{base:.4g} -> {value:.4g} ({ratio - 1.0:+.1%})")
+    for label in baseline:
+        if label not in current:
+            print(f"  GONE  {label} (baseline only)")
+
+    if regressions:
+        print(f"perf_compare: {len(regressions)} metric(s) regressed more "
+              f"than {args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    print("perf_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,8 +85,10 @@ any output (e.g. accumulating into a commutative sum), suppress with
 `// rr-lint: allow(unordered-iter)` and say why in a comment.""",
     },
     "raw-thread": {
-        "summary": "std::thread/jthread/async or detach outside util/thread_pool",
-        "scope": "src/ and examples/, except src/util/thread_pool.*",
+        "summary": "raw threading outside util/thread_pool, or raw socket "
+                   "syscalls outside util/socket",
+        "scope": "src/ and examples/, except src/util/thread_pool.* "
+                 "(threads) and src/util/socket.* (sockets)",
         "explain": """\
 All parallelism goes through util::ThreadPool: it reduces in deterministic
 index order, owns the only std::thread objects, and is where the
@@ -95,8 +97,16 @@ std::thread/std::async use bypasses the pool's shutdown ordering, and a
 detached thread can outlive the telemetry sink and the result store —
 a use-after-free that only fires at exit.
 
-Fix: submit work with ThreadPool::parallel_for (or the global() pool).
-If a dedicated thread is truly required, put it behind a util/ facade and
+The same wall applies to the network: every POSIX socket syscall
+(socket/bind/listen/accept/connect/poll/select/::send/::recv/...) lives in
+util/socket, which owns SIGPIPE suppression, partial-write loops, EINTR
+retries, and timeout composition. The distributed campaign layer
+(src/dist/) speaks util::Socket/Listener/poll_fds only, so auditing its
+concurrency and I/O stays a grep.
+
+Fix: submit work with ThreadPool::parallel_for / submit (or the global()
+pool); do network I/O through util::Socket, util::Listener, and
+util::poll_fds. If a new facade is truly required, build it in util/ and
 suppress there with `// rr-lint: allow(raw-thread)`.""",
     },
     "metric-name": {
@@ -123,6 +133,7 @@ ORDER_SENSITIVE_DIRS = ("/checkpoint/", "/metrics/", "/core/", "/fault/")
 WALL_CLOCK_EXEMPT = ("/telemetry/", "/util/")
 RNG_HOME = "/util/rng."
 THREAD_HOME = "/util/thread_pool."
+SOCKET_HOME = "/util/socket."
 
 SUPPRESS_RE = re.compile(r"//\s*rr-lint:\s*allow\(([^)]*)\)")
 
@@ -243,6 +254,18 @@ RAW_THREAD_RE = re.compile(
     r"(?:\bstd\s*::\s*(?:thread|jthread|async)\b)|(?:\.\s*detach\s*\(\s*\))"
 )
 
+# POSIX socket surface. Bare `send(`/`recv(` are NOT matched — the
+# simulator's Context::send/Simulator::send are legitimate members — only
+# the global-scope-qualified `::send(`/`::recv(` forms, plus calls of the
+# unambiguous syscall names (member calls like `listener.accept(` are
+# excluded by the lookbehind).
+RAW_SOCKET_RE = re.compile(
+    r"(?:(?<![\w.:>])(?:socket|bind|listen|accept4?|connect|sendto|recvfrom|"
+    r"sendmsg|recvmsg|getaddrinfo|setsockopt|getsockname|poll|ppoll|select|"
+    r"epoll_\w+)\s*\()|"
+    r"(?:(?<![\w.])::\s*(?:send|recv)\s*\()"
+)
+
 
 def posix(path: Path) -> str:
     return "/" + path.as_posix().lstrip("/")
@@ -253,6 +276,7 @@ def check_line_rules(path: Path, raw_lines, code_lines, findings):
     scan_random = RNG_HOME not in p
     scan_clock = not any(d in p for d in WALL_CLOCK_EXEMPT)
     scan_thread = THREAD_HOME not in p
+    scan_socket = SOCKET_HOME not in p
 
     for idx, code in enumerate(code_lines):
         lineno = idx + 1
@@ -278,6 +302,14 @@ def check_line_rules(path: Path, raw_lines, code_lines, findings):
                     Finding(path, lineno, "raw-thread",
                             f"raw threading `{m.group(0).strip()}` outside "
                             "util/thread_pool — use util::ThreadPool"))
+            elif scan_socket:
+                m = RAW_SOCKET_RE.search(code)
+                if m:
+                    findings.append(
+                        Finding(path, lineno, "raw-thread",
+                                f"raw socket syscall `{m.group(0).strip()}` "
+                                "outside util/socket — use util::Socket/"
+                                "Listener/poll_fds"))
 
 
 # ---- unordered-iter -------------------------------------------------------
