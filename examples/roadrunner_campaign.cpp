@@ -8,7 +8,7 @@
 //        [--out=aggregate.csv] [--plot=metric] [--seeds=N] [--fresh]
 //        [--trace-out=trace.json] [--profile] [--dry-run] [--list-metrics]
 //        [--checkpoint-every=SIMSECONDS] [--checkpoint-dir=DIR]
-//        [--serve=[HOST:]PORT] [--connect=[HOST:]PORT]
+//        [--serve=[HOST:]PORT] [--log-assign] [--connect=[HOST:]PORT]
 //
 // --serve turns this process into a distributed-campaign coordinator: it
 // expands the spec, listens on the endpoint, hands jobs to workers
@@ -251,6 +251,16 @@ int run(int argc, char** argv) {
     copts.checkpoint_every_s = options.checkpoint_every_s;
     copts.lease_s = args.get_double("lease", copts.lease_s);
     copts.on_progress = options.on_progress;
+    if (args.get_bool("log-assign", false)) {
+      // One line per hand-off, flushed immediately: fleet scripts (and the
+      // kill-worker CI lane) tail the log to learn which worker holds a
+      // job right now.
+      copts.on_assign = [](const campaign::Job& job,
+                           const std::string& worker) {
+        std::printf("assign %s -> %s\n", job.hash.c_str(), worker.c_str());
+        std::fflush(stdout);
+      };
+    }
     dist::Coordinator coordinator{spec, copts};
     std::printf("serving   %s:%u — join with --connect=%s:%u\n",
                 copts.host.c_str(), static_cast<unsigned>(coordinator.port()),

@@ -7,7 +7,7 @@
 //
 //   ./examples/roadrunner_worker --connect=HOST:PORT [--name=ID]
 //        [--shard-store=DIR] [--checkpoint-dir=DIR] [--max-jobs=N]
-//        [--trace-out=trace.json] [--profile]
+//        [--hold-before-job=SECONDS] [--trace-out=trace.json] [--profile]
 //
 // --shard-store gives the worker its own crash-durable store: a worker
 // that is killed and restarted against the same directory replays its
@@ -37,7 +37,8 @@ int run(int argc, char** argv) {
                  "usage: %s --connect=HOST:PORT [--name=ID] "
                  "[--shard-store=DIR]\n"
                  "       [--checkpoint-dir=DIR] [--max-jobs=N] "
-                 "[--trace-out=trace.json] [--profile]\n",
+                 "[--hold-before-job=SECONDS]\n"
+                 "       [--trace-out=trace.json] [--profile]\n",
                  argv[0]);
     return 2;
   }
@@ -50,6 +51,9 @@ int run(int argc, char** argv) {
   options.checkpoint_dir = args.get("checkpoint-dir", "");
   options.heartbeat_s = args.get_double("heartbeat", 1.0);
   options.max_jobs = static_cast<std::size_t>(args.get_int("max-jobs", 0));
+  // Fault-injection aid for kill-worker tests: hold each assignment this
+  // long before running it (see WorkerOptions::hold_before_job_s).
+  options.hold_before_job_s = args.get_double("hold-before-job", 0.0);
 
   std::printf("worker %s connecting to %s:%u\n", options.name.c_str(),
               options.host.c_str(), static_cast<unsigned>(options.port));

@@ -146,13 +146,20 @@ struct Coordinator::Impl {
       requeue(*client.job);
       client.job.reset();
     }
-    if (pending.empty()) {
-      send_frame(client.socket, MsgType::kNoWork,
-                 encode_no_work(NoWork{options.retry_ms}));
-      return;
+    // Skip (and discard) pending entries that were merged meanwhile: a
+    // requeued job whose late result was then accepted stays queued, and
+    // assigning it would re-run a whole job only to drop the duplicate.
+    std::size_t index;
+    for (;;) {
+      if (pending.empty()) {
+        send_frame(client.socket, MsgType::kNoWork,
+                   encode_no_work(NoWork{options.retry_ms}));
+        return;
+      }
+      index = pending.front();
+      pending.pop_front();
+      if (merged[index] == 0) break;
     }
-    const std::size_t index = pending.front();
-    pending.pop_front();
     const campaign::Job& job = jobs[index];
     JobAssign assign;
     assign.job_index = index;
@@ -170,6 +177,7 @@ struct Coordinator::Impl {
     client.job = index;
     client.lease.restart();
     g_jobs_assigned.add();
+    if (options.on_assign) options.on_assign(job, client.name);
   }
 
   /// Handles one frame from client `i`. Returns false when the connection
@@ -178,11 +186,16 @@ struct Coordinator::Impl {
     Client& client = *clients[i];
     std::optional<Frame> frame;
     try {
-      // poll() said readable, so the frame header is at most one partial
-      // read away; the timeout only bounds a malicious half-frame.
-      frame = recv_frame(client.socket, 10'000);
+      // poll() said readable and frames are small, so a healthy peer
+      // delivers the rest within microseconds. The budget (a total
+      // deadline, not an idle timeout — see Socket::recv_exact) is kept
+      // tight because this read runs inline in the single-threaded serve
+      // loop: one slow or malicious half-frame may stall every other
+      // worker's requests, results and heartbeats for at most this long
+      // before the peer is dropped and its job requeued.
+      frame = recv_frame(client.socket, 1'000);
     } catch (const std::exception&) {
-      return false;  // truncated or oversized frame
+      return false;  // truncated, oversized, or stalled frame
     }
     if (!frame.has_value()) return false;  // clean EOF
     switch (frame->type) {

@@ -54,6 +54,10 @@ struct CoordinatorOptions {
   std::size_t max_requeues_per_job = 5;
   /// Serialized progress callback, same shape as the in-process engine's.
   std::function<void(const campaign::Progress&)> on_progress;
+  /// Called after a job is handed to a worker (job, worker name). Used for
+  /// assignment logging; the kill-worker CI lane greps it to know a
+  /// specific worker holds a job before SIGKILLing it.
+  std::function<void(const campaign::Job&, const std::string&)> on_assign;
 };
 
 struct CoordinatorResult {

@@ -54,18 +54,25 @@ campaign::JobRecord run_with_heartbeats(const campaign::Job& job,
   std::exception_ptr error;
 
   pool.submit([&] {
+    // The notify stays under the lock in both paths: the connection thread
+    // wakes on wait_for timeouts too, so a notify after unlock could race
+    // it seeing done==true and returning — destroying cv and mutex on this
+    // very stack frame — before notify_all touches them. Same
+    // notify-after-unlock hazard ThreadPool::parallel_for fixed
+    // (DESIGN.md §10).
     try {
       campaign::JobRecord result =
           campaign::run_job(job, ckpt_path, checkpoint_every_s);
       util::MutexLock lock{mutex};
       record = std::move(result);
       done = true;
+      cv.notify_all();
     } catch (...) {
       util::MutexLock lock{mutex};
       error = std::current_exception();
       done = true;
+      cv.notify_all();
     }
-    cv.notify_all();
   });
 
   const auto beat = std::chrono::duration<double>{
@@ -173,6 +180,14 @@ WorkerReport run_worker(const WorkerOptions& options) {
     }
 
     const JobAssign assign = decode_job_assign(frame->payload);
+    if (options.hold_before_job_s > 0.0) {
+      // Fault-injection window: the job is assigned but not yet running,
+      // so a SIGKILL here deterministically exercises the requeue path.
+      // The coordinator's lease (not heartbeats) covers this gap; holds
+      // must stay well under lease_s.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>{options.hold_before_job_s});
+    }
     campaign::JobRecord record;
     if (shard.has_value() && shard->contains(assign.hash)) {
       // This worker already ran the job in a previous life; replay it.

@@ -27,6 +27,12 @@ struct WorkerOptions {
   std::string checkpoint_dir;
   /// Heartbeat cadence while a job is running (wall seconds).
   double heartbeat_s = 1.0;
+  /// Fault-injection aid: sleep this long (wall seconds) after accepting
+  /// each assignment before running it. Guarantees the worker holds an
+  /// in-flight job for a window tests can SIGKILL it in — the kill-worker
+  /// CI lane pairs this with the coordinator's assignment log to make the
+  /// requeue assertion deterministic. 0 disables.
+  double hold_before_job_s = 0.0;
   /// Stop after this many executed jobs; 0 = run until Shutdown. (Tests
   /// use this to exercise elastic leave mid-campaign.)
   std::size_t max_jobs = 0;

@@ -1,6 +1,7 @@
 #include "util/socket.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -108,9 +109,21 @@ bool Socket::send_all(const void* data, std::size_t size) {
 bool Socket::recv_exact(void* data, std::size_t size, int timeout_ms) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
+  // The timeout is a budget for the whole read, not a per-chunk idle
+  // timeout: a peer trickling one byte per poll interval must not be able
+  // to extend its deadline indefinitely (the coordinator's event loop
+  // calls this inline, so an unbounded read stalls the whole fleet).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds{timeout_ms < 0 ? 0
+                                                                 : timeout_ms};
   while (got < size) {
-    if (timeout_ms >= 0 && !wait_readable(timeout_ms)) {
-      throw std::runtime_error{"socket: recv timed out"};
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() < 0 ||
+          !wait_readable(static_cast<int>(left.count()))) {
+        throw std::runtime_error{"socket: recv timed out"};
+      }
     }
     const ssize_t n = ::recv(fd_, p + got, size - got, 0);
     if (n < 0) {

@@ -47,7 +47,9 @@ class Socket {
 
   /// Reads exactly `size` bytes. Returns false on clean EOF before the
   /// first byte. Throws on errors, on EOF mid-buffer (a truncated frame is
-  /// a protocol violation), or when `timeout_ms >= 0` elapses first.
+  /// a protocol violation), or when `timeout_ms >= 0` elapses first. The
+  /// timeout bounds the WHOLE read — it is not reset by partial progress,
+  /// so a peer that trickles bytes cannot stall the caller past it.
   bool recv_exact(void* data, std::size_t size, int timeout_ms = -1);
 
   /// True when a read would not block (data or EOF pending). A negative

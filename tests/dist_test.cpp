@@ -479,6 +479,70 @@ TEST(DistLoopback, DuplicateResultsAreMergedAtMostOnce) {
   ASSERT_EQ(result.records.size(), 2U);
 }
 
+TEST(DistLoopback, MergedJobIsDiscardedFromPendingNotReassigned) {
+  campaign::CampaignSpec spec = loopback_spec();
+  spec.grid.clear();
+  spec.seeds_per_point = 2;  // 2 jobs
+
+  dist::CoordinatorOptions copts;
+  copts.host = "127.0.0.1";
+  dist::Coordinator coordinator{spec, copts};
+  const std::uint16_t port = coordinator.port();
+
+  dist::CoordinatorResult result;
+  std::thread serve_thread{[&] { result = coordinator.serve(); }};
+
+  // A deserter takes job A and vanishes: A is requeued to the front of the
+  // pending queue.
+  const dist::JobAssign abandoned = take_job_and_vanish(port);
+
+  // A second client reports job A's result without holding an assignment
+  // (the protocol allows it — e.g. a shard replay). The record matches the
+  // job hash, so it merges while A's requeued entry still sits in pending.
+  util::Socket socket = util::Socket::connect_to("127.0.0.1", port);
+  ASSERT_TRUE(dist::send_frame(socket, dist::MsgType::kHello,
+                               dist::encode_hello({dist::kProtocolVersion,
+                                                   "late"})));
+  auto frame = dist::recv_frame(socket, 5000);
+  ASSERT_TRUE(frame.has_value() && frame->type == dist::MsgType::kWelcome);
+
+  dist::JobResultMsg msg;
+  msg.job_index = abandoned.job_index;
+  msg.record = make_record(abandoned.hash,
+                           static_cast<std::size_t>(abandoned.point_index),
+                           static_cast<std::size_t>(abandoned.seed_index));
+  ASSERT_TRUE(dist::send_frame(socket, dist::MsgType::kJobResult,
+                               dist::encode_job_result(msg)));
+  frame = dist::recv_frame(socket, 5000);
+  ASSERT_TRUE(frame.has_value() && frame->type == dist::MsgType::kResultAck);
+  EXPECT_TRUE(dist::decode_result_ack(frame->payload).accepted);
+
+  // The stale pending entry for job A must be discarded on the next
+  // request, not handed out for a full (wasted) re-run: the client gets
+  // the other job.
+  ASSERT_TRUE(dist::send_frame(socket, dist::MsgType::kJobRequest, {}));
+  frame = dist::recv_frame(socket, 5000);
+  ASSERT_TRUE(frame.has_value() && frame->type == dist::MsgType::kJobAssign);
+  const dist::JobAssign next = dist::decode_job_assign(frame->payload);
+  EXPECT_NE(next.job_index, abandoned.job_index);
+  EXPECT_NE(next.hash, abandoned.hash);
+
+  msg.job_index = next.job_index;
+  msg.record = make_record(next.hash,
+                           static_cast<std::size_t>(next.point_index),
+                           static_cast<std::size_t>(next.seed_index));
+  ASSERT_TRUE(dist::send_frame(socket, dist::MsgType::kJobResult,
+                               dist::encode_job_result(msg)));
+  frame = dist::recv_frame(socket, 5000);
+  ASSERT_TRUE(frame.has_value() && frame->type == dist::MsgType::kResultAck);
+  EXPECT_TRUE(dist::decode_result_ack(frame->payload).accepted);
+  serve_thread.join();
+
+  EXPECT_EQ(result.executed, 2U);
+  EXPECT_EQ(result.duplicates, 0U);
+  ASSERT_EQ(result.records.size(), 2U);
+}
+
 TEST(DistLoopback, RequeueBudgetAbortsDeterministicFailures) {
   campaign::CampaignSpec spec = loopback_spec();
   spec.grid.clear();
