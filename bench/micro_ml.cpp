@@ -20,6 +20,7 @@
 #include "ml/fedavg.hpp"
 #include "ml/loss.hpp"
 #include "ml/models.hpp"
+#include "ml/robust.hpp"
 #include "ml/serialize.hpp"
 #include "ml/trainer.hpp"
 #include "util/stopwatch.hpp"
@@ -123,6 +124,32 @@ void BM_FedAvg(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FedAvg)->Arg(5)->Arg(15)->Arg(50);
+
+void BM_RobustAggregate(benchmark::State& state) {
+  const auto contributors = static_cast<std::size_t>(state.range(0));
+  const auto kind = static_cast<ml::AggregatorKind>(state.range(1));
+  util::Rng rng{8};
+  ml::Network net = ml::make_paper_cnn();
+  ml::prime_and_init(net, {3, 32, 32}, rng);
+  std::vector<ml::WeightedModel> contributions;
+  for (std::size_t i = 0; i < contributors; ++i) {
+    net.init_params(rng);
+    contributions.push_back(ml::WeightedModel{net.weights(), 80.0});
+  }
+  ml::AggregatorConfig config;
+  config.kind = kind;
+  config.krum_select = contributors / 2 + 1;
+  for (auto _ : state) {
+    auto merged = ml::robust_aggregate(contributions, config);
+    benchmark::DoNotOptimize(merged.model.weights.data());
+  }
+}
+BENCHMARK(BM_RobustAggregate)
+    ->ArgsProduct({{5, 15},
+                   {static_cast<long>(ml::AggregatorKind::kTrimmedMean),
+                    static_cast<long>(ml::AggregatorKind::kMedian),
+                    static_cast<long>(ml::AggregatorKind::kNormClip),
+                    static_cast<long>(ml::AggregatorKind::kKrum)}});
 
 void BM_SerializeWeights(benchmark::State& state) {
   util::Rng rng{6};
@@ -280,6 +307,45 @@ int headline_main(const util::CliArgs& args) {
     json.begin_run("fedavg, 15 contributors");
     json.metric("merges_per_s", merges_per_s);
     total_wall += wall;
+  }
+
+  // Robust aggregators over the same 15 contributions — what a defended
+  // round pays instead of the plain mean. Krum is the expensive one
+  // (O(n^2) pairwise distances over full weight vectors); trimmed mean and
+  // median pay a per-coordinate sort of n values.
+  {
+    util::Rng rng{15};
+    ml::Network net = ml::make_paper_cnn();
+    ml::prime_and_init(net, {3, 32, 32}, rng);
+    std::vector<ml::WeightedModel> contributions;
+    for (std::size_t i = 0; i < 15; ++i) {
+      net.init_params(rng);
+      contributions.push_back(ml::WeightedModel{net.weights(), 80.0});
+    }
+    const struct {
+      const char* label;
+      ml::AggregatorConfig config;
+    } defenses[] = {
+        {"trimmed_mean, 15 contributors",
+         {.kind = ml::AggregatorKind::kTrimmedMean, .trim_fraction = 0.2}},
+        {"median, 15 contributors", {.kind = ml::AggregatorKind::kMedian}},
+        {"norm_clip, 15 contributors", {.kind = ml::AggregatorKind::kNormClip}},
+        {"krum, 15 contributors",
+         {.kind = ml::AggregatorKind::kKrum, .krum_select = 9}},
+    };
+    for (const auto& defense : defenses) {
+      const auto [wall, iters] = time_loop(
+          [&] {
+            auto merged = ml::robust_aggregate(contributions, defense.config);
+            static_cast<void>(merged);
+          },
+          min_s);
+      const double merges_per_s = static_cast<double>(iters) / wall;
+      std::printf("%-32s %8.2f merges/s\n", defense.label, merges_per_s);
+      json.begin_run(defense.label);
+      json.metric("merges_per_s", merges_per_s);
+      total_wall += wall;
+    }
   }
 
   // Weight serialization — what every model transfer in the simulator pays.

@@ -26,7 +26,11 @@
 // --list-metrics runs ONE job per distinct strategy in the spec and prints
 // the sorted union of metric names those jobs emit — the valid values for
 // --plot and for downstream analysis scripts, discovered rather than
-// guessed (strategies emit different metric families).
+// guessed (strategies emit different metric families). Conditional families
+// appear when the spec enables them: adversary_*/defense_* need an active
+// [adversary.N] timeline at the probed point, fault accounting a [fault.N]
+// one — which the last-sweep-point probe below picks up for axes that rise
+// from 0.
 //
 // Kill it mid-campaign and rerun: completed jobs are skipped, and with
 // --checkpoint-every=N each in-flight job autosaves a snapshot every N
@@ -190,7 +194,9 @@ int run(int argc, char** argv) {
     // the union over one representative of each covers the whole campaign.
     // Per strategy we probe its LAST sweep point: event-driven counters
     // only exist once their event fires, and later points typically enable
-    // more machinery (e.g. a fault.severity axis rising from 0).
+    // more machinery (e.g. a fault.severity or adversary.fraction axis
+    // rising from 0 — adversary_*/defense_* columns only exist once an
+    // attack timeline is active).
     const std::vector<campaign::Job> jobs = campaign::expand(spec);
     std::map<std::string, const campaign::Job*> probe;
     for (const auto& job : jobs) {

@@ -1,0 +1,134 @@
+// Scripted adversary timelines (ROADMAP 3(c): strategies scored on
+// robustness to *malicious* participants, not just benign faults). An
+// AdversaryPlan is an ordered list of typed attack events parsed from
+// `[adversary.N]` INI sections; it is pure data — the AdversaryController
+// interprets it during a run, exactly as FaultPlan / FaultInjector do for
+// benign faults.
+//
+// Plan grammar (all keys per `[adversary.N]` section, N = 0, 1, ...):
+//
+//   [adversary]
+//   fraction = 1.0            # campaign axis: scales every event's
+//                             # compromised fraction (and jamming radii);
+//                             # 0 disables the whole plan
+//
+//   [adversary.0]
+//   kind = model_poison       # compromised vehicles send scaled /
+//   fraction = 0.2            # sign-flipped weights (scale < 0 flips)
+//   scale = -4.0              # multiplier applied to outgoing weights
+//   label_flip = false        # also train on shifted labels (y -> y+1 mod C)
+//   start_s = 0
+//   end_s = 1e9
+//
+//   [adversary.1]
+//   kind = byzantine          # garbage payloads that pass integrity checks
+//   fraction = 0.1            # (well-formed shapes, plausible metadata)
+//   magnitude = 10.0          # stddev of the garbage weight values
+//   weight_factor = 5.0       # inflates the reported data_amount
+//
+//   [adversary.2]
+//   kind = jamming            # geographic denial, distinct from benign
+//   x_m = 1000, y_m = 1000    # region_outage in the per-cause accounting
+//   radius_m = 500            # (LinkStatus::kJamming, not kFaultOutage)
+//   channels = v2x            # affected channels (default: v2x)
+//   start_s = 0, end_s = 600
+//
+//   [adversary.3]
+//   kind = sybil              # each compromised node's model-bearing send
+//   fraction = 0.1            # is amplified into `clones` extra identical
+//   clones = 2                # contributions
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "mobility/fleet_model.hpp"
+#include "util/ini.hpp"
+
+namespace roadrunner::adversary {
+
+enum class AdversaryKind : std::uint8_t {
+  kModelPoison = 0,
+  kByzantine = 1,
+  kJamming = 2,
+  kSybil = 3,
+};
+
+std::string to_string(AdversaryKind kind);
+
+/// One scripted attack. A single plain struct for all kinds (tagged by
+/// `kind`) keeps plans trivially serializable and fraction-scalable;
+/// irrelevant fields stay at their defaults.
+struct AdversaryEvent {
+  AdversaryKind kind = AdversaryKind::kModelPoison;
+
+  /// Active window [start_s, end_s), half-open like fault windows.
+  double start_s = 0.0;
+  double end_s = std::numeric_limits<double>::infinity();
+
+  /// Fraction of the vehicle fleet this event compromises (model_poison,
+  /// byzantine, sybil). The compromised set is drawn once per event from
+  /// the controller's forked RNG stream.
+  double fraction = 0.0;
+
+  // --- model_poison ---------------------------------------------------------
+  double scale = -4.0;      ///< multiplier on outgoing weights (< 0 flips)
+  bool label_flip = false;  ///< also poison local training labels
+
+  // --- byzantine ------------------------------------------------------------
+  double magnitude = 10.0;     ///< stddev of the garbage weights
+  double weight_factor = 1.0;  ///< multiplies the reported data_amount
+
+  // --- jamming --------------------------------------------------------------
+  mobility::Position center{};
+  double radius_m = 0.0;
+  /// Which channels the jammer denies (indexed by ChannelKind).
+  std::array<bool, comm::kChannelKindCount> channels{};
+
+  // --- sybil ----------------------------------------------------------------
+  std::size_t clones = 2;  ///< extra identical contributions per send
+
+  /// Window membership (half-open; a zero-length window is never active).
+  [[nodiscard]] bool active_at(double time_s) const {
+    return time_s >= start_s && time_s < end_s;
+  }
+};
+
+/// An ordered attack timeline plus the fraction scalar that scales it.
+struct AdversaryPlan {
+  std::vector<AdversaryEvent> events;
+  /// Campaign axis (`adversary.fraction`): 1 = the plan as written, 0 = no
+  /// attacks, >1 = a larger compromised share. Applied by scaled().
+  double fraction = 1.0;
+  /// Vehicle count of the owning scenario, recorded by resolved(); the
+  /// controller sizes compromised sets against it.
+  std::size_t vehicle_count = 0;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Validates the plan against the scenario and records `vehicle_count`
+  /// for the controller's compromised-set draw. Throws
+  /// std::invalid_argument on an impossible plan (e.g. attacks on a
+  /// vehicle-less scenario). `rsu_nodes` is accepted for symmetry with
+  /// FaultPlan::resolved; adversary events target vehicles only.
+  [[nodiscard]] AdversaryPlan resolved(
+      const std::vector<mobility::NodeId>& rsu_nodes,
+      std::size_t vehicle_count) const;
+
+  /// Applies `fraction` and returns the concrete plan (result fraction
+  /// == 1): per-event compromised fractions scale linearly (clamped to
+  /// [0, 1]) and jamming radii scale linearly, so one campaign axis drives
+  /// every attack. fraction <= 0 yields an empty (inert) plan.
+  [[nodiscard]] AdversaryPlan scaled() const;
+};
+
+/// Parses `[adversary]` (fraction) and all `[adversary.N]` sections. Dense
+/// numbering is enforced exactly like `[fault.N]`; unknown kinds, channels,
+/// or *keys* throw std::runtime_error naming the section.
+AdversaryPlan plan_from_ini(const util::IniFile& ini);
+
+}  // namespace roadrunner::adversary

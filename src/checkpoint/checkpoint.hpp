@@ -33,7 +33,17 @@ namespace roadrunner::checkpoint {
 
 // Version 2: ChannelStats per-cause failure breakdown, fault-injector
 // state, Agent::model_updated_s, Message::corrupted.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// Version 3: adversary-controller section (tag 8, present when an adversary
+// plan is active), count-prefixed per-cause failure arrays (v2 wrote a
+// fixed 8; kJamming grew the enum to 9), and contribution-origin vectors in
+// the round-based strategies' state.
+inline constexpr std::uint32_t kFormatVersion = 3;
+
+/// Oldest snapshot version restore() still accepts. v2 snapshots restore
+/// cleanly: they predate the adversary subsystem (no [adversary.N] in their
+/// embedded INI, controller stays inert), their fixed-size cause arrays are
+/// widened on read, and version-gated strategy fields default sanely.
+inline constexpr std::uint32_t kMinRestoreVersion = 2;
 
 /// Cheap header peek (no scenario rebuild): what a snapshot contains.
 struct SnapshotInfo {

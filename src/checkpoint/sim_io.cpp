@@ -88,6 +88,9 @@ void SimulatorIo::save_sim(const core::Simulator& sim, util::BinWriter& out) {
     out.u64(s.transfers_failed);
     out.u64(s.bytes_attempted);
     out.u64(s.bytes_delivered);
+    // Count-prefixed since v3 so the enum can grow without another format
+    // bump (v2 wrote a fixed 8 entries).
+    out.u64(s.failed_by_cause.size());
     for (std::uint64_t count : s.failed_by_cause) out.u64(count);
   }
 
@@ -122,7 +125,8 @@ void SimulatorIo::save_sim(const core::Simulator& sim, util::BinWriter& out) {
   }
 }
 
-void SimulatorIo::restore_sim(core::Simulator& sim, util::BinReader& in) {
+void SimulatorIo::restore_sim(core::Simulator& sim, util::BinReader& in,
+                              std::uint32_t version) {
   const std::uint64_t agent_count = in.u64();
   if (agent_count != sim.agents_.size()) {
     throw std::runtime_error{
@@ -180,7 +184,19 @@ void SimulatorIo::restore_sim(core::Simulator& sim, util::BinReader& in) {
     s.transfers_failed = in.u64();
     s.bytes_attempted = in.u64();
     s.bytes_delivered = in.u64();
-    for (auto& count : s.failed_by_cause) count = in.u64();
+    // v2 wrote exactly the 8 causes it knew; v3+ prefixes the count. Newer
+    // causes (kJamming) start at zero when restoring an older snapshot.
+    const std::uint64_t causes =
+        version >= 3 ? in.u64() : std::uint64_t{8};
+    if (causes > s.failed_by_cause.size()) {
+      throw std::runtime_error{
+          "checkpoint: snapshot has " + std::to_string(causes) +
+          " failure causes but this build knows only " +
+          std::to_string(s.failed_by_cause.size())};
+    }
+    for (std::uint64_t c = 0; c < causes; ++c) {
+      s.failed_by_cause[c] = in.u64();
+    }
     sim.network_.set_stats(static_cast<comm::ChannelKind>(k), s);
   }
 
@@ -312,6 +328,16 @@ void SimulatorIo::restore_queue(core::Simulator& sim, util::BinReader& in) {
     entries.push_back(std::move(entry));
   }
   sim.queue_.restore(std::move(entries), next_seq, executed, current_time);
+}
+
+void SimulatorIo::save_adversary(const core::Simulator& sim,
+                                 util::BinWriter& out) {
+  sim.adversary_.save_state(out);
+}
+
+void SimulatorIo::restore_adversary(core::Simulator& sim,
+                                    util::BinReader& in) {
+  sim.adversary_.load_state(in);
 }
 
 void SimulatorIo::save_metrics(const core::Simulator& sim,

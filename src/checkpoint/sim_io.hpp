@@ -15,13 +15,20 @@ class SimulatorIo {
   /// Pending event queue (typed entries; training futures forced and
   /// embedded). Throws std::runtime_error on pending closure computations.
   static void save_queue(const core::Simulator& sim, util::BinWriter& out);
+  /// Adversary-controller run state (RNG stream + attack counters); the
+  /// snapshot carries this section only when an adversary plan is active.
+  static void save_adversary(const core::Simulator& sim, util::BinWriter& out);
   static void save_metrics(const core::Simulator& sim, util::BinWriter& out);
   static void save_trace(const core::Simulator& sim, util::BinWriter& out);
 
   /// Overlays saved dynamic state onto a freshly built simulator (same
   /// scenario, same seed). Marks it restored so run() continues mid-flight.
-  static void restore_sim(core::Simulator& sim, util::BinReader& in);
+  /// `version` is the snapshot's format version (layout details such as the
+  /// per-cause failure array changed between v2 and v3).
+  static void restore_sim(core::Simulator& sim, util::BinReader& in,
+                          std::uint32_t version);
   static void restore_queue(core::Simulator& sim, util::BinReader& in);
+  static void restore_adversary(core::Simulator& sim, util::BinReader& in);
   static void restore_metrics(core::Simulator& sim, util::BinReader& in);
   static void restore_trace(core::Simulator& sim, util::BinReader& in);
 

@@ -29,6 +29,7 @@ constexpr std::uint32_t kSectionQueue = 4;
 constexpr std::uint32_t kSectionStrategy = 5;
 constexpr std::uint32_t kSectionMetrics = 6;
 constexpr std::uint32_t kSectionTrace = 7;
+constexpr std::uint32_t kSectionAdversary = 8;  // since v3; only when active
 
 struct Frame {
   std::uint32_t version = 0;
@@ -138,12 +139,13 @@ RestoredRun restore_impl(const std::string& path,
                          const std::map<std::string, std::string>& overrides) {
   RR_TSPAN("checkpoint", "checkpoint.restore");
   const Frame frame = read_frame(path);
-  if (frame.version < kFormatVersion) {
-    // Section payload layouts changed between versions; peeking the meta
+  if (frame.version < kMinRestoreVersion) {
+    // Pre-v2 payload layouts are gone from this build; peeking the meta
     // section still works, but a full restore would misparse.
     throw std::runtime_error{
         "checkpoint: '" + path + "' has format version " +
         std::to_string(frame.version) + " but this build restores only " +
+        std::to_string(kMinRestoreVersion) + ".." +
         std::to_string(kFormatVersion) + " — re-run from the experiment INI"};
   }
   const SnapshotInfo info = read_meta(frame);
@@ -169,11 +171,17 @@ RestoredRun restore_impl(const std::string& path,
   }
 
   util::BinReader sim_section = frame.section(kSectionSim);
-  SimulatorIo::restore_sim(*run.simulator, sim_section);
+  SimulatorIo::restore_sim(*run.simulator, sim_section, frame.version);
   util::BinReader queue_section = frame.section(kSectionQueue);
   SimulatorIo::restore_queue(*run.simulator, queue_section);
+  if (frame.has(kSectionAdversary)) {
+    util::BinReader adversary_section = frame.section(kSectionAdversary);
+    SimulatorIo::restore_adversary(*run.simulator, adversary_section);
+  }
   util::BinReader strategy_section = frame.section(kSectionStrategy);
+  run.strategy->set_snapshot_version(frame.version);
   run.strategy->load_state(strategy_section);
+  run.strategy->set_snapshot_version(UINT32_MAX);
   if (frame.has(kSectionMetrics)) {
     util::BinReader metrics_section = frame.section(kSectionMetrics);
     SimulatorIo::restore_metrics(*run.simulator, metrics_section);
@@ -224,6 +232,12 @@ void save(const core::Simulator& sim, const util::IniFile& experiment,
   util::BinWriter queue;
   SimulatorIo::save_queue(sim, queue);
   add(kSectionQueue, std::move(queue));
+
+  if (sim.adversary().enabled()) {
+    util::BinWriter adversary;
+    SimulatorIo::save_adversary(sim, adversary);
+    add(kSectionAdversary, std::move(adversary));
+  }
 
   util::BinWriter strategy;
   if (sim.strategy()) sim.strategy()->save_state(strategy);

@@ -51,6 +51,7 @@ std::string to_string(LinkStatus status) {
     case LinkStatus::kRandomLoss: return "random-loss";
     case LinkStatus::kBadEndpoints: return "bad-endpoints";
     case LinkStatus::kFaultOutage: return "fault-outage";
+    case LinkStatus::kJamming: return "jamming";
   }
   return "?";
 }

@@ -58,10 +58,11 @@ enum class LinkStatus : std::uint8_t {
   kRandomLoss,     ///< stochastic loss at delivery time
   kBadEndpoints,   ///< channel cannot connect these agent kinds
   kFaultOutage,    ///< injected fault (node/region outage, crash reboot)
+  kJamming,        ///< adversarial geographic denial (adversary plan)
 };
 
 /// Number of LinkStatus values — sizes the per-cause failure breakdown.
-constexpr std::size_t kLinkStatusCount = 8;
+constexpr std::size_t kLinkStatusCount = 9;
 
 std::string to_string(LinkStatus status);
 

@@ -37,6 +37,19 @@ class FaultHook {
   /// Combined channel_degrade impairments active on `kind` at `time_s`.
   [[nodiscard]] virtual ChannelMods channel_mods(ChannelKind kind,
                                                  double time_s) const = 0;
+
+  /// Is `kind` denied around position `p` at `time_s` by an *adversarial*
+  /// jammer? Kept separate from region_blocked so malicious denial gets its
+  /// own per-cause accounting slot (LinkStatus::kJamming vs kFaultOutage).
+  /// Default: no jamming — benign injectors need not override.
+  [[nodiscard]] virtual bool jamming_blocked(ChannelKind kind,
+                                             const mobility::Position& p,
+                                             double time_s) const {
+    static_cast<void>(kind);
+    static_cast<void>(p);
+    static_cast<void>(time_s);
+    return false;
+  }
 };
 
 }  // namespace roadrunner::comm

@@ -34,6 +34,9 @@ LinkCheck Network::viability(mobility::NodeId from, mobility::NodeId to,
   auto region_blocked = [&](const mobility::Position& p) {
     return fault_ != nullptr && fault_->region_blocked(kind, p, time_s);
   };
+  auto jammed = [&](const mobility::Position& p) {
+    return fault_ != nullptr && fault_->jamming_blocked(kind, p, time_s);
+  };
 
   switch (kind) {
     case ChannelKind::kV2C: {
@@ -51,6 +54,7 @@ LinkCheck Network::viability(mobility::NodeId from, mobility::NodeId to,
         return {LinkStatus::kNoCoverage};
       }
       if (region_blocked(pos)) return {LinkStatus::kFaultOutage};
+      if (jammed(pos)) return {LinkStatus::kJamming};
       return {LinkStatus::kOk};
     }
     case ChannelKind::kV2X: {
@@ -73,6 +77,7 @@ LinkCheck Network::viability(mobility::NodeId from, mobility::NodeId to,
       if (region_blocked(pa) || region_blocked(pb)) {
         return {LinkStatus::kFaultOutage};
       }
+      if (jammed(pa) || jammed(pb)) return {LinkStatus::kJamming};
       return {LinkStatus::kOk};
     }
     case ChannelKind::kWired: {

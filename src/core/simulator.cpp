@@ -19,16 +19,23 @@ Simulator::Simulator(const mobility::FleetModel& fleet,
       ml_{std::move(ml)},
       config_{config},
       injector_{config.faults.scaled(), util::Rng{config.seed}.fork("fault")},
+      adversary_{config.adversaries.scaled(),
+                 util::Rng{config.seed}.fork("adversary")},
       trace_{config.trace_events},
       master_rng_{config.seed},
       strategy_rng_{master_rng_.fork("strategy")} {
   if (config_.mobility_tick_s <= 0.0) {
     throw std::invalid_argument{"Simulator: mobility_tick_s <= 0"};
   }
-  // Wired here (not in the init list) because the hook points back into
-  // this object; an empty plan skips the hook so fault-free runs pay only
-  // the null check the Network already had.
-  if (injector_.enabled()) network_.set_fault_hook(&injector_);
+  // Wired here (not in the init list) because the hooks point back into
+  // this object; empty plans skip the hook so clean runs pay only the null
+  // check the Network already had. The mux fans the single hook slot out to
+  // the benign injector and the adversary's jammer.
+  if (injector_.enabled() || adversary_.enabled()) {
+    if (injector_.enabled()) hook_mux_.faults = &injector_;
+    if (adversary_.enabled()) hook_mux_.adversary = &adversary_;
+    network_.set_fault_hook(&hook_mux_);
+  }
   node_to_agent_.assign(fleet.node_count(), kNoAgent);
 }
 
@@ -173,6 +180,29 @@ bool Simulator::send(Message msg) {
   if (msg.from >= agents_.size() || msg.to >= agents_.size()) {
     throw std::invalid_argument{"Simulator::send: bad agent id"};
   }
+  std::size_t clones = 0;
+  if (adversary_.enabled() &&
+      agents_[msg.from].kind == AgentKind::kVehicle) {
+    // Compromised senders mutate their payload exactly once per logical
+    // send; sybil events report extra clones to inject behind it.
+    const adversary::OutgoingEffect effect = adversary_.transform_outgoing(
+        agents_[msg.from].node, now(), msg.model, msg.data_amount);
+    clones = effect.clones;
+    if (effect.mutated) {
+      trace_.record(now(), TraceKind::kMessageSent, msg.from, msg.to,
+                    "adversary-mutated");
+    }
+  }
+  if (clones == 0) return dispatch_send(std::move(msg));
+  // The original's outcome is what the (unsuspecting) strategy caller sees;
+  // clones ride the same radio rules as any other send.
+  std::vector<Message> copies(clones, msg);
+  const bool ok = dispatch_send(std::move(msg));
+  for (Message& copy : copies) dispatch_send(std::move(copy));
+  return ok;
+}
+
+bool Simulator::dispatch_send(Message msg) {
   const std::size_t limit =
       network_.channel(msg.channel).max_concurrent_per_agent;
   if (limit > 0) {
@@ -296,6 +326,16 @@ bool Simulator::start_training(AgentId id, int round_tag,
   if (!a.hu.reserve(now(), duration)) return false;
   a.training = true;
 
+  // A compromised vehicle under an active label-flip poisoning event trains
+  // against shifted labels — structurally an honest update, semantically a
+  // targeted attack (checked only once training is committed, so the
+  // counter matches trainings actually run).
+  ml::TrainConfig effective = config;
+  if (adversary_.enabled() && a.kind == AgentKind::kVehicle &&
+      adversary_.poison_training(a.node, now())) {
+    effective.label_flip = true;
+  }
+
   // Job randomness forks deterministically from the master seed and an
   // invocation counter, so thread scheduling cannot change results.
   util::Rng job_rng = master_rng_.fork(
@@ -304,10 +344,10 @@ bool Simulator::start_training(AgentId id, int round_tag,
 
   std::shared_future<TrainResult> job;
   if (config_.async_training) {
-    job = ml_.train_async(a.model, data, config, job_rng).share();
+    job = ml_.train_async(a.model, data, effective, job_rng).share();
   } else {
     std::promise<TrainResult> ready;
-    ready.set_value(ml_.train(a.model, data, config, job_rng));
+    ready.set_value(ml_.train(a.model, data, effective, job_rng));
     job = ready.get_future().share();
   }
 
@@ -606,6 +646,47 @@ void Simulator::export_channel_counters() {
   }
 }
 
+bool Simulator::is_adversary_compromised(AgentId id) const {
+  if (!adversary_.enabled()) return false;
+  const Agent& a = agent(id);
+  if (a.kind != AgentKind::kVehicle) return false;
+  return adversary_.compromised(a.node);
+}
+
+void Simulator::export_adversary_counters() {
+  if (!adversary_.enabled()) return;
+  const adversary::AttackCounters& c = adversary_.counters();
+  // Zeros included so adversarial campaign CSVs keep identical columns
+  // across sweep points (same contract as the channel counters).
+  metrics_.set_counter("adversary_compromised_vehicles",
+                       static_cast<double>(adversary_.compromised_count()));
+  metrics_.set_counter("adversary_poisoned_updates",
+                       static_cast<double>(c.poisoned_updates));
+  metrics_.set_counter("adversary_byzantine_updates",
+                       static_cast<double>(c.byzantine_updates));
+  metrics_.set_counter("adversary_sybil_clones",
+                       static_cast<double>(c.sybil_clones));
+  metrics_.set_counter("adversary_label_flip_trainings",
+                       static_cast<double>(c.label_flip_trainings));
+  // Accepted/rejected are incremented by the aggregation sites; re-setting
+  // them here materializes the zero columns on runs where no poisoned
+  // update ever reached an aggregator.
+  const double accepted = metrics_.counter("adversary_updates_accepted");
+  const double rejected = metrics_.counter("adversary_updates_rejected");
+  metrics_.set_counter("adversary_updates_accepted", accepted);
+  metrics_.set_counter("adversary_updates_rejected", rejected);
+  // Attack success rate: of the poisoned updates that reached a merge, the
+  // share the defense let through. 0 when none arrived (fully suppressed).
+  const double reached = accepted + rejected;
+  metrics_.set_counter("adversary_attack_success_rate",
+                       reached > 0.0 ? accepted / reached : 0.0);
+  // Defense columns materialize even when the defense never fired.
+  metrics_.set_counter("defense_updates_rejected",
+                       metrics_.counter("defense_updates_rejected"));
+  metrics_.set_counter("defense_updates_clipped",
+                       metrics_.counter("defense_updates_clipped"));
+}
+
 void Simulator::export_model_age_metrics(double end_time_s) {
   // Age of each vehicle's serving model at end of run; percentiles via the
   // nearest-rank method on the sorted ages (deterministic, no interpolation).
@@ -691,6 +772,7 @@ Simulator::RunReport Simulator::run() {
 
   strategy_->on_finish(*this);
   export_channel_counters();
+  export_adversary_counters();
   export_model_age_metrics(queue_.current_time());
 
   // Per-vehicle computational workload (Req. 4): cumulative HU-busy time.

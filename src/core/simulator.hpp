@@ -33,6 +33,7 @@
 #include "core/event_trace.hpp"
 #include "core/message.hpp"
 #include "core/ml_service.hpp"
+#include "adversary/controller.hpp"
 #include "core/sim_event.hpp"
 #include "fault/injector.hpp"
 #include "strategy/learning_strategy.hpp"
@@ -82,6 +83,11 @@ struct SimulatorConfig {
   /// via scaled() and drives the injector from a dedicated "fault" RNG
   /// stream, so fault randomness never perturbs other components.
   fault::FaultPlan faults;
+  /// Scripted attack timeline (already resolved; see
+  /// adversary::AdversaryPlan::resolved). `adversaries.fraction` scales via
+  /// scaled(), mirroring fault severity; the controller draws its
+  /// compromised sets from a dedicated "adversary" RNG stream.
+  adversary::AdversaryPlan adversaries;
 };
 
 class Simulator final : public strategy::StrategyContext {
@@ -136,6 +142,9 @@ class Simulator final : public strategy::StrategyContext {
   [[nodiscard]] const fault::FaultInjector& injector() const {
     return injector_;
   }
+  [[nodiscard]] const adversary::AdversaryController& adversary() const {
+    return adversary_;
+  }
   [[nodiscard]] const strategy::LearningStrategy* strategy() const {
     return strategy_.get();
   }
@@ -174,6 +183,7 @@ class Simulator final : public strategy::StrategyContext {
   void request_stop() override;
   [[nodiscard]] metrics::Registry& metrics() override { return metrics_; }
   [[nodiscard]] util::Rng& rng() override { return strategy_rng_; }
+  [[nodiscard]] bool is_adversary_compromised(AgentId id) const override;
 
  private:
   friend class roadrunner::checkpoint::SimulatorIo;
@@ -200,6 +210,10 @@ class Simulator final : public strategy::StrategyContext {
   /// event). Returns false and records a failed attempt if the link is not
   /// viable now. `queued` selects the failure notification path: queued
   /// sends report asynchronously via on_message_failed.
+  /// Routes `msg` into the radio (slot check, backlog, begin_transfer) —
+  /// everything send() does *after* adversarial payload transforms, so sybil
+  /// clones reuse it without being re-transformed.
+  bool dispatch_send(Message msg);
   bool begin_transfer(Message msg, bool queued);
   /// Called when a transfer leaves the wire (delivered or failed): frees
   /// the sender's slot and drains its backlog.
@@ -212,6 +226,7 @@ class Simulator final : public strategy::StrategyContext {
                           const std::function<void(strategy::StrategyContext&,
                                                    bool)>& work);
   void export_channel_counters();
+  void export_adversary_counters();
 
   const mobility::FleetModel* fleet_;
   comm::Network network_;
@@ -221,6 +236,38 @@ class Simulator final : public strategy::StrategyContext {
   /// (wired in the constructor), so it must precede nothing that outlives
   /// the network. Inert (and never consulted) without a fault plan.
   fault::FaultInjector injector_;
+  /// Owns the attack state (compromised sets, attack RNG, counters); inert
+  /// without an adversary plan. Answers jamming queries via hook_mux_.
+  adversary::AdversaryController adversary_;
+  /// Fans the network's single FaultHook slot out to the benign injector
+  /// (node/region/channel faults) and the adversary (jamming). Wired in the
+  /// constructor only when at least one of the two is enabled, so clean runs
+  /// keep the null-hook fast path.
+  struct FaultHookMux final : public comm::FaultHook {
+    const comm::FaultHook* faults = nullptr;
+    const comm::FaultHook* adversary = nullptr;
+    [[nodiscard]] bool node_down(mobility::NodeId node,
+                                 double time_s) const override {
+      return faults != nullptr && faults->node_down(node, time_s);
+    }
+    [[nodiscard]] bool region_blocked(comm::ChannelKind kind,
+                                      const mobility::Position& p,
+                                      double time_s) const override {
+      return faults != nullptr && faults->region_blocked(kind, p, time_s);
+    }
+    [[nodiscard]] comm::ChannelMods channel_mods(
+        comm::ChannelKind kind, double time_s) const override {
+      return faults != nullptr ? faults->channel_mods(kind, time_s)
+                               : comm::ChannelMods{};
+    }
+    [[nodiscard]] bool jamming_blocked(comm::ChannelKind kind,
+                                       const mobility::Position& p,
+                                       double time_s) const override {
+      return adversary != nullptr &&
+             adversary->jamming_blocked(kind, p, time_s);
+    }
+  };
+  FaultHookMux hook_mux_;
 
   BasicEventQueue<SimEvent> queue_;
   std::vector<Agent> agents_;

@@ -48,6 +48,21 @@ double scale_factor(double factor, double s) {
   return std::max(1.0 + (factor - 1.0) * s, 0.01);
 }
 
+/// A typo like `probabilty=` must fail loudly, not be silently ignored:
+/// every key of `section` has to appear in the kind's allowed set.
+void reject_unknown_keys(const util::IniFile& ini, const std::string& section,
+                         std::initializer_list<const char*> allowed) {
+  for (const std::string& key : ini.keys(section)) {
+    const bool known =
+        std::any_of(allowed.begin(), allowed.end(),
+                    [&key](const char* a) { return key == a; });
+    if (!known) {
+      throw std::runtime_error{"[" + section + "]: unknown key '" + key +
+                               "'"};
+    }
+  }
+}
+
 }  // namespace
 
 std::string to_string(FaultKind kind) {
@@ -135,6 +150,9 @@ FaultPlan FaultPlan::scaled() const {
 
 FaultPlan plan_from_ini(const util::IniFile& ini) {
   FaultPlan plan;
+  if (!ini.keys("fault").empty()) {
+    reject_unknown_keys(ini, "fault", {"severity"});
+  }
   plan.severity = ini.get_double("fault", "severity", plan.severity);
 
   // Sections are read in numeric order — [fault.0], [fault.1], ... — so the
@@ -152,12 +170,18 @@ FaultPlan plan_from_ini(const util::IniFile& ini) {
     ev.end_s = ini.get_double(section, "end_s",
                               std::numeric_limits<double>::infinity());
     if (kind == "channel_degrade") {
+      reject_unknown_keys(ini, section,
+                          {"kind", "start_s", "end_s", "channel", "loss",
+                           "bandwidth_factor", "latency_factor"});
       ev.kind = FaultKind::kChannelDegrade;
       ev.channel = parse_channel(ini.get(section, "channel", "v2c"), section);
       ev.loss_add = ini.get_double(section, "loss", 0.0);
       ev.bandwidth_factor = ini.get_double(section, "bandwidth_factor", 1.0);
       ev.latency_factor = ini.get_double(section, "latency_factor", 1.0);
     } else if (kind == "region_outage") {
+      reject_unknown_keys(ini, section,
+                          {"kind", "start_s", "end_s", "x_m", "y_m",
+                           "radius_m", "channels"});
       ev.kind = FaultKind::kRegionOutage;
       ev.center.x = ini.get_double(section, "x_m", 0.0);
       ev.center.y = ini.get_double(section, "y_m", 0.0);
@@ -165,6 +189,8 @@ FaultPlan plan_from_ini(const util::IniFile& ini) {
       ev.channels = parse_channel_set(ini.get(section, "channels", "v2c"),
                                       section);
     } else if (kind == "node_outage") {
+      reject_unknown_keys(ini, section,
+                          {"kind", "start_s", "end_s", "target"});
       ev.kind = FaultKind::kNodeOutage;
       const std::string target = ini.get(section, "target", "cloud");
       if (target == "cloud") {
@@ -187,6 +213,8 @@ FaultPlan plan_from_ini(const util::IniFile& ini) {
         }
       }
     } else if (kind == "hu_straggler") {
+      reject_unknown_keys(ini, section,
+                          {"kind", "start_s", "end_s", "vehicle", "slowdown"});
       ev.kind = FaultKind::kHuStraggler;
       const std::string vehicle = ini.get(section, "vehicle", "all");
       ev.all_vehicles = vehicle == "all";
@@ -199,6 +227,9 @@ FaultPlan plan_from_ini(const util::IniFile& ini) {
         throw std::runtime_error{section + ": slowdown must be > 0"};
       }
     } else if (kind == "vehicle_crash") {
+      reject_unknown_keys(ini, section,
+                          {"kind", "vehicle", "at_s", "reboot_after_s",
+                           "lose_model", "lose_data"});
       ev.kind = FaultKind::kVehicleCrash;
       const std::string vehicle = ini.get(section, "vehicle", "0");
       if (vehicle == "all") {
@@ -215,6 +246,9 @@ FaultPlan plan_from_ini(const util::IniFile& ini) {
         throw std::runtime_error{section + ": negative reboot_after_s"};
       }
     } else if (kind == "payload_corruption") {
+      reject_unknown_keys(ini, section,
+                          {"kind", "start_s", "end_s", "channel",
+                           "probability"});
       ev.kind = FaultKind::kPayloadCorruption;
       ev.channel = parse_channel(ini.get(section, "channel", "v2c"), section);
       ev.probability = ini.get_double(section, "probability", 0.0);

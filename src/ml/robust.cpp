@@ -1,0 +1,289 @@
+#include "ml/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "telemetry/telemetry.hpp"
+
+namespace roadrunner::ml {
+
+namespace {
+
+/// Shared entry validation, matching the fed_avg contract; returns the
+/// total data amount.
+double validate(const std::vector<WeightedModel>& contributions) {
+  if (contributions.empty()) {
+    throw std::invalid_argument{"robust_aggregate: no contributions"};
+  }
+  double total = 0.0;
+  const Weights& reference = contributions.front().weights;
+  for (const auto& c : contributions) {
+    if (c.data_amount < 0.0) {
+      throw std::invalid_argument{"robust_aggregate: negative data amount"};
+    }
+    total += c.data_amount;
+    if (c.weights.size() != reference.size()) {
+      throw std::invalid_argument{"robust_aggregate: tensor count mismatch"};
+    }
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      if (!c.weights[i].same_shape(reference[i])) {
+        throw std::invalid_argument{"robust_aggregate: tensor shape mismatch"};
+      }
+    }
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument{"robust_aggregate: zero total data amount"};
+  }
+  return total;
+}
+
+Weights zero_like(const Weights& reference) {
+  Weights out;
+  out.reserve(reference.size());
+  for (const Tensor& t : reference) out.emplace_back(t.shape());
+  return out;
+}
+
+/// Coordinate-wise order statistic: for every weight coordinate, sorts the
+/// n contribution values and reduces the [lo, hi) slice with `reduce`
+/// (mean for trimmed_mean, midpoint picks for median).
+template <typename Reduce>
+AggregateResult coordinate_wise(const std::vector<WeightedModel>& contributions,
+                                double total, Reduce&& reduce) {
+  const Weights& reference = contributions.front().weights;
+  AggregateResult result;
+  result.model.data_amount = total;
+  result.model.weights = zero_like(reference);
+  const std::size_t n = contributions.size();
+  std::vector<float> column(n);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const std::size_t size = reference[i].size();
+    float* out = result.model.weights[i].data();
+    for (std::size_t j = 0; j < size; ++j) {
+      for (std::size_t c = 0; c < n; ++c) {
+        column[c] = contributions[c].weights[i].data()[j];
+      }
+      std::sort(column.begin(), column.end());
+      out[j] = reduce(column);
+    }
+  }
+  return result;
+}
+
+/// Global Euclidean norm of a weight vector, accumulated in double.
+double weights_norm(const Weights& weights) {
+  double sum = 0.0;
+  for (const Tensor& t : weights) {
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      const double v = t.data()[j];
+      sum += v * v;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+/// data_amount-weighted average with a per-contribution extra factor
+/// (the norm clip). Skeleton of fed_avg with factors folded into the share.
+WeightedModel weighted_mean(const std::vector<WeightedModel>& contributions,
+                            double total,
+                            const std::vector<double>& factor) {
+  const Weights& reference = contributions.front().weights;
+  WeightedModel out;
+  out.data_amount = total;
+  out.weights = zero_like(reference);
+  for (std::size_t c = 0; c < contributions.size(); ++c) {
+    const float share = static_cast<float>(
+        contributions[c].data_amount / total * factor[c]);
+    if (share == 0.0F) continue;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      out.weights[i].add_scaled_(contributions[c].weights[i], share);
+    }
+  }
+  return out;
+}
+
+AggregateResult trimmed_mean(const std::vector<WeightedModel>& contributions,
+                             double total, double trim_fraction) {
+  const std::size_t n = contributions.size();
+  auto trim = static_cast<std::size_t>(
+      std::floor(std::clamp(trim_fraction, 0.0, 0.5) *
+                 static_cast<double>(n)));
+  if (2 * trim >= n) trim = (n - 1) / 2;
+  const std::size_t lo = trim;
+  const std::size_t hi = n - trim;
+  return coordinate_wise(
+      contributions, total, [lo, hi](const std::vector<float>& column) {
+        double sum = 0.0;
+        for (std::size_t c = lo; c < hi; ++c) sum += column[c];
+        return static_cast<float>(sum / static_cast<double>(hi - lo));
+      });
+}
+
+AggregateResult median(const std::vector<WeightedModel>& contributions,
+                       double total) {
+  const std::size_t n = contributions.size();
+  return coordinate_wise(
+      contributions, total, [n](const std::vector<float>& column) {
+        if (n % 2 == 1) return column[n / 2];
+        return static_cast<float>(
+            (static_cast<double>(column[n / 2 - 1]) +
+             static_cast<double>(column[n / 2])) /
+            2.0);
+      });
+}
+
+AggregateResult norm_clip(const std::vector<WeightedModel>& contributions,
+                          double total, double clip_norm) {
+  const std::size_t n = contributions.size();
+  std::vector<double> norms(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    norms[c] = weights_norm(contributions[c].weights);
+  }
+  double cap = clip_norm;
+  if (cap <= 0.0) {
+    std::vector<double> sorted = norms;
+    std::sort(sorted.begin(), sorted.end());
+    cap = n % 2 == 1 ? sorted[n / 2]
+                     : (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+  }
+  AggregateResult result;
+  std::vector<double> factor(n, 1.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (cap > 0.0 && norms[c] > cap) {
+      factor[c] = cap / norms[c];
+      ++result.clipped;
+    }
+  }
+  result.model = weighted_mean(contributions, total, factor);
+  return result;
+}
+
+AggregateResult krum(const std::vector<WeightedModel>& contributions,
+                     double total, const AggregatorConfig& config) {
+  const std::size_t n = contributions.size();
+  if (n < 3) {
+    // Two contributions give every candidate the same single distance —
+    // selection would be arbitrary. Fall back to the plain mean.
+    AggregateResult result;
+    result.model = fed_avg(contributions);
+    return result;
+  }
+  // Pairwise squared distances, computed once in index order.
+  std::vector<double> dist(n * n, 0.0);
+  const std::size_t tensors = contributions.front().weights.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < tensors; ++i) {
+        const Tensor& ta = contributions[a].weights[i];
+        const Tensor& tb = contributions[b].weights[i];
+        for (std::size_t j = 0; j < ta.size(); ++j) {
+          const double d =
+              static_cast<double>(ta.data()[j]) - tb.data()[j];
+          sum += d * d;
+        }
+      }
+      dist[a * n + b] = sum;
+      dist[b * n + a] = sum;
+    }
+  }
+  const auto f = static_cast<std::size_t>(std::floor(
+      std::clamp(config.krum_assume_fraction, 0.0, 0.9) *
+      static_cast<double>(n)));
+  const std::size_t neighbors =
+      std::clamp<std::size_t>(n > f + 2 ? n - f - 2 : 1, 1, n - 1);
+  // Krum score: sum of the `neighbors` smallest distances to the others.
+  std::vector<double> score(n, 0.0);
+  std::vector<double> row(n - 1);
+  for (std::size_t a = 0; a < n; ++a) {
+    std::size_t k = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (b != a) row[k++] = dist[a * n + b];
+    }
+    std::sort(row.begin(), row.end());
+    double sum = 0.0;
+    for (std::size_t c = 0; c < neighbors; ++c) sum += row[c];
+    score[a] = sum;
+  }
+  const std::size_t keep =
+      std::clamp<std::size_t>(config.krum_select, 1, n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Ties break on the contribution index, keeping selection deterministic.
+  std::stable_sort(order.begin(), order.end(),
+                   [&score](std::size_t a, std::size_t b) {
+                     return score[a] < score[b];
+                   });
+  std::vector<std::size_t> selected(order.begin(),
+                                    order.begin() +
+                                        static_cast<std::ptrdiff_t>(keep));
+  std::sort(selected.begin(), selected.end());
+  std::vector<WeightedModel> kept;
+  kept.reserve(keep);
+  for (const std::size_t idx : selected) {
+    kept.push_back(contributions[idx]);
+  }
+  AggregateResult result;
+  result.model = fed_avg(kept);
+  result.model.data_amount = total;  // claimed evidence mass is unchanged
+  result.rejected.assign(order.begin() +
+                             static_cast<std::ptrdiff_t>(keep),
+                         order.end());
+  std::sort(result.rejected.begin(), result.rejected.end());
+  return result;
+}
+
+}  // namespace
+
+std::string to_string(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kMean: return "mean";
+    case AggregatorKind::kTrimmedMean: return "trimmed_mean";
+    case AggregatorKind::kMedian: return "median";
+    case AggregatorKind::kNormClip: return "norm_clip";
+    case AggregatorKind::kKrum: return "krum";
+  }
+  return "?";
+}
+
+AggregatorKind aggregator_from_string(const std::string& text) {
+  if (text == "mean" || text == "fedavg") return AggregatorKind::kMean;
+  if (text == "trimmed_mean") return AggregatorKind::kTrimmedMean;
+  if (text == "median") return AggregatorKind::kMedian;
+  if (text == "norm_clip") return AggregatorKind::kNormClip;
+  if (text == "krum") return AggregatorKind::kKrum;
+  throw std::invalid_argument{
+      "unknown aggregation '" + text +
+      "' (want mean|trimmed_mean|median|norm_clip|krum)"};
+}
+
+AggregateResult robust_aggregate(
+    const std::vector<WeightedModel>& contributions,
+    const AggregatorConfig& config) {
+  telemetry::Span span{"ml", "ml.robust_aggregate"};
+  if (span.active()) {
+    span.set_args("kind=" + to_string(config.kind) + " contributions=" +
+                  std::to_string(contributions.size()));
+  }
+  const double total = validate(contributions);
+  switch (config.kind) {
+    case AggregatorKind::kMean: {
+      AggregateResult result;
+      result.model = fed_avg(contributions);
+      return result;
+    }
+    case AggregatorKind::kTrimmedMean:
+      return trimmed_mean(contributions, total, config.trim_fraction);
+    case AggregatorKind::kMedian:
+      return median(contributions, total);
+    case AggregatorKind::kNormClip:
+      return norm_clip(contributions, total, config.clip_norm);
+    case AggregatorKind::kKrum:
+      return krum(contributions, total, config);
+  }
+  throw std::invalid_argument{"robust_aggregate: bad aggregator kind"};
+}
+
+}  // namespace roadrunner::ml

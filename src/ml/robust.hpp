@@ -1,0 +1,81 @@
+// Robust aggregation — byzantine-tolerant alternatives to the plain
+// weighted mean of fedavg.hpp, selectable per strategy via INI
+// (`[strategy] aggregation = trimmed_mean | median | norm_clip | krum`).
+// Every implementation reduces in deterministic index order (double
+// accumulators, ties broken by contribution index), preserving the §10.4
+// byte-identical contract across worker counts.
+//
+// Semantics (n = number of contributions):
+//  * mean          — ml::fed_avg: data_amount-weighted average (undefended).
+//  * trimmed_mean  — per coordinate, drop the floor(trim_fraction * n)
+//                    smallest and largest values, average the rest
+//                    (unweighted; weights would let a byzantine reporter
+//                    buy trust with an inflated data_amount).
+//  * median        — per coordinate, the unweighted median.
+//  * norm_clip     — scale every contribution whose global weight norm
+//                    exceeds the cap down to it (cap = clip_norm, or the
+//                    median contribution norm when clip_norm == 0), then
+//                    weighted-average. Defuses magnitude attacks while
+//                    keeping honest weighting.
+//  * krum          — Krum-style selection: score each contribution by the
+//                    sum of its k closest squared distances to the others
+//                    (k = n - f - 2, f = floor(krum_assume_fraction * n)),
+//                    keep the krum_select lowest-scoring contributions and
+//                    weighted-average them; the rest are rejected. Falls
+//                    back to mean for n < 3 (no meaningful distances).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/fedavg.hpp"
+
+namespace roadrunner::ml {
+
+enum class AggregatorKind : std::uint8_t {
+  kMean = 0,
+  kTrimmedMean = 1,
+  kMedian = 2,
+  kNormClip = 3,
+  kKrum = 4,
+};
+
+std::string to_string(AggregatorKind kind);
+
+/// Parses an INI `aggregation=` value. Throws std::invalid_argument naming
+/// the accepted spellings on anything else.
+AggregatorKind aggregator_from_string(const std::string& text);
+
+struct AggregatorConfig {
+  AggregatorKind kind = AggregatorKind::kMean;
+  /// trimmed_mean: fraction trimmed from EACH end, clamped so at least one
+  /// value survives.
+  double trim_fraction = 0.2;
+  /// norm_clip: explicit norm cap; 0 = use the median contribution norm.
+  double clip_norm = 0.0;
+  /// krum: how many lowest-scoring contributions to keep (multi-Krum).
+  std::size_t krum_select = 1;
+  /// krum: assumed malicious fraction, sizing the neighbor sum.
+  double krum_assume_fraction = 0.25;
+};
+
+struct AggregateResult {
+  WeightedModel model;
+  /// Contribution indices excluded from the aggregate (krum only), sorted
+  /// ascending — the caller attributes these to defense metrics.
+  std::vector<std::size_t> rejected;
+  /// Contributions whose norm was clipped (norm_clip only).
+  std::size_t clipped = 0;
+};
+
+/// Aggregates `contributions` under `config`. Throws std::invalid_argument
+/// on an empty vector, non-positive total weight, or shape mismatches
+/// (same contract as ml::fed_avg). The result's data_amount is always the
+/// sum over ALL contributions — rejection changes the value, not the
+/// claimed evidence mass, so round accounting stays comparable across
+/// defenses.
+AggregateResult robust_aggregate(const std::vector<WeightedModel>& contributions,
+                                 const AggregatorConfig& config);
+
+}  // namespace roadrunner::ml

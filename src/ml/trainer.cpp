@@ -68,6 +68,12 @@ TrainReport train_sgd(Network& net, const DatasetView& data,
 
       net.zero_grad();
       Tensor logits = net.forward(batch_x);
+      if (config.label_flip && logits.rank() >= 2 && logits.shape()[1] > 0) {
+        const auto classes = static_cast<std::int32_t>(logits.shape()[1]);
+        for (std::int32_t& label : batch_y) {
+          label = (label + 1) % classes;
+        }
+      }
       LossResult loss = softmax_cross_entropy(logits, batch_y);
       net.backward(loss.grad);
       if (config.proximal_mu > 0.0F) {

@@ -31,6 +31,11 @@ struct TrainConfig {
   /// distributions the paper's experiment uses. 0 disables. The reference
   /// weights are the network's weights at the start of train_sgd.
   float proximal_mu = 0.0F;
+  /// Targeted label-flip poisoning (adversary subsystem): train against
+  /// labels shifted by one class, y -> (y + 1) mod C, where C is the
+  /// logits width. The gradient then actively steers the model wrong while
+  /// the update stays structurally indistinguishable from an honest one.
+  bool label_flip = false;
 };
 
 struct TrainReport {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "adversary/adversary_plan.hpp"
 #include "strategy/centralized.hpp"
 #include "strategy/federated.hpp"
 #include "strategy/federated_clustering.hpp"
@@ -127,8 +128,31 @@ ScenarioConfig scenario_from_ini(const IniFile& ini) {
 
   // [fault] + [fault.N]
   cfg.faults = fault::plan_from_ini(ini);
+  // [adversary] + [adversary.N]
+  cfg.adversaries = adversary::plan_from_ini(ini);
   return cfg;
 }
+
+namespace {
+
+/// Robust-aggregation knobs shared by the merge-based strategies
+/// ([strategy] aggregation=mean|trimmed_mean|median|norm_clip|krum).
+ml::AggregatorConfig aggregator_from_ini(const IniFile& ini) {
+  ml::AggregatorConfig agg;
+  if (ini.has("strategy", "aggregation")) {
+    agg.kind = ml::aggregator_from_string(
+        ini.get("strategy", "aggregation", "mean"));
+  }
+  agg.trim_fraction =
+      ini.get_double("strategy", "trim_fraction", agg.trim_fraction);
+  agg.clip_norm = ini.get_double("strategy", "clip_norm", agg.clip_norm);
+  agg.krum_select = get_size(ini, "strategy", "krum_select", agg.krum_select);
+  agg.krum_assume_fraction = ini.get_double(
+      "strategy", "krum_assume_fraction", agg.krum_assume_fraction);
+  return agg;
+}
+
+}  // namespace
 
 std::shared_ptr<strategy::LearningStrategy> strategy_from_ini(
     const IniFile& ini) {
@@ -146,6 +170,7 @@ std::shared_ptr<strategy::LearningStrategy> strategy_from_ini(
   if (ini.get("strategy", "selection", "random") == "round_robin") {
     round.selection = strategy::SelectionPolicy::kRoundRobin;
   }
+  round.aggregator = aggregator_from_ini(ini);
 
   if (name == "federated") {
     return std::make_shared<strategy::FederatedStrategy>(round);
@@ -179,6 +204,7 @@ std::shared_ptr<strategy::LearningStrategy> strategy_from_ini(
         ini.get_double("strategy", "merge_weight", cfg.merge_weight);
     cfg.eval_interval_s = ini.get_double("strategy", "eval_interval_s",
                                          cfg.eval_interval_s);
+    cfg.aggregator = aggregator_from_ini(ini);
     return std::make_shared<strategy::GossipStrategy>(cfg);
   }
   if (name == "centralized") {

@@ -113,6 +113,8 @@ std::unique_ptr<core::Simulator> Scenario::make_simulator() const {
   sim_cfg.checkpoint_every_s = config_.checkpoint_every_s;
   sim_cfg.checkpoint_dir = config_.checkpoint_dir;
   sim_cfg.faults = config_.faults.resolved(rsu_nodes_, config_.vehicles);
+  sim_cfg.adversaries =
+      config_.adversaries.resolved(rsu_nodes_, config_.vehicles);
 
   core::MlService ml_service{prototype_, test_set_};
   auto sim = std::make_unique<core::Simulator>(*fleet_, config_.net,

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "adversary/adversary_plan.hpp"
 #include "comm/network.hpp"
 #include "core/simulator.hpp"
 #include "data/gaussian_blobs.hpp"
@@ -79,6 +80,13 @@ struct ScenarioConfig {
   /// simulator is built; `faults.severity` scales all magnitudes (the
   /// `fault.severity` campaign axis).
   fault::FaultPlan faults;
+
+  // ----- adversary ----------------------------------------------------------
+  /// Scripted attack timeline ([adversary.N] INI sections), resolved against
+  /// this scenario's vehicle count when the simulator is built;
+  /// `adversaries.fraction` scales the compromise level (the
+  /// `adversary.fraction` campaign axis).
+  adversary::AdversaryPlan adversaries;
 };
 
 /// Everything a bench needs from one finished run.

@@ -123,6 +123,15 @@ class StrategyContext {
   // ----- instrumentation --------------------------------------------------
   [[nodiscard]] virtual metrics::Registry& metrics() = 0;
   [[nodiscard]] virtual util::Rng& rng() = 0;
+
+  /// Ground-truth oracle: whether `id` is an adversary-compromised vehicle.
+  /// For metrics attribution ONLY (accepted-vs-rejected poisoned-update
+  /// accounting) — strategies and defenses must never branch decisions on
+  /// it; the whole point of robust aggregation is that the server does not
+  /// know who is compromised. Default: nobody is.
+  [[nodiscard]] virtual bool is_adversary_compromised(AgentId /*id*/) const {
+    return false;
+  }
 };
 
 }  // namespace roadrunner::strategy

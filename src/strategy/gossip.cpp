@@ -122,10 +122,30 @@ void GossipStrategy::on_message(StrategyContext& ctx, const Message& msg) {
   // than cumulative data amounts: in gossip, unbounded counters would make
   // old models immovable (cf. Hegedűs et al.'s step-size decay).
   const float alpha = static_cast<float>(config_.merge_weight);
-  ml::WeightedModel own{ctx.agent(me).model, 1.0 - alpha};
-  ml::WeightedModel received{msg.model, alpha};
-  ml::WeightedModel merged = ml::fed_avg(own, received);
-  ctx.set_model(me, std::move(merged.weights),
+  std::vector<ml::WeightedModel> pair;
+  pair.push_back(ml::WeightedModel{ctx.agent(me).model, 1.0 - alpha});
+  pair.push_back(ml::WeightedModel{msg.model, alpha});
+  ml::AggregateResult agg = ml::robust_aggregate(pair, config_.aggregator);
+  if (agg.clipped > 0) {
+    ctx.metrics().increment("defense_updates_clipped",
+                            static_cast<double>(agg.clipped));
+  }
+  if (!agg.rejected.empty()) {
+    ctx.metrics().increment("defense_updates_rejected",
+                            static_cast<double>(agg.rejected.size()));
+    // Index 1 is the received model; attribute its rejection to the sender.
+    for (std::size_t idx : agg.rejected) {
+      if (idx == 1 && ctx.is_adversary_compromised(msg.from)) {
+        ctx.metrics().increment("adversary_updates_rejected");
+      }
+    }
+  }
+  if (ctx.is_adversary_compromised(msg.from) &&
+      std::find(agg.rejected.begin(), agg.rejected.end(), std::size_t{1}) ==
+          agg.rejected.end()) {
+    ctx.metrics().increment("adversary_updates_accepted");
+  }
+  ctx.set_model(me, std::move(agg.model.weights),
                 static_cast<double>(ctx.agent(me).data.size()));
   last_merge_[me] = ctx.now();
   ++total_merges_;

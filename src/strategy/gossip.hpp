@@ -13,6 +13,7 @@
 #include <map>
 
 #include "ml/fedavg.hpp"
+#include "ml/robust.hpp"
 #include "strategy/learning_strategy.hpp"
 
 namespace roadrunner::strategy {
@@ -32,6 +33,11 @@ struct GossipConfig {
   /// Stop after this much simulated time (0 = run to the fleet horizon).
   double duration_s = 0.0;
   std::string accuracy_series = "accuracy";
+  /// Pairwise merge rule. The default (mean) is the classic alpha-weighted
+  /// gossip merge; robust alternatives blunt poisoned models a peer gossips
+  /// in (norm_clip is the practical choice at pair size — Krum needs >= 3
+  /// contributors and falls back to mean).
+  ml::AggregatorConfig aggregator;
 };
 
 class GossipStrategy final : public LearningStrategy {

@@ -5,6 +5,7 @@
 // thread — no synchronization needed inside strategies.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "comm/channel.hpp"
@@ -82,6 +83,24 @@ class LearningStrategy {
   /// stateless strategies.
   virtual void save_state(util::BinWriter& /*out*/) const {}
   virtual void load_state(util::BinReader& /*in*/) {}
+
+  /// Set by the checkpoint restorer immediately before load_state with the
+  /// snapshot's on-disk format version, so strategies can skip fields that
+  /// older snapshots do not contain. Outside a restore it reports the
+  /// latest version (strategies constructed fresh carry all fields).
+  void set_snapshot_version(std::uint32_t version) {
+    snapshot_version_ = version;
+  }
+
+ protected:
+  /// Format version of the snapshot currently being restored; UINT32_MAX
+  /// (= "latest") when not restoring.
+  [[nodiscard]] std::uint32_t snapshot_version() const {
+    return snapshot_version_;
+  }
+
+ private:
+  std::uint32_t snapshot_version_ = UINT32_MAX;
 };
 
 }  // namespace roadrunner::strategy

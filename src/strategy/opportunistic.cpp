@@ -48,6 +48,7 @@ void OpportunisticStrategy::on_training_complete(
     rep->second.trained = true;
     rep->second.collected.push_back(
         ml::WeightedModel{ctx.agent(id).model, outcome.data_amount});
+    rep->second.origins.push_back(id);
     // Offer to anyone already alongside (encounters that began while busy).
     // Current encounters are rediscovered lazily via on_encounter_begin for
     // new pairs; for robustness we also scan vehicles in range now.
@@ -160,6 +161,7 @@ void OpportunisticStrategy::handle_return(StrategyContext& ctx,
   note_data_contributor(msg.from);  // the non-reporter's data enters the FA
   rep->second.collected.push_back(
       ml::WeightedModel{msg.model, msg.data_amount});
+  rep->second.origins.push_back(msg.from);
   ++exchanges_this_round_;
   ++total_exchanges_;
   ctx.metrics().increment("opp_v2x_exchanges");
@@ -172,7 +174,26 @@ void OpportunisticStrategy::handle_request(StrategyContext& ctx,
       rep->second.collected.empty()) {
     return;  // nothing to report; server's collect timeout handles it
   }
-  const ml::WeightedModel aggregate = ml::fed_avg(rep->second.collected);
+  // Intermediate aggregation (Fig. 3 step 6) honors the configured defense:
+  // a reporter applies the same robust rule the server would, so poisoned
+  // V2X returns are blunted before they ever reach the uplink.
+  ml::AggregateResult agg =
+      ml::robust_aggregate(rep->second.collected, round_config().aggregator);
+  if (agg.clipped > 0) {
+    ctx.metrics().increment("defense_updates_clipped",
+                            static_cast<double>(agg.clipped));
+  }
+  if (!agg.rejected.empty()) {
+    ctx.metrics().increment("defense_updates_rejected",
+                            static_cast<double>(agg.rejected.size()));
+    for (std::size_t idx : agg.rejected) {
+      if (idx < rep->second.origins.size() &&
+          ctx.is_adversary_compromised(rep->second.origins[idx])) {
+        ctx.metrics().increment("adversary_updates_rejected");
+      }
+    }
+  }
+  const ml::WeightedModel aggregate = std::move(agg.model);
   Message reply;
   reply.from = msg.to;
   reply.to = ctx.cloud_id();
@@ -220,6 +241,7 @@ void OpportunisticStrategy::save_state(util::BinWriter& out) const {
     out.i64(r.round);
     io::write_weights(out, r.round_global);
     io::write_weighted_models(out, r.collected);
+    io::write_id_vector(out, r.origins);  // since format v3
     out.boolean(r.trained);
   }
   out.u64(participated_.size());
@@ -246,6 +268,11 @@ void OpportunisticStrategy::load_state(util::BinReader& in) {
     r.round = static_cast<int>(in.i64());
     r.round_global = io::read_weights(in);
     r.collected = io::read_weighted_models(in);
+    if (snapshot_version() >= 3) {
+      r.origins = io::read_id_vector(in);
+    } else {
+      r.origins.assign(r.collected.size(), core::kNoAgent);
+    }
     r.trained = in.boolean();
     reporters_[id] = std::move(r);
   }

@@ -67,6 +67,9 @@ class OpportunisticStrategy final : public RoundBasedStrategy {
     int round = -1;
     ml::Weights round_global;  ///< the w to forward to non-reporters
     std::vector<ml::WeightedModel> collected;  ///< own + returned models
+    /// Parallel to `collected`: which vehicle produced each entry (adversary
+    /// accounting when the intermediate aggregation uses a robust rule).
+    std::vector<AgentId> origins;
     bool trained = false;
   };
 

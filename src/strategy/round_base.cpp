@@ -56,6 +56,7 @@ void RoundBasedStrategy::begin_round(StrategyContext& ctx) {
   selected_.clear();
   pending_.clear();
   contributions_.clear();
+  contribution_origins_.clear();
   collecting_ = false;
 
   std::vector<AgentId> pool = selection_pool(ctx);
@@ -162,6 +163,7 @@ void RoundBasedStrategy::accept_contribution(StrategyContext& ctx,
   }
   note_data_contributor(vehicle);
   contributions_.push_back(std::move(contribution));
+  contribution_origins_.push_back(vehicle);
   pending_.erase(vehicle);
   if (collecting_ && pending_.empty()) finalize_round(ctx);
 }
@@ -182,10 +184,43 @@ void RoundBasedStrategy::finalize_round(StrategyContext& ctx) {
   ctx.metrics().add_point(config_.contributions_series, ctx.now(),
                           static_cast<double>(n));
   if (n > 0) {
-    // Federated Averaging (§3): w = sum_i w_i * d_i / sum_j d_j.
-    ml::WeightedModel aggregated = ml::fed_avg(contributions_);
-    global_ = std::move(aggregated.weights);
-    ctx.set_model(ctx.cloud_id(), global_, aggregated.data_amount);
+    // Federated Averaging (§3): w = sum_i w_i * d_i / sum_j d_j — or one of
+    // the robust alternatives when a defense is configured (DESIGN.md §12).
+    ml::AggregateResult agg =
+        ml::robust_aggregate(contributions_, config_.aggregator);
+    global_ = std::move(agg.model.weights);
+    ctx.set_model(ctx.cloud_id(), global_, agg.model.data_amount);
+    if (agg.clipped > 0) {
+      ctx.metrics().increment("defense_updates_clipped",
+                              static_cast<double>(agg.clipped));
+    }
+    if (!agg.rejected.empty()) {
+      ctx.metrics().increment("defense_updates_rejected",
+                              static_cast<double>(agg.rejected.size()));
+    }
+    // Adversary accounting: of the updates supplied by compromised vehicles,
+    // how many made it into the global model? (Krum is the only aggregator
+    // that rejects whole contributions; the statistics-based defenses blunt
+    // rather than drop, which the accuracy gap captures instead.)
+    std::size_t poisoned_rejected = 0;
+    for (std::size_t idx : agg.rejected) {
+      if (idx < contribution_origins_.size() &&
+          ctx.is_adversary_compromised(contribution_origins_[idx])) {
+        ++poisoned_rejected;
+      }
+    }
+    std::size_t poisoned_total = 0;
+    for (AgentId origin : contribution_origins_) {
+      if (ctx.is_adversary_compromised(origin)) ++poisoned_total;
+    }
+    if (poisoned_total > 0) {
+      ctx.metrics().increment(
+          "adversary_updates_rejected",
+          static_cast<double>(poisoned_rejected));
+      ctx.metrics().increment(
+          "adversary_updates_accepted",
+          static_cast<double>(poisoned_total - poisoned_rejected));
+    }
     on_global_updated(ctx, round_, n);
   }
   if (config_.record_accuracy) {
@@ -195,6 +230,7 @@ void RoundBasedStrategy::finalize_round(StrategyContext& ctx) {
   ctx.metrics().add_point("unique_data_contributors", ctx.now(),
                           static_cast<double>(data_contributors_.size()));
   contributions_.clear();
+  contribution_origins_.clear();
   on_round_finalized(ctx, round_, n);
   begin_round(ctx);
 }
@@ -245,6 +281,7 @@ void RoundBasedStrategy::save_state(util::BinWriter& out) const {
   io::write_weighted_models(out, contributions_);
   out.boolean(collecting_);
   out.boolean(done_);
+  io::write_id_vector(out, contribution_origins_);  // since format v3
 }
 
 void RoundBasedStrategy::load_state(util::BinReader& in) {
@@ -257,6 +294,13 @@ void RoundBasedStrategy::load_state(util::BinReader& in) {
   contributions_ = io::read_weighted_models(in);
   collecting_ = in.boolean();
   done_ = in.boolean();
+  if (snapshot_version() >= 3) {
+    contribution_origins_ = io::read_id_vector(in);
+  } else {
+    // v2 snapshots predate origin tracking; adversary accounting for any
+    // in-flight round restarts blind (v2 runs have no adversaries anyway).
+    contribution_origins_.assign(contributions_.size(), core::kNoAgent);
+  }
 }
 
 }  // namespace roadrunner::strategy

@@ -14,6 +14,7 @@
 #include <set>
 
 #include "ml/fedavg.hpp"
+#include "ml/robust.hpp"
 #include "strategy/learning_strategy.hpp"
 
 namespace roadrunner::strategy {
@@ -38,6 +39,10 @@ struct RoundConfig {
   /// Metrics series names (benches relabel per strategy).
   std::string accuracy_series = "accuracy";
   std::string contributions_series = "contributions_per_round";
+  /// How contributions merge into the new global model. The default (mean)
+  /// is the paper's Federated Averaging; the robust alternatives defend
+  /// against poisoned updates (adversary subsystem, DESIGN.md §12).
+  ml::AggregatorConfig aggregator;
 };
 
 class RoundBasedStrategy : public LearningStrategy {
@@ -153,6 +158,10 @@ class RoundBasedStrategy : public LearningStrategy {
   std::set<AgentId> data_contributors_;
   AgentId round_robin_cursor_ = 0;
   std::vector<ml::WeightedModel> contributions_;
+  /// Parallel to contributions_: which vehicle supplied each entry. Used for
+  /// adversary accounting (poisoned updates accepted vs rejected) when a
+  /// robust aggregator discards contributions.
+  std::vector<AgentId> contribution_origins_;
   bool collecting_ = false;
   bool done_ = false;
 };

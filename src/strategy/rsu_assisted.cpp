@@ -33,7 +33,25 @@ void RsuAssistedStrategy::on_round_closing(StrategyContext& ctx, int round) {
     for (AgentId origin : buffer.origins) note_data_contributor(origin);
     const AgentId first_origin =
         buffer.origins.empty() ? core::kNoAgent : buffer.origins.front();
-    relay_now(ctx, rsu, round, ml::fed_avg(buffer.collected), first_origin);
+    // Edge aggregation honors the configured defense, so poisoned uploads
+    // are blunted at the RSU before touching the backhaul.
+    ml::AggregateResult agg =
+        ml::robust_aggregate(buffer.collected, round_config().aggregator);
+    if (agg.clipped > 0) {
+      ctx.metrics().increment("defense_updates_clipped",
+                              static_cast<double>(agg.clipped));
+    }
+    if (!agg.rejected.empty()) {
+      ctx.metrics().increment("defense_updates_rejected",
+                              static_cast<double>(agg.rejected.size()));
+      for (std::size_t idx : agg.rejected) {
+        if (idx < buffer.origins.size() &&
+            ctx.is_adversary_compromised(buffer.origins[idx])) {
+          ctx.metrics().increment("adversary_updates_rejected");
+        }
+      }
+    }
+    relay_now(ctx, rsu, round, std::move(agg.model), first_origin);
     buffer.collected.clear();
     buffer.origins.clear();
   }

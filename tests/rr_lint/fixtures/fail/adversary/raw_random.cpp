@@ -1,0 +1,10 @@
+// Golden fixture: must produce exactly one `raw-random` finding. Attack
+// agents draw all randomness from the controller's forked util::Rng; a raw
+// engine here would desync byzantine garbage across checkpoint restores.
+#include <random>
+
+inline double byzantine_coordinate() {
+  std::normal_distribution<double> dist{0.0, 25.0};
+  std::default_random_engine engine{7};  // raw engine outside util/rng: flagged
+  return dist(engine);
+}

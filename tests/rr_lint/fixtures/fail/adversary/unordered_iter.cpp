@@ -1,0 +1,15 @@
+// Golden fixture: must produce exactly one `unordered-iter` finding. Lives
+// under an `adversary/` path segment — the subsystem checkpoints its attack
+// state, so the order-sensitive scope applies.
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+inline std::vector<std::uint32_t> snapshot_compromised(
+    const std::unordered_set<std::uint32_t>& compromised) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t id : compromised) {  // bucket-order iteration: flagged
+    out.push_back(id);
+  }
+  return out;
+}

@@ -26,6 +26,8 @@ EXPECTED_FAIL = {
     "raw_random.cpp": "raw-random",
     "wall_clock.cpp": "wall-clock",
     "core/unordered_iter.cpp": "unordered-iter",
+    "adversary/unordered_iter.cpp": "unordered-iter",
+    "adversary/raw_random.cpp": "raw-random",
     "raw_thread.cpp": "raw-thread",
     "dist/raw_socket.cpp": "raw-thread",
     "metric_name.cpp": "metric-name",

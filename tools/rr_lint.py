@@ -70,10 +70,13 @@ legitimately needs a clock read, suppress with
     },
     "unordered-iter": {
         "summary": "iteration over unordered containers in order-sensitive dirs",
-        "scope": "src/checkpoint/, src/metrics/, src/core/, src/fault/",
+        "scope": "src/checkpoint/, src/metrics/, src/core/, src/fault/, "
+                 "src/adversary/",
         "explain": """\
-checkpoint/, metrics/, core/ and fault/ feed serialization and metric
-export, where emission order is part of the byte-identical contract.
+checkpoint/, metrics/, core/, fault/ and adversary/ feed serialization
+and metric export, where emission order is part of the byte-identical
+contract (adversary/ additionally snapshots its RNG and attack state into
+checkpoints).
 Iterating a std::unordered_map/set there makes output depend on
 hash-bucket layout — stable on one build, silently different on another
 stdlib or after a rehash, which breaks checkpoint round-trips and
@@ -129,7 +132,8 @@ documented registry of dynamic metric families.""",
 }
 
 # Directories (as posix path fragments) with special roles.
-ORDER_SENSITIVE_DIRS = ("/checkpoint/", "/metrics/", "/core/", "/fault/")
+ORDER_SENSITIVE_DIRS = ("/checkpoint/", "/metrics/", "/core/", "/fault/",
+                        "/adversary/")
 WALL_CLOCK_EXEMPT = ("/telemetry/", "/util/")
 RNG_HOME = "/util/rng."
 THREAD_HOME = "/util/thread_pool."
