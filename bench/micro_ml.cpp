@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 #include "data/synthetic_images.hpp"
 #include "ml/fedavg.hpp"
+#include "ml/gmm.hpp"
 #include "ml/loss.hpp"
 #include "ml/models.hpp"
 #include "ml/robust.hpp"
@@ -28,6 +29,26 @@
 namespace {
 
 using namespace roadrunner;
+
+/// Telemetry-like sample cloud: `n` points from `k` well-separated
+/// Gaussians in `d` dims — the shape of one vehicle's recent window in the
+/// streaming workload.
+std::shared_ptr<ml::Dataset> telemetry_cloud(std::size_t n, std::size_t k,
+                                             std::size_t d, std::uint64_t seed) {
+  util::Rng rng{seed};
+  ml::Tensor x{{n, d}};
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % k;
+    labels[i] = static_cast<std::int32_t>(c);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double center = (c == j % k) ? 4.0 : -4.0;
+      x.values()[i * d + j] = static_cast<float>(center + rng.normal());
+    }
+  }
+  return std::make_shared<ml::Dataset>(std::move(x), std::move(labels),
+                                       static_cast<std::size_t>(k));
+}
 
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -150,6 +171,42 @@ BENCHMARK(BM_RobustAggregate)
                     static_cast<long>(ml::AggregatorKind::kMedian),
                     static_cast<long>(ml::AggregatorKind::kNormClip),
                     static_cast<long>(ml::AggregatorKind::kKrum)}});
+
+void BM_GmmEmStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto ds = telemetry_cloud(n, 3, 4, 21);
+  auto view = ml::DatasetView::all(ds);
+  util::Rng rng{22};
+  ml::GmmModel model = ml::gmm_init(view, 3, rng);
+  for (auto _ : state) {
+    const ml::GmmSuffStats stats = ml::gmm_accumulate(model, view);
+    model = ml::gmm_maximize(stats, model);
+    benchmark::DoNotOptimize(model.mean.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GmmEmStep)->Arg(128)->Arg(512);
+
+void BM_GmmSuffStatMerge(benchmark::State& state) {
+  const auto contributors = static_cast<std::size_t>(state.range(0));
+  auto ds = telemetry_cloud(512, 3, 4, 23);
+  auto view = ml::DatasetView::all(ds);
+  util::Rng rng{24};
+  ml::GmmModel model = ml::gmm_init(view, 3, rng);
+  std::vector<ml::WeightedModel> contributions;
+  for (std::size_t i = 0; i < contributors; ++i) {
+    auto shard = telemetry_cloud(128, 3, 4, 30 + i);
+    contributions.push_back(ml::WeightedModel{
+        ml::gmm_encode(ml::gmm_accumulate(model, ml::DatasetView::all(shard))),
+        128.0});
+  }
+  for (auto _ : state) {
+    auto merged = ml::fed_avg(contributions);
+    benchmark::DoNotOptimize(merged.weights.data());
+  }
+}
+BENCHMARK(BM_GmmSuffStatMerge)->Arg(5)->Arg(15)->Arg(50);
 
 void BM_SerializeWeights(benchmark::State& state) {
   util::Rng rng{6};
@@ -346,6 +403,60 @@ int headline_main(const util::CliArgs& args) {
       json.metric("merges_per_s", merges_per_s);
       total_wall += wall;
     }
+  }
+
+  // GMM EM step — the per-iteration cost of the streaming telemetry
+  // workload's local training (accumulate + maximize over one vehicle's
+  // recent window; DESIGN.md §13).
+  {
+    auto ds = telemetry_cloud(512, 3, 4, 16);
+    auto view = ml::DatasetView::all(ds);
+    util::Rng rng{17};
+    ml::GmmModel model = ml::gmm_init(view, 3, rng);
+    const auto [wall, iters] = time_loop(
+        [&] {
+          const ml::GmmSuffStats stats = ml::gmm_accumulate(model, view);
+          model = ml::gmm_maximize(stats, model);
+        },
+        min_s);
+    const double steps_per_s = static_cast<double>(iters) / wall;
+    const double samples_per_s = static_cast<double>(iters * 512) / wall;
+    std::printf("%-32s %8.2f steps/s   %10.0f samples/s\n",
+                "gmm em step, k3 d4 n512", steps_per_s, samples_per_s);
+    json.begin_run("gmm em step, k3 d4 n512");
+    json.metric("em_steps_per_s", steps_per_s);
+    json.metric("samples_per_s", samples_per_s);
+    total_wall += wall;
+  }
+
+  // GMM sufficient-statistics merge over 15 contributors — what one drift
+  // round's aggregation pays: the normalized-stat encodings pool through
+  // the same data-amount-weighted fed_avg the nets use.
+  {
+    auto ds = telemetry_cloud(512, 3, 4, 18);
+    auto view = ml::DatasetView::all(ds);
+    util::Rng rng{19};
+    const ml::GmmModel model = ml::gmm_init(view, 3, rng);
+    std::vector<ml::WeightedModel> contributions;
+    for (std::size_t i = 0; i < 15; ++i) {
+      auto shard = telemetry_cloud(128, 3, 4, 40 + i);
+      contributions.push_back(ml::WeightedModel{
+          ml::gmm_encode(
+              ml::gmm_accumulate(model, ml::DatasetView::all(shard))),
+          128.0});
+    }
+    const auto [wall, iters] = time_loop(
+        [&] {
+          auto merged = ml::fed_avg(contributions);
+          static_cast<void>(merged);
+        },
+        min_s);
+    const double merges_per_s = static_cast<double>(iters) / wall;
+    std::printf("%-32s %8.2f merges/s\n", "gmm suffstat merge, 15 contrib",
+                merges_per_s);
+    json.begin_run("gmm suffstat merge, 15 contrib");
+    json.metric("suffstat_merges_per_s", merges_per_s);
+    total_wall += wall;
   }
 
   // Weight serialization — what every model transfer in the simulator pays.

@@ -1,0 +1,167 @@
+// drift_sweep — time-to-readapt vs drift severity for every learning
+// strategy on the streaming telemetry workload. Expands examples/drift.ini
+// (strategy zip rows x a `drift.severity` grid axis), runs the campaign,
+// and prints:
+//
+//   1. the headline table: mean time-to-readapt per (strategy, severity),
+//      one row per strategy, one column per severity — which strategy
+//      *tracks a moving distribution* fastest (DESIGN.md §13.4); and
+//   2. a drift scorecard at the harshest severity: final held-out
+//      log-likelihood, staleness-weighted regret, and how many of the
+//      scripted shifts each strategy never recovered from.
+//
+//   ./examples/drift_sweep [spec.ini] [--workers=N] [--seeds=N]
+//        [--store=DIR]
+//
+// With --store the campaign is resumable: kill it and rerun to pick up
+// where it left off.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/engine.hpp"
+#include "util/cli.hpp"
+
+using namespace roadrunner;
+
+namespace {
+
+const campaign::SweepAxis* find_axis(const std::vector<campaign::SweepAxis>& axes,
+                                     const std::string& section,
+                                     const std::string& key) {
+  for (const auto& axis : axes) {
+    if (axis.section == section && axis.key == key) return &axis;
+  }
+  return nullptr;
+}
+
+double mean_of(const campaign::PointSummary& s, const std::string& metric) {
+  const auto it = s.metrics.find(metric);
+  return it == s.metrics.end() ? 0.0 : it->second.mean;
+}
+
+int run(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  const std::string spec_path = args.positional().empty()
+                                    ? std::string{"examples/drift.ini"}
+                                    : args.positional().front();
+  if (!std::filesystem::exists(spec_path)) {
+    std::fprintf(stderr, "spec not found: %s (run from the repo root)\n",
+                 spec_path.c_str());
+    return 1;
+  }
+  campaign::CampaignSpec spec =
+      campaign::campaign_from_ini(util::IniFile::load(spec_path));
+  if (args.has("seeds")) {
+    spec.seeds_per_point = static_cast<std::size_t>(
+        args.get_int("seeds", static_cast<std::int64_t>(spec.seeds_per_point)));
+  }
+
+  const campaign::SweepAxis* severity =
+      find_axis(spec.grid, "drift", "severity");
+  const campaign::SweepAxis* names = find_axis(spec.zipped, "strategy", "name");
+  const campaign::SweepAxis* rsu_agg =
+      find_axis(spec.zipped, "strategy", "aggregate_at_rsu");
+  if (severity == nullptr || names == nullptr) {
+    std::fprintf(stderr,
+                 "spec needs a [sweep] drift.severity axis and a [sweep.zip] "
+                 "strategy.name axis\n");
+    return 1;
+  }
+  const std::size_t n_sev = severity->values.size();
+  const std::size_t n_strat = names->values.size();
+
+  campaign::EngineOptions options;
+  options.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  options.store_dir = args.get("store", "");
+  options.on_progress = [](const campaign::Progress& p) {
+    std::printf("\r[%zu/%zu] %.2f jobs/s   ", p.resumed + p.completed, p.total,
+                p.jobs_per_s);
+    std::fflush(stdout);
+  };
+
+  std::printf("drift sweep       %s\n", spec_path.c_str());
+  std::printf("jobs              %zu strategies x %zu severities x %zu seeds "
+              "= %zu\n",
+              n_strat, n_sev, spec.seeds_per_point,
+              n_strat * n_sev * spec.seeds_per_point);
+
+  const campaign::CampaignResult result =
+      campaign::run_campaign(spec, options);
+  std::printf("\rdone: %zu executed, %zu resumed in %.1f s%20s\n",
+              result.executed, result.resumed, result.wall_seconds, "");
+
+  // point_index = zip_row * n_sev + severity_index (zip rows outermost).
+  std::map<std::size_t, campaign::PointSummary> by_point;
+  for (auto& s : campaign::summarize(result.records)) {
+    by_point[s.point_index] = std::move(s);
+  }
+
+  std::vector<std::string> labels;
+  std::size_t width = 8;  // "strategy"
+  for (std::size_t z = 0; z < n_strat; ++z) {
+    std::string label = names->values[z];
+    if (rsu_agg != nullptr && rsu_agg->values[z] == "true") {
+      label += "+rsu_agg";
+    }
+    width = std::max(width, label.size());
+    labels.push_back(std::move(label));
+  }
+  const int w = static_cast<int>(width);
+
+  // ----- time-to-readapt vs severity ---------------------------------------
+  std::printf("\nmean time-to-readapt (s) vs drift severity:\n");
+  std::printf("%-*s", w, "strategy");
+  for (const auto& sev : severity->values) {
+    std::printf(" %9s", ("s=" + sev).c_str());
+  }
+  std::printf("\n");
+  for (std::size_t z = 0; z < n_strat; ++z) {
+    std::printf("%-*s", w, labels[z].c_str());
+    for (std::size_t g = 0; g < n_sev; ++g) {
+      const auto it = by_point.find(z * n_sev + g);
+      if (it == by_point.end()) {
+        std::printf(" %9s", "-");
+      } else {
+        std::printf(" %9.1f",
+                    mean_of(it->second, "drift_mean_time_to_readapt_s"));
+      }
+    }
+    std::printf("\n");
+  }
+
+  // ----- drift scorecard at the harshest severity --------------------------
+  std::printf("\ndrift scorecard at severity %s (means over seeds):\n",
+              severity->values.back().c_str());
+  std::printf("%-*s %10s %10s %9s %7s\n", w, "strategy", "loglik", "regret",
+              "readapt_s", "unrec");
+  for (std::size_t z = 0; z < n_strat; ++z) {
+    const auto it = by_point.find(z * n_sev + (n_sev - 1));
+    if (it == by_point.end()) continue;
+    const campaign::PointSummary& s = it->second;
+    std::printf("%-*s %10.3f %10.3f %9.1f %7.1f\n", w, labels[z].c_str(),
+                mean_of(s, "final_accuracy"), mean_of(s, "drift_regret"),
+                mean_of(s, "drift_mean_time_to_readapt_s"),
+                mean_of(s, "drift_shifts_unrecovered"));
+  }
+  std::printf(
+      "\nreading: the eval score is held-out mean log-likelihood, so values\n"
+      "are negative and higher is better. Readapt times should grow with\n"
+      "severity; a strategy whose unrec column fills up at high severity\n"
+      "never catches the moving distribution within the horizon.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -37,12 +37,21 @@ namespace roadrunner::checkpoint {
 // plan is active), count-prefixed per-cause failure arrays (v2 wrote a
 // fixed 8; kJamming grew the enum to 9), and contribution-origin vectors in
 // the round-based strategies' state.
-inline constexpr std::uint32_t kFormatVersion = 3;
+// Version 4: workload-fingerprint section (tag 9, present for density/drift
+// workloads). The streaming workload carries no dynamic state of its own —
+// the telemetry stream, eval windows, and drift plan all rebuild
+// deterministically from the embedded INI — so the section is a consistency
+// guard: restore verifies the rebuilt substrate matches the fingerprint
+// (objective family, GMM shape, eval-window layout) and rejects forks that
+// would silently change the workload under saved agent models.
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /// Oldest snapshot version restore() still accepts. v2 snapshots restore
 /// cleanly: they predate the adversary subsystem (no [adversary.N] in their
 /// embedded INI, controller stays inert), their fixed-size cause arrays are
-/// widened on read, and version-gated strategy fields default sanely.
+/// widened on read, and version-gated strategy fields default sanely. v3
+/// snapshots predate the workload section; they rebuild as the static CNN
+/// workload their embedded INI describes, so no fingerprint is needed.
 inline constexpr std::uint32_t kMinRestoreVersion = 2;
 
 /// Cheap header peek (no scenario rebuild): what a snapshot contains.

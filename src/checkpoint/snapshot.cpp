@@ -30,6 +30,9 @@ constexpr std::uint32_t kSectionStrategy = 5;
 constexpr std::uint32_t kSectionMetrics = 6;
 constexpr std::uint32_t kSectionTrace = 7;
 constexpr std::uint32_t kSectionAdversary = 8;  // since v3; only when active
+// since v4; only for density/drift workloads. Fingerprint, not state: the
+// stream and eval windows rebuild from the embedded INI.
+constexpr std::uint32_t kSectionWorkload = 9;
 
 struct Frame {
   std::uint32_t version = 0;
@@ -108,6 +111,54 @@ Frame read_frame(const std::string& path) {
   return frame;
 }
 
+/// True when the simulator runs a workload the fingerprint section covers.
+bool workload_fingerprinted(const core::Simulator& sim) {
+  return sim.ml().density() || sim.ml().has_eval_windows();
+}
+
+void save_workload(const core::Simulator& sim, util::BinWriter& out) {
+  const core::MlService& ml = sim.ml();
+  out.u8(ml.density() ? 1 : 0);
+  out.u64(ml.density_spec().components);
+  out.u64(ml.density_spec().dims);
+  const auto& windows = ml.eval_windows();
+  out.u64(windows.size());
+  for (const auto& w : windows) {
+    out.f64(w.start_s);
+    out.u64(w.data.size());
+  }
+}
+
+/// Restore-side consistency guard: the rebuilt substrate must present the
+/// same workload the snapshot's agent models were trained under. A mismatch
+/// means a fork override changed the workload (or the build diverged) —
+/// the saved GMM stats / eval series would silently mis-score, so reject.
+void verify_workload(const core::Simulator& sim, util::BinReader& in,
+                     const std::string& path) {
+  const core::MlService& ml = sim.ml();
+  const bool density = in.u8() != 0;
+  const std::uint64_t components = in.u64();
+  const std::uint64_t dims = in.u64();
+  const std::uint64_t window_count = in.u64();
+  bool ok = density == ml.density() &&
+            (!density || (components == ml.density_spec().components &&
+                          dims == ml.density_spec().dims)) &&
+            window_count == ml.eval_windows().size();
+  for (std::uint64_t i = 0; ok && i < window_count; ++i) {
+    const double start_s = in.f64();
+    const std::uint64_t size = in.u64();
+    ok = start_s == ml.eval_windows()[i].start_s &&
+         size == ml.eval_windows()[i].data.size();
+  }
+  if (!ok) {
+    throw std::runtime_error{
+        "checkpoint: '" + path +
+        "' was saved under a different workload (objective family, GMM "
+        "shape, or eval-window layout changed) — overrides must not alter "
+        "the [workload] or [drift] configuration"};
+  }
+}
+
 SnapshotInfo read_meta(const Frame& frame) {
   SnapshotInfo info;
   info.format_version = frame.version;
@@ -178,6 +229,17 @@ RestoredRun restore_impl(const std::string& path,
     util::BinReader adversary_section = frame.section(kSectionAdversary);
     SimulatorIo::restore_adversary(*run.simulator, adversary_section);
   }
+  if (frame.has(kSectionWorkload)) {
+    util::BinReader workload_section = frame.section(kSectionWorkload);
+    verify_workload(*run.simulator, workload_section, path);
+  } else if (workload_fingerprinted(*run.simulator)) {
+    // The snapshot predates (or never had) a drift workload but the
+    // rebuilt experiment selects one: only possible via fork overrides.
+    throw std::runtime_error{
+        "checkpoint: '" + path +
+        "' has no workload fingerprint but the experiment now selects a "
+        "density/drift workload — overrides must not alter [workload]"};
+  }
   util::BinReader strategy_section = frame.section(kSectionStrategy);
   run.strategy->set_snapshot_version(frame.version);
   run.strategy->load_state(strategy_section);
@@ -237,6 +299,12 @@ void save(const core::Simulator& sim, const util::IniFile& experiment,
     util::BinWriter adversary;
     SimulatorIo::save_adversary(sim, adversary);
     add(kSectionAdversary, std::move(adversary));
+  }
+
+  if (workload_fingerprinted(sim)) {
+    util::BinWriter workload;
+    save_workload(sim, workload);
+    add(kSectionWorkload, std::move(workload));
   }
 
   util::BinWriter strategy;

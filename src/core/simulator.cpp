@@ -7,6 +7,7 @@
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "workload/drift_metrics.hpp"
 
 namespace roadrunner::core {
 
@@ -168,10 +169,15 @@ ml::DatasetView Simulator::available_data(AgentId id) const {
   const auto arrived = static_cast<std::size_t>(
       std::floor(config_.data_arrival_per_s * now()));
   const std::size_t count = std::min(arrived, a.data.size());
-  std::vector<std::uint32_t> prefix(
-      a.data.indices().begin(),
+  // With a recent window, keep only the last W arrived samples: under
+  // drift the training data then tracks the current regime instead of
+  // averaging over every regime seen so far.
+  const std::size_t window = config_.data_recent_window;
+  const std::size_t first = window > 0 && count > window ? count - window : 0;
+  std::vector<std::uint32_t> rows(
+      a.data.indices().begin() + static_cast<std::ptrdiff_t>(first),
       a.data.indices().begin() + static_cast<std::ptrdiff_t>(count));
-  return ml::DatasetView{a.data.base_ptr(), std::move(prefix)};
+  return ml::DatasetView{a.data.base_ptr(), std::move(rows)};
 }
 
 // ----- actions -------------------------------------------------------------
@@ -424,6 +430,13 @@ double Simulator::test_accuracy(const ml::Weights& weights) {
   // A wiped model (e.g. lost in a vehicle_crash fault) classifies nothing:
   // score it zero instead of faulting when loading empty weights.
   if (weights.empty()) return 0.0;
+  if (ml_.has_eval_windows()) {
+    // Drift scenarios score against the window covering *now*, and every
+    // strategy evaluation feeds the readaptation series.
+    const double score = ml_.test_at(weights, now()).accuracy;
+    metrics_.add_point("drift_eval_score", now(), score);
+    return score;
+  }
   return ml_.test(weights).accuracy;
 }
 
@@ -707,6 +720,35 @@ void Simulator::export_model_age_metrics(double end_time_s) {
   metrics_.set_counter("stale_model_age_max_s", ages.back());
 }
 
+void Simulator::export_drift_metrics(double end_time_s) {
+  // Pure function of the recorded series + the (checkpointed) config, so a
+  // snapshot-resumed run exports identical drift_* values.
+  std::vector<workload::DriftScore> series;
+  if (metrics_.has_series("drift_eval_score")) {
+    const auto& points = metrics_.series("drift_eval_score");
+    series.reserve(points.size());
+    for (const metrics::Point& p : points) {
+      series.push_back(workload::DriftScore{p.time_s, p.value});
+    }
+  }
+  const double horizon =
+      std::isfinite(config_.horizon_s) ? config_.horizon_s : end_time_s;
+  const workload::DriftSummary summary = workload::summarize_drift(
+      series, config_.drift.shift_times(horizon), horizon,
+      config_.drift_recovery_fraction);
+  metrics_.set_counter("drift_shifts_total",
+                       static_cast<double>(summary.shifts.size()));
+  metrics_.set_counter("drift_shifts_unrecovered",
+                       static_cast<double>(summary.unrecovered));
+  metrics_.set_counter("drift_mean_time_to_readapt_s",
+                       summary.mean_time_to_readapt_s);
+  metrics_.set_counter("drift_regret", summary.regret);
+  for (const workload::DriftShiftOutcome& o : summary.shifts) {
+    // One point per shift, timestamped at the shift instant.
+    metrics_.add_point("drift_time_to_readapt_s", o.shift_s, o.readapt_s);
+  }
+}
+
 // ----- run loop ------------------------------------------------------------
 
 Simulator::RunReport Simulator::run() {
@@ -774,6 +816,7 @@ Simulator::RunReport Simulator::run() {
   export_channel_counters();
   export_adversary_counters();
   export_model_age_metrics(queue_.current_time());
+  if (ml_.has_eval_windows()) export_drift_metrics(queue_.current_time());
 
   // Per-vehicle computational workload (Req. 4): cumulative HU-busy time.
   double max_compute = 0.0;

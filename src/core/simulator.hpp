@@ -37,6 +37,7 @@
 #include "core/sim_event.hpp"
 #include "fault/injector.hpp"
 #include "strategy/learning_strategy.hpp"
+#include "workload/drift_plan.hpp"
 
 namespace roadrunner::checkpoint {
 class SimulatorIo;
@@ -67,6 +68,11 @@ struct SimulatorConfig {
   /// available training data at time t is the first min(all, floor(rate*t))
   /// samples of its assignment. 0 (default) = all data present from t=0.
   double data_arrival_per_s = 0.0;
+  /// When > 0 (and data is arriving), a vehicle trains on only the *last*
+  /// data_recent_window arrived samples — a sliding window, so under drift
+  /// the local data tracks the current regime instead of averaging over
+  /// every regime seen so far. 0 keeps the full arrived prefix.
+  std::size_t data_recent_window = 0;
   /// Record wall-clock telemetry spans (telemetry::Telemetry) for this run.
   /// The sink is process-global, so enabling it here enables it for every
   /// concurrent run in the process; spans stay distinguishable by tid.
@@ -88,6 +94,14 @@ struct SimulatorConfig {
   /// scaled(), mirroring fault severity; the controller draws its
   /// compromised sets from a dedicated "adversary" RNG stream.
   adversary::AdversaryPlan adversaries;
+  /// Scripted distribution-drift timeline (already scaled; the stream
+  /// generator consumed it at scenario build time). The simulator only
+  /// reads its discrete shift_times() when scoring readaptation at end of
+  /// run — drift itself is baked into the data.
+  workload::DriftPlan drift;
+  /// Fraction of the post-shift drop that must be regained to count as
+  /// readapted (workload::summarize_drift).
+  double drift_recovery_fraction = 0.9;
 };
 
 class Simulator final : public strategy::StrategyContext {
@@ -202,6 +216,10 @@ class Simulator final : public strategy::StrategyContext {
   /// Stale-model age percentiles over the fleet at end of run (resilience
   /// metric: vehicles cut off by faults serve ever-older models).
   void export_model_age_metrics(double end_time_s);
+  /// Scores the `drift_eval_score` series against the plan's shift times
+  /// (workload::summarize_drift) and exports the drift_* counters. Only
+  /// called when the ML service has eval windows.
+  void export_drift_metrics(double end_time_s);
   void schedule_next_tick(double at);
   /// Reserves `id`'s HU for `flops` and marks it training. Returns the
   /// charged duration, or nullopt if the agent is off/busy.

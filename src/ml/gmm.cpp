@@ -1,0 +1,364 @@
+#include "ml/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ml/kmeans.hpp"
+
+namespace roadrunner::ml {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2π)
+/// Below this responsibility mass a component is treated as empty: its
+/// parameters are not re-estimated (gmm_maximize) or are reported as
+/// weightless (gmm_model_from_weights).
+constexpr double kMassEpsilon = 1e-9;
+
+void check_model(const GmmModel& model, const char* where) {
+  if (model.weight.empty() || model.mean.empty() || model.var.empty()) {
+    throw std::invalid_argument{std::string{where} + ": empty model"};
+  }
+  const std::size_t k = model.weight.dim(0);
+  if (model.mean.rank() != 2 || model.var.rank() != 2 ||
+      model.mean.dim(0) != k || model.var.dim(0) != k ||
+      model.mean.dim(1) != model.var.dim(1)) {
+    throw std::invalid_argument{std::string{where} +
+                                ": inconsistent model shapes"};
+  }
+}
+
+/// log N(x | mean_c, diag(var_c)) for one sample, accumulated in double.
+double component_log_density(const GmmModel& model, std::size_t c,
+                             const float* x, std::size_t d) {
+  double acc = 0.0;
+  const float* mean = model.mean.data() + c * d;
+  const float* var = model.var.data() + c * d;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double v = var[j];
+    const double diff = static_cast<double>(x[j]) - mean[j];
+    acc += std::log(v) + diff * diff / v;
+  }
+  return -0.5 * (acc + static_cast<double>(d) * kLog2Pi);
+}
+
+/// Per-component log(π_c) + log-density for one sample, and the log-sum-exp
+/// total. Components with zero weight are excluded (log π = -inf).
+double sample_log_joint(const GmmModel& model, const float* x, std::size_t d,
+                        std::vector<double>& log_joint) {
+  const std::size_t k = model.weight.dim(0);
+  double max_lj = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < k; ++c) {
+    const double w = model.weight[c];
+    log_joint[c] = w > 0.0F
+                       ? std::log(static_cast<double>(w)) +
+                             component_log_density(model, c, x, d)
+                       : -std::numeric_limits<double>::infinity();
+    max_lj = std::max(max_lj, log_joint[c]);
+  }
+  if (!std::isfinite(max_lj)) return max_lj;
+  double sum = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    sum += std::exp(log_joint[c] - max_lj);
+  }
+  return max_lj + std::log(sum);
+}
+
+}  // namespace
+
+double GmmSuffStats::total() const {
+  double t = 0.0;
+  for (double v : n) t += v;
+  return t;
+}
+
+void GmmSuffStats::merge(const GmmSuffStats& other) {
+  if (k != other.k || d != other.d) {
+    throw std::invalid_argument{"GmmSuffStats::merge: shape mismatch"};
+  }
+  for (std::size_t i = 0; i < n.size(); ++i) n[i] += other.n[i];
+  for (std::size_t i = 0; i < sx.size(); ++i) sx[i] += other.sx[i];
+  for (std::size_t i = 0; i < sxx.size(); ++i) sxx[i] += other.sxx[i];
+}
+
+GmmModel gmm_init(const DatasetView& data, std::size_t k, util::Rng& rng,
+                  double var_floor) {
+  if (k == 0) throw std::invalid_argument{"gmm_init: k == 0"};
+  if (data.empty()) throw std::invalid_argument{"gmm_init: empty data"};
+  const std::size_t d = data.base().sample_size();
+  const std::size_t n = data.size();
+
+  GmmModel model;
+  model.weight = Tensor{{k}};
+  model.mean = Tensor{{k, d}};
+  model.var = Tensor{{k, d}};
+
+  // Global per-dimension variance: the fallback spread for clusters whose
+  // within-cluster variance collapses (singletons) and for surplus
+  // components when n < k.
+  std::vector<double> gmean(d, 0.0);
+  std::vector<double> gvar(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* x = data.sample(i);
+    for (std::size_t j = 0; j < d; ++j) gmean[j] += x[j];
+  }
+  for (std::size_t j = 0; j < d; ++j) gmean[j] /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* x = data.sample(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = x[j] - gmean[j];
+      gvar[j] += diff * diff;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    gvar[j] = std::max(gvar[j] / static_cast<double>(n), var_floor);
+  }
+
+  // k-means needs data.size() >= k; with fewer samples than components,
+  // seed one component per sample and leave the rest massless (weight 0).
+  const std::size_t k_eff = std::min(k, n);
+  KMeansModel km = kmeans_init(data, k_eff, rng);
+  (void)kmeans_fit(km, data);
+  const std::vector<std::int32_t> assign = kmeans_assign(km, data);
+
+  std::vector<double> counts(k_eff, 0.0);
+  for (std::int32_t a : assign) counts[static_cast<std::size_t>(a)] += 1.0;
+
+  for (std::size_t c = 0; c < k; ++c) {
+    float* mean = model.mean.data() + c * d;
+    float* var = model.var.data() + c * d;
+    if (c < k_eff) {
+      model.weight[c] = static_cast<float>(counts[c] / static_cast<double>(n));
+      for (std::size_t j = 0; j < d; ++j) {
+        mean[j] = km.centroids[c * d + j];
+      }
+      // Within-cluster variance per dimension, falling back to the global
+      // spread for (near-)empty clusters.
+      if (counts[c] > 0.0) {
+        std::vector<double> acc(d, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (static_cast<std::size_t>(assign[i]) != c) continue;
+          const float* x = data.sample(i);
+          for (std::size_t j = 0; j < d; ++j) {
+            const double diff = x[j] - mean[j];
+            acc[j] += diff * diff;
+          }
+        }
+        for (std::size_t j = 0; j < d; ++j) {
+          const double wv = acc[j] / counts[c];
+          var[j] = static_cast<float>(wv > var_floor ? wv : gvar[j]);
+        }
+      } else {
+        for (std::size_t j = 0; j < d; ++j) {
+          var[j] = static_cast<float>(gvar[j]);
+        }
+      }
+    } else {
+      model.weight[c] = 0.0F;
+      for (std::size_t j = 0; j < d; ++j) {
+        mean[j] = static_cast<float>(gmean[j]);
+        var[j] = static_cast<float>(gvar[j]);
+      }
+    }
+  }
+  return model;
+}
+
+GmmSuffStats gmm_accumulate(const GmmModel& model, const DatasetView& data) {
+  check_model(model, "gmm_accumulate");
+  const std::size_t k = model.weight.dim(0);
+  const std::size_t d = model.mean.dim(1);
+  if (!data.empty() && data.base().sample_size() != d) {
+    throw std::invalid_argument{"gmm_accumulate: dimension mismatch"};
+  }
+  GmmSuffStats stats{k, d};
+  std::vector<double> log_joint(k);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float* x = data.sample(i);
+    const double lse = sample_log_joint(model, x, d, log_joint);
+    if (!std::isfinite(lse)) continue;  // all components massless
+    for (std::size_t c = 0; c < k; ++c) {
+      const double r = std::exp(log_joint[c] - lse);
+      if (r <= 0.0) continue;
+      stats.n[c] += r;
+      double* sx = stats.sx.data() + c * d;
+      double* sxx = stats.sxx.data() + c * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double xj = x[j];
+        sx[j] += r * xj;
+        sxx[j] += r * xj * xj;
+      }
+    }
+  }
+  return stats;
+}
+
+GmmModel gmm_maximize(const GmmSuffStats& stats, const GmmModel& prev,
+                      double var_floor) {
+  check_model(prev, "gmm_maximize");
+  if (stats.k != prev.weight.dim(0) || stats.d != prev.mean.dim(1)) {
+    throw std::invalid_argument{"gmm_maximize: shape mismatch"};
+  }
+  const double total = stats.total();
+  if (total <= kMassEpsilon) return prev;
+  GmmModel out = prev;
+  for (std::size_t c = 0; c < stats.k; ++c) {
+    const double nc = stats.n[c];
+    if (nc <= kMassEpsilon) {
+      // Empty component: keep previous parameters but lose its weight, so
+      // the mixture stays normalized over live components.
+      out.weight[c] = 0.0F;
+      continue;
+    }
+    out.weight[c] = static_cast<float>(nc / total);
+    float* mean = out.mean.data() + c * stats.d;
+    float* var = out.var.data() + c * stats.d;
+    const double* sx = stats.sx.data() + c * stats.d;
+    const double* sxx = stats.sxx.data() + c * stats.d;
+    for (std::size_t j = 0; j < stats.d; ++j) {
+      const double mu = sx[j] / nc;
+      mean[j] = static_cast<float>(mu);
+      var[j] = static_cast<float>(std::max(sxx[j] / nc - mu * mu, var_floor));
+    }
+  }
+  return out;
+}
+
+GmmReport gmm_fit_em(GmmModel& model, const DatasetView& data, int iterations,
+                     double var_floor) {
+  check_model(model, "gmm_fit_em");
+  if (data.empty()) throw std::invalid_argument{"gmm_fit_em: empty data"};
+  GmmReport report;
+  for (int it = 0; it < iterations; ++it) {
+    GmmSuffStats stats = gmm_accumulate(model, data);
+    model = gmm_maximize(stats, model, var_floor);
+    ++report.iterations;
+  }
+  report.mean_log_likelihood = gmm_mean_log_likelihood(model, data);
+  return report;
+}
+
+double gmm_mean_log_likelihood(const GmmModel& model, const DatasetView& data) {
+  check_model(model, "gmm_mean_log_likelihood");
+  if (data.empty()) {
+    throw std::invalid_argument{"gmm_mean_log_likelihood: empty data"};
+  }
+  const std::size_t k = model.weight.dim(0);
+  const std::size_t d = model.mean.dim(1);
+  if (data.base().sample_size() != d) {
+    throw std::invalid_argument{"gmm_mean_log_likelihood: dim mismatch"};
+  }
+  std::vector<double> log_joint(k);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    sum += sample_log_joint(model, data.sample(i), d, log_joint);
+  }
+  return sum / static_cast<double>(data.size());
+}
+
+Weights gmm_encode(const GmmSuffStats& stats) {
+  const double total = stats.total();
+  const double inv = total > kMassEpsilon ? 1.0 / total : 0.0;
+  Weights w;
+  w.reserve(3);
+  Tensor tn{{stats.k}};
+  for (std::size_t c = 0; c < stats.k; ++c) {
+    tn[c] = static_cast<float>(stats.n[c] * inv);
+  }
+  Tensor tsx{{stats.k, stats.d}};
+  Tensor tsxx{{stats.k, stats.d}};
+  for (std::size_t i = 0; i < stats.sx.size(); ++i) {
+    tsx[i] = static_cast<float>(stats.sx[i] * inv);
+    tsxx[i] = static_cast<float>(stats.sxx[i] * inv);
+  }
+  w.push_back(std::move(tn));
+  w.push_back(std::move(tsx));
+  w.push_back(std::move(tsxx));
+  return w;
+}
+
+GmmSuffStats gmm_decode(const Weights& w, double total) {
+  if (!gmm_weights_valid(w)) {
+    throw std::invalid_argument{"gmm_decode: not a GMM encoding"};
+  }
+  const std::size_t k = w[0].dim(0);
+  const std::size_t d = w[1].dim(1);
+  GmmSuffStats stats{k, d};
+  for (std::size_t c = 0; c < k; ++c) {
+    stats.n[c] = static_cast<double>(w[0][c]) * total;
+  }
+  for (std::size_t i = 0; i < k * d; ++i) {
+    stats.sx[i] = static_cast<double>(w[1][i]) * total;
+    stats.sxx[i] = static_cast<double>(w[2][i]) * total;
+  }
+  return stats;
+}
+
+Weights gmm_zero_weights(std::size_t k, std::size_t d) {
+  if (k == 0 || d == 0) {
+    throw std::invalid_argument{"gmm_zero_weights: k and d must be > 0"};
+  }
+  return Weights{Tensor{{k}}, Tensor{{k, d}}, Tensor{{k, d}}};
+}
+
+bool gmm_weights_valid(const Weights& w) {
+  if (w.size() != 3) return false;
+  if (w[0].rank() != 1 || w[1].rank() != 2 || w[2].rank() != 2) return false;
+  const std::size_t k = w[0].dim(0);
+  return k > 0 && w[1].dim(0) == k && w[2].dim(0) == k && w[1].dim(1) > 0 &&
+         w[1].dim(1) == w[2].dim(1);
+}
+
+bool gmm_has_mass(const Weights& w) {
+  if (!gmm_weights_valid(w)) return false;
+  for (std::size_t c = 0; c < w[0].dim(0); ++c) {
+    if (static_cast<double>(w[0][c]) > kMassEpsilon) return true;
+  }
+  return false;
+}
+
+GmmModel gmm_model_from_weights(const Weights& w, double var_floor) {
+  if (!gmm_weights_valid(w)) {
+    throw std::invalid_argument{"gmm_model_from_weights: not a GMM encoding"};
+  }
+  if (!gmm_has_mass(w)) {
+    throw std::invalid_argument{
+        "gmm_model_from_weights: zero-mass (unfit) encoding"};
+  }
+  const std::size_t k = w[0].dim(0);
+  const std::size_t d = w[1].dim(1);
+  // The encoding is normalized statistics S/N; Σ_c (n/N)_c is 1 up to
+  // rounding, so renormalize the mixing weights explicitly.
+  double mass = 0.0;
+  for (std::size_t c = 0; c < k; ++c) mass += static_cast<double>(w[0][c]);
+  GmmModel model;
+  model.weight = Tensor{{k}};
+  model.mean = Tensor{{k, d}};
+  model.var = Tensor{{k, d}};
+  for (std::size_t c = 0; c < k; ++c) {
+    const double nc = w[0][c];
+    float* mean = model.mean.data() + c * d;
+    float* var = model.var.data() + c * d;
+    if (nc <= kMassEpsilon) {
+      model.weight[c] = 0.0F;
+      for (std::size_t j = 0; j < d; ++j) {
+        mean[j] = 0.0F;
+        var[j] = 1.0F;
+      }
+      continue;
+    }
+    model.weight[c] = static_cast<float>(nc / mass);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double mu = static_cast<double>(w[1][c * d + j]) / nc;
+      mean[j] = static_cast<float>(mu);
+      var[j] = static_cast<float>(
+          std::max(static_cast<double>(w[2][c * d + j]) / nc - mu * mu,
+                   var_floor));
+    }
+  }
+  return model;
+}
+
+}  // namespace roadrunner::ml

@@ -1,0 +1,131 @@
+// Diagonal-covariance Gaussian mixture fitted by EM on sufficient
+// statistics — the density-estimation model of the streaming telemetry
+// workload (DESIGN.md §13). The paper's Req. 2 demands support for
+// "arbitrary models" including unsupervised ones; a GMM is the natural
+// density learner for continuously-sensed signals, and — unlike raw
+// parameters — its *sufficient statistics* merge associatively:
+//
+//   stats(A ∪ B) = stats(A) + stats(B)        (component-wise double sums)
+//
+// which is exactly the algebra every aggregation path in this repo already
+// speaks. The codec at the bottom encodes *normalized* sufficient
+// statistics (divided by the sample count N) as an ordinary ml::Weights
+// value with data_amount = N, so the existing data-amount-weighted
+// ml::fed_avg computes the exact pooled statistics:
+//
+//   Σ_i N_i · (S_i / N_i) / Σ_i N_i  =  (Σ_i S_i) / Σ_i N_i
+//
+// FedAvg, RSU partial aggregates, and gossip/OPP pairwise merges therefore
+// all work on GMMs with zero strategy changes, and ml/serialize, the
+// checkpoint subsystem, and the dist service carry them unchanged.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/net.hpp"
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace roadrunner::ml {
+
+/// Mixture parameters. Diagonal covariance: var holds per-dimension
+/// variances, floored away from zero by every producer.
+struct GmmModel {
+  Tensor weight;  ///< [k] mixing proportions, sum 1
+  Tensor mean;    ///< [k, d]
+  Tensor var;     ///< [k, d] diagonal variances
+
+  [[nodiscard]] std::size_t k() const {
+    return weight.empty() ? 0 : weight.dim(0);
+  }
+  [[nodiscard]] std::size_t dims() const {
+    return mean.empty() ? 0 : mean.dim(1);
+  }
+};
+
+/// Responsibility-weighted sufficient statistics. Double precision so the
+/// merge is numerically symmetric far below float32 noise (the merge-order
+/// independence the OPP/gossip paths rely on).
+struct GmmSuffStats {
+  std::size_t k = 0;
+  std::size_t d = 0;
+  std::vector<double> n;    ///< [k]    Σ_i r_ik
+  std::vector<double> sx;   ///< [k·d]  Σ_i r_ik x_i
+  std::vector<double> sxx;  ///< [k·d]  Σ_i r_ik x_i²
+
+  GmmSuffStats() = default;
+  GmmSuffStats(std::size_t k_, std::size_t d_)
+      : k{k_}, d{d_}, n(k_, 0.0), sx(k_ * d_, 0.0), sxx(k_ * d_, 0.0) {}
+
+  /// Total responsibility mass == number of samples accumulated.
+  [[nodiscard]] double total() const;
+
+  /// Component-wise addition: associative and commutative up to floating
+  ///-point rounding. Throws std::invalid_argument on shape mismatch.
+  void merge(const GmmSuffStats& other);
+};
+
+struct GmmReport {
+  double mean_log_likelihood = 0.0;  ///< held-in, after the last M-step
+  std::size_t iterations = 0;
+};
+
+/// Seeds a GMM from data via k-means (k-means++ init + Lloyd): means are
+/// the centroids, variances the within-cluster spread (floored), weights
+/// the cluster fractions. When data has fewer samples than k, the first
+/// size() components are seeded from individual samples and the remainder
+/// get zero weight (they revive only if later responsibilities reach them).
+/// Throws std::invalid_argument on empty data or k == 0.
+GmmModel gmm_init(const DatasetView& data, std::size_t k, util::Rng& rng,
+                  double var_floor = 1e-3);
+
+/// E-step: sufficient statistics of `data` under `model`.
+GmmSuffStats gmm_accumulate(const GmmModel& model, const DatasetView& data);
+
+/// M-step: parameters from statistics. Components with (near-)zero mass
+/// keep `prev`'s parameters — the empty-cluster rule k-means also uses.
+GmmModel gmm_maximize(const GmmSuffStats& stats, const GmmModel& prev,
+                      double var_floor = 1e-3);
+
+/// `iterations` rounds of accumulate + maximize on `model` in place.
+GmmReport gmm_fit_em(GmmModel& model, const DatasetView& data, int iterations,
+                     double var_floor = 1e-3);
+
+/// Mean per-sample log-likelihood of `data` under `model` (natural log).
+/// This is the density workload's "accuracy": higher is better, and it is
+/// comparable across time windows, which is what the drift_* metrics need.
+double gmm_mean_log_likelihood(const GmmModel& model, const DatasetView& data);
+
+// ----- Weights codec --------------------------------------------------------
+// Layout: tensor 0 = n/N [k], tensor 1 = sx/N [k,d], tensor 2 = sxx/N [k,d].
+// Carried with data_amount = N in a WeightedModel, fed_avg of these is the
+// exact pooled-statistics merge (see file comment).
+
+/// Normalized encoding of `stats` (divides by total()); total() == 0 yields
+/// the all-zero "unfit" sentinel below.
+Weights gmm_encode(const GmmSuffStats& stats);
+
+/// Unnormalized statistics from an encoding: every entry scaled by `total`
+/// (pass the WeightedModel's data_amount). Throws on malformed shapes.
+GmmSuffStats gmm_decode(const Weights& w, double total);
+
+/// The "freshly initialized" model: correctly-shaped all-zero statistics.
+/// No component has mass, so merging it in is a no-op and strategies can
+/// hand it out as the initial global model.
+Weights gmm_zero_weights(std::size_t k, std::size_t d);
+
+/// True if `w` is a structurally valid GMM encoding ([k], [k,d], [k,d]).
+bool gmm_weights_valid(const Weights& w);
+
+/// True if any component carries responsibility mass (an all-zero encoding
+/// is the unfit sentinel and cannot be turned into a model).
+bool gmm_has_mass(const Weights& w);
+
+/// Mixture parameters from a normalized encoding. Zero-mass components
+/// get zero weight and unit variance. Throws std::invalid_argument if
+/// !gmm_weights_valid(w) or !gmm_has_mass(w).
+GmmModel gmm_model_from_weights(const Weights& w, double var_floor = 1e-3);
+
+}  // namespace roadrunner::ml

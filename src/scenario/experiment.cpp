@@ -126,10 +126,40 @@ ScenarioConfig scenario_from_ini(const IniFile& ini) {
       ini, "network", "v2x_max_concurrent",
       cfg.net.v2x.max_concurrent_per_agent);
 
+  // [workload]
+  cfg.workload.kind = ini.get("workload", "kind", cfg.workload.kind);
+  cfg.workload.objective =
+      ini.get("workload", "objective", cfg.workload.objective);
+  cfg.workload.dims = get_size(ini, "workload", "dims", cfg.workload.dims);
+  cfg.workload.components =
+      get_size(ini, "workload", "components", cfg.workload.components);
+  cfg.workload.gmm_components = get_size(ini, "workload", "gmm_components",
+                                         cfg.workload.gmm_components);
+  cfg.workload.em_iterations = static_cast<int>(ini.get_int(
+      "workload", "em_iterations", cfg.workload.em_iterations));
+  cfg.workload.var_floor =
+      ini.get_double("workload", "var_floor", cfg.workload.var_floor);
+  cfg.workload.rate_per_s =
+      ini.get_double("workload", "rate_per_s", cfg.workload.rate_per_s);
+  cfg.workload.recent_window = get_size(ini, "workload", "recent_window",
+                                        cfg.workload.recent_window);
+  cfg.workload.eval_every_s =
+      ini.get_double("workload", "eval_every_s", cfg.workload.eval_every_s);
+  cfg.workload.eval_samples =
+      get_size(ini, "workload", "eval_samples", cfg.workload.eval_samples);
+  cfg.workload.recovery_fraction = ini.get_double(
+      "workload", "recovery_fraction", cfg.workload.recovery_fraction);
+  cfg.workload.spread =
+      ini.get_double("workload", "spread", cfg.workload.spread);
+  cfg.workload.placement_radius = ini.get_double(
+      "workload", "placement_radius", cfg.workload.placement_radius);
+
   // [fault] + [fault.N]
   cfg.faults = fault::plan_from_ini(ini);
   // [adversary] + [adversary.N]
   cfg.adversaries = adversary::plan_from_ini(ini);
+  // [drift] + [drift.N]
+  cfg.workload.drift = workload::plan_from_ini(ini);
   return cfg;
 }
 

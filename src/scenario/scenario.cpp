@@ -2,8 +2,11 @@
 
 #include <stdexcept>
 
+#include <optional>
+
 #include "data/gaussian_blobs.hpp"
 #include "data/synthetic_images.hpp"
+#include "ml/gmm.hpp"
 #include "ml/models.hpp"
 #include "util/log.hpp"
 
@@ -58,6 +61,48 @@ Scenario::Scenario(ScenarioConfig config) : config_{std::move(config)} {
     fleet_ = std::move(fleet);
   }
 
+  // ----- telemetry workload --------------------------------------------------
+  // Replaces the frozen dataset + partition below: every vehicle's data is
+  // its own arrival-ordered stream slice, and held-out eval windows follow
+  // the drifting distribution.
+  if (config_.workload.telemetry()) {
+    workload::WorkloadConfig wcfg = config_.workload;
+    wcfg.drift = wcfg.drift.scaled();
+    const double horizon =
+        config_.horizon_s > 0.0 ? config_.horizon_s : fleet_->duration();
+    util::Rng stream_rng = master.fork("workload");
+    workload::TelemetryStream stream = workload::make_telemetry_stream(
+        wcfg, *fleet_, config_.vehicles, horizon, config_.city.city_size_m,
+        stream_rng);
+    dataset_ = stream.dataset;
+    vehicle_data_ = std::move(stream.vehicle_data);
+    eval_windows_ = std::move(stream.eval_windows);
+    test_set_ = eval_windows_.front().data;
+    if (config_.workload.density()) {
+      model_bytes_ = ml::weights_byte_size(ml::gmm_zero_weights(
+          wcfg.effective_gmm_components(), wcfg.dims));
+    } else {
+      if (config_.model == "paper_cnn") {
+        throw std::invalid_argument{
+            "Scenario: the telemetry workload has flat features; pick "
+            "model=mlp or model=logreg for objective=supervised"};
+      }
+      prototype_ = ml::make_model(config_.model, dataset_->sample_shape(),
+                                  dataset_->num_classes());
+      util::Rng model_rng = master.fork("model-init");
+      ml::prime_and_init(prototype_, dataset_->sample_shape(), model_rng);
+      model_bytes_ = ml::weights_byte_size(prototype_.weights());
+    }
+    RR_LOG_INFO("scenario")
+        << "fleet=" << fleet_->vehicle_count() << " vehicles +"
+        << rsu_nodes_.size() << " RSUs; telemetry stream=" << dataset_->size()
+        << " samples, " << eval_windows_.size() << " eval windows, "
+        << config_.workload.drift.events.size() << " drift events (severity "
+        << config_.workload.drift.severity << "); objective="
+        << config_.workload.objective << " (" << model_bytes_ << " B)";
+    return;
+  }
+
   // ----- data ---------------------------------------------------------------
   dataset_ = build_dataset(config_);
   util::Rng data_rng = master.fork("partition");
@@ -109,16 +154,40 @@ std::unique_ptr<core::Simulator> Scenario::make_simulator() const {
   sim_cfg.async_training = config_.async_training;
   sim_cfg.trace_events = config_.trace_events;
   sim_cfg.telemetry = config_.telemetry;
-  sim_cfg.data_arrival_per_s = config_.data_arrival_per_s;
+  sim_cfg.data_arrival_per_s = config_.workload.telemetry()
+                                   ? config_.workload.rate_per_s
+                                   : config_.data_arrival_per_s;
+  sim_cfg.data_recent_window =
+      config_.workload.telemetry() ? config_.workload.recent_window : 0;
   sim_cfg.checkpoint_every_s = config_.checkpoint_every_s;
   sim_cfg.checkpoint_dir = config_.checkpoint_dir;
   sim_cfg.faults = config_.faults.resolved(rsu_nodes_, config_.vehicles);
   sim_cfg.adversaries =
       config_.adversaries.resolved(rsu_nodes_, config_.vehicles);
+  sim_cfg.drift = config_.workload.drift.scaled();
+  sim_cfg.drift_recovery_fraction = config_.workload.recovery_fraction;
 
-  core::MlService ml_service{prototype_, test_set_};
-  auto sim = std::make_unique<core::Simulator>(*fleet_, config_.net,
-                                               std::move(ml_service), sim_cfg);
+  std::optional<core::MlService> ml_service;
+  if (config_.workload.telemetry() && config_.workload.density()) {
+    core::DensitySpec spec;
+    spec.components = config_.workload.effective_gmm_components();
+    spec.dims = config_.workload.dims;
+    spec.em_iterations = config_.workload.em_iterations;
+    spec.var_floor = config_.workload.var_floor;
+    ml_service.emplace(spec, test_set_);
+  } else {
+    ml_service.emplace(prototype_, test_set_);
+  }
+  if (!eval_windows_.empty()) {
+    std::vector<core::EvalWindow> windows;
+    windows.reserve(eval_windows_.size());
+    for (const workload::EvalWindow& w : eval_windows_) {
+      windows.push_back(core::EvalWindow{w.start_s, w.data});
+    }
+    ml_service->set_eval_windows(std::move(windows));
+  }
+  auto sim = std::make_unique<core::Simulator>(
+      *fleet_, config_.net, std::move(*ml_service), sim_cfg);
   sim->add_cloud(config_.cloud_device);
   for (std::size_t v = 0; v < config_.vehicles; ++v) {
     sim->add_vehicle(v, vehicle_data_[v], config_.vehicle_device);

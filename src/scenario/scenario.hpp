@@ -18,6 +18,8 @@
 #include "data/synthetic_images.hpp"
 #include "mobility/city_model.hpp"
 #include "strategy/learning_strategy.hpp"
+#include "workload/stream.hpp"
+#include "workload/workload.hpp"
 
 namespace roadrunner::scenario {
 
@@ -87,6 +89,13 @@ struct ScenarioConfig {
   /// `adversaries.fraction` scales the compromise level (the
   /// `adversary.fraction` campaign axis).
   adversary::AdversaryPlan adversaries;
+
+  // ----- workload -----------------------------------------------------------
+  /// `workload.kind = telemetry` swaps the frozen dataset + partition for
+  /// the drift-aware stream generator ([workload] / [drift.N] INI sections);
+  /// `drift.severity` scales all drift magnitudes (the `drift.severity`
+  /// campaign axis). The static default leaves everything above untouched.
+  workload::WorkloadConfig workload;
 };
 
 /// Everything a bench needs from one finished run.
@@ -132,6 +141,11 @@ class Scenario {
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   /// Serialized model size in bytes (drives communication volumes).
   [[nodiscard]] std::uint64_t model_bytes() const { return model_bytes_; }
+  /// Timestamped held-out eval windows (telemetry workloads only; empty for
+  /// the static datasets).
+  [[nodiscard]] const std::vector<workload::EvalWindow>& eval_windows() const {
+    return eval_windows_;
+  }
 
  private:
   ScenarioConfig config_;
@@ -140,6 +154,9 @@ class Scenario {
   std::shared_ptr<const ml::Dataset> dataset_;
   ml::DatasetView test_set_;
   std::vector<ml::DatasetView> vehicle_data_;
+  std::vector<workload::EvalWindow> eval_windows_;
+  /// Unused (layerless) for the density objective — GMM weights carry their
+  /// own shape through the suff-stat codec.
   ml::Network prototype_;
   std::uint64_t model_bytes_ = 0;
 };

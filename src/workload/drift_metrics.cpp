@@ -1,0 +1,129 @@
+#include "workload/drift_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadrunner::workload {
+
+namespace {
+
+/// Mean score of the points falling in the last quarter of [begin_s,
+/// end_s); falls back to the latest point before end_s, then to nullopt.
+/// This is "what the strategies eventually achieve in that segment".
+struct Plateau {
+  double value = 0.0;
+  bool known = false;
+};
+
+Plateau segment_plateau(const std::vector<DriftScore>& series, double begin_s,
+                        double end_s) {
+  const double tail_start = end_s - 0.25 * (end_s - begin_s);
+  double sum = 0.0;
+  std::size_t count = 0;
+  const DriftScore* last = nullptr;
+  for (const DriftScore& p : series) {
+    if (p.time_s < begin_s || p.time_s >= end_s) continue;
+    last = &p;
+    if (p.time_s >= tail_start) {
+      sum += p.score;
+      ++count;
+    }
+  }
+  if (count > 0) return {sum / static_cast<double>(count), true};
+  if (last != nullptr) return {last->score, true};
+  return {};
+}
+
+}  // namespace
+
+DriftSummary summarize_drift(const std::vector<DriftScore>& series,
+                             const std::vector<double>& shift_times,
+                             double horizon_s, double recovery_fraction) {
+  DriftSummary out;
+  const double f = std::clamp(recovery_fraction, 0.0, 1.0);
+
+  // ----- per-shift readaptation --------------------------------------------
+  for (std::size_t j = 0; j < shift_times.size(); ++j) {
+    const double shift = shift_times[j];
+    const double seg_end =
+        j + 1 < shift_times.size() ? shift_times[j + 1] : horizon_s;
+    const double seg_begin = j > 0 ? shift_times[j - 1] : 0.0;
+    DriftShiftOutcome outcome;
+    outcome.shift_s = shift;
+    outcome.readapt_s = seg_end - shift;
+
+    // Recovery target: back within (1-f) of the drop below the *pre-shift*
+    // plateau. A strategy that never regains pre-shift quality in the new
+    // regime counts as unrecovered for the whole segment.
+    Plateau baseline = segment_plateau(series, seg_begin, shift);
+    if (!baseline.known) baseline = segment_plateau(series, shift, seg_end);
+
+    double trough = 0.0;
+    bool any = false;
+    for (const DriftScore& p : series) {
+      if (p.time_s < shift || p.time_s >= seg_end) continue;
+      trough = any ? std::min(trough, p.score) : p.score;
+      any = true;
+    }
+    if (any && baseline.known) {
+      if (baseline.value <= trough) {
+        // The score never fell below pre-shift quality: nothing to regain.
+        outcome.readapt_s = 0.0;
+        outcome.recovered = true;
+      } else {
+        const double threshold =
+            trough + f * (baseline.value - trough);
+        for (const DriftScore& p : series) {
+          if (p.time_s < shift || p.time_s >= seg_end) continue;
+          if (p.score >= threshold) {
+            outcome.readapt_s = p.time_s - shift;
+            outcome.recovered = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!outcome.recovered) ++out.unrecovered;
+    out.shifts.push_back(outcome);
+  }
+  if (!out.shifts.empty()) {
+    double sum = 0.0;
+    for (const DriftShiftOutcome& o : out.shifts) sum += o.readapt_s;
+    out.mean_time_to_readapt_s =
+        sum / static_cast<double>(out.shifts.size());
+  }
+
+  // ----- staleness-weighted regret -----------------------------------------
+  // Segment boundaries: run start, every shift, horizon. Each eval point's
+  // shortfall versus its segment's plateau is weighted by the time until
+  // the next evaluation (clipped at the segment end).
+  std::vector<double> bounds;
+  bounds.push_back(0.0);
+  bounds.insert(bounds.end(), shift_times.begin(), shift_times.end());
+  bounds.push_back(horizon_s);
+  double integral = 0.0;
+  double covered = 0.0;
+  for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+    const double begin_s = bounds[b];
+    const double end_s = bounds[b + 1];
+    if (end_s <= begin_s) continue;
+    const Plateau plateau = segment_plateau(series, begin_s, end_s);
+    if (!plateau.known) continue;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const DriftScore& p = series[i];
+      if (p.time_s < begin_s || p.time_s >= end_s) continue;
+      double until = end_s;
+      if (i + 1 < series.size()) {
+        until = std::min(until, series[i + 1].time_s);
+      }
+      const double span = until - p.time_s;
+      if (span <= 0.0) continue;
+      integral += std::max(0.0, plateau.value - p.score) * span;
+      covered += span;
+    }
+  }
+  out.regret = covered > 0.0 ? integral / covered : 0.0;
+  return out;
+}
+
+}  // namespace roadrunner::workload

@@ -1,0 +1,62 @@
+// Time-to-readapt scoring for drift scenarios (DESIGN.md §13.4). Consumes
+// the `drift_eval_score` series a run records (one point per strategy
+// evaluation, scored against the eval window covering that instant) plus
+// the plan's discrete shift times, and produces the drift_* summary
+// metrics. Pure functions of (series, shift times): a checkpoint-resumed
+// run reproduces them bit-identically because the series itself is part of
+// the snapshot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace roadrunner::workload {
+
+/// One strategy evaluation: (simulated time, score). Score is "higher is
+/// better" in both objectives (held-out accuracy, or held-out mean
+/// log-likelihood for density).
+struct DriftScore {
+  double time_s = 0.0;
+  double score = 0.0;
+};
+
+struct DriftShiftOutcome {
+  double shift_s = 0.0;
+  /// Seconds from the shift until the score first climbs back within
+  /// (1 - recovery_fraction) of the post-shift drop; the segment length
+  /// when it never does (see `recovered`).
+  double readapt_s = 0.0;
+  bool recovered = false;
+};
+
+struct DriftSummary {
+  std::vector<DriftShiftOutcome> shifts;
+  std::size_t unrecovered = 0;
+  /// Mean readapt_s over all shifts (unrecovered ones contribute their
+  /// full segment length — a floor, not a guess).
+  double mean_time_to_readapt_s = 0.0;
+  /// Staleness-weighted regret: the time integral of the shortfall versus
+  /// the current segment's plateau, divided by total covered time. Each
+  /// eval point's shortfall is weighted by the interval it spans, so long
+  /// stretches served by a stale model dominate — exactly the cost of slow
+  /// readaptation.
+  double regret = 0.0;
+};
+
+/// Scores a run. `series` must be ascending in time (it is recorded that
+/// way); `shift_times` ascending shift instants within (0, horizon_s).
+///
+/// Per shift segment [T, next shift or horizon):
+///   plateau = mean score over the segment's last quarter (what the
+///             strategies eventually achieve in the new regime);
+///   trough  = minimum score in the segment;
+///   readapt = first eval time with score >= trough +
+///             recovery_fraction · (plateau - trough), minus T.
+/// A segment whose plateau never rises above its trough readapts
+/// immediately (nothing was lost). Segments without eval points count as
+/// unrecovered for their whole length.
+DriftSummary summarize_drift(const std::vector<DriftScore>& series,
+                             const std::vector<double>& shift_times,
+                             double horizon_s, double recovery_fraction);
+
+}  // namespace roadrunner::workload

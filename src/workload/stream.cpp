@@ -1,0 +1,268 @@
+#include "workload/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mobility/spatial_index.hpp"
+
+namespace roadrunner::workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+/// Front membership is resolved per this many simulated seconds (the same
+/// granularity as the default mobility tick).
+constexpr double kFrontBucketS = 1.0;
+
+/// One deterministic unit displacement vector per (event, component); the
+/// direction a drift event pushes that component's mean.
+std::vector<double> draw_directions(const DriftPlan& plan, std::size_t k,
+                                    std::size_t d, util::Rng& rng) {
+  std::vector<double> dirs(plan.events.size() * k * d, 0.0);
+  for (std::size_t e = 0; e < plan.events.size(); ++e) {
+    for (std::size_t c = 0; c < k; ++c) {
+      double* v = dirs.data() + (e * k + c) * d;
+      double norm = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        v[j] = rng.normal();
+        norm += v[j] * v[j];
+      }
+      norm = std::sqrt(norm);
+      // A zero draw is measure-zero but would divide by zero; fall back to
+      // the first axis.
+      if (norm < 1e-12) {
+        std::fill(v, v + d, 0.0);
+        v[0] = 1.0;
+      } else {
+        for (std::size_t j = 0; j < d; ++j) v[j] /= norm;
+      }
+    }
+  }
+  return dirs;
+}
+
+/// Per-bucket sorted vehicle sets inside each gradual front's current disc.
+/// events that are not fronts get an empty table.
+std::vector<std::vector<std::vector<std::size_t>>> front_membership(
+    const DriftPlan& plan, const mobility::FleetModel& fleet,
+    std::size_t vehicles, double horizon_s) {
+  std::vector<std::vector<std::vector<std::size_t>>> tables(
+      plan.events.size());
+  const double clamp_t = fleet.duration();
+  for (std::size_t e = 0; e < plan.events.size(); ++e) {
+    const DriftEvent& ev = plan.events[e];
+    if (ev.kind != DriftKind::kGradualFront) continue;
+    const auto first =
+        static_cast<std::size_t>(std::floor(ev.start_s / kFrontBucketS));
+    const auto last = static_cast<std::size_t>(
+        std::ceil(std::min(ev.end_s, horizon_s) / kFrontBucketS));
+    auto& table = tables[e];
+    table.resize(last > first ? last - first : 0);
+    for (std::size_t b = first; b < last; ++b) {
+      const double t = static_cast<double>(b) * kFrontBucketS;
+      const double radius = ev.front_radius_at(t);
+      if (radius <= 0.0) continue;
+      std::vector<mobility::Position> positions;
+      positions.reserve(vehicles);
+      for (std::size_t v = 0; v < vehicles; ++v) {
+        positions.push_back(fleet.position_of(v, std::min(t, clamp_t)));
+      }
+      const mobility::SpatialIndex index{positions, radius};
+      table[b - first] =
+          index.within(mobility::Position{ev.x_m, ev.y_m}, radius);
+    }
+  }
+  return tables;
+}
+
+struct MixtureAt {
+  const WorkloadConfig* cfg;
+  const std::vector<double>* base_mean;   ///< [k·d]
+  const std::vector<double>* directions;  ///< [events·k·d]
+
+  /// Effective mean of component c at time t. `inside_front(e)` answers
+  /// whether the sampling location is inside front event e's disc at t
+  /// (only consulted while the front is actively sweeping).
+  template <typename InsideFront>
+  void mean(std::size_t c, double t, std::vector<double>& out,
+            InsideFront&& inside_front) const {
+    const std::size_t d = cfg->dims;
+    const double* base = base_mean->data() + c * d;
+    std::copy(base, base + d, out.begin());
+    for (std::size_t e = 0; e < cfg->drift.events.size(); ++e) {
+      const DriftEvent& ev = cfg->drift.events[e];
+      if (ev.component != kAllComponents &&
+          static_cast<std::size_t>(ev.component) != c) {
+        continue;
+      }
+      double scale = 0.0;
+      switch (ev.kind) {
+        case DriftKind::kAbrupt:
+          if (t >= ev.at_s) scale = ev.magnitude;
+          break;
+        case DriftKind::kGradualFront:
+          if (t >= ev.end_s) {
+            scale = ev.magnitude;  // the front has swept the whole city
+          } else if (t >= ev.start_s && inside_front(e)) {
+            scale = ev.magnitude;
+          }
+          break;
+        case DriftKind::kPeriodic:
+          if (ev.active_at(t)) {
+            scale = ev.magnitude *
+                    std::sin(kTwoPi * (t - ev.start_s) / ev.period_s);
+          }
+          break;
+      }
+      if (scale == 0.0) continue;
+      const double* dir =
+          directions->data() + (e * cfg->components + c) * d;
+      for (std::size_t j = 0; j < d; ++j) out[j] += scale * dir[j];
+    }
+  }
+};
+
+}  // namespace
+
+TelemetryStream make_telemetry_stream(const WorkloadConfig& cfg,
+                                      const mobility::FleetModel& fleet,
+                                      std::size_t vehicles, double horizon_s,
+                                      double city_size_m, util::Rng& rng) {
+  if (cfg.dims == 0 || cfg.components == 0) {
+    throw std::invalid_argument{
+        "make_telemetry_stream: dims and components must be > 0"};
+  }
+  if (cfg.rate_per_s <= 0.0 || horizon_s <= 0.0) {
+    throw std::invalid_argument{
+        "make_telemetry_stream: rate_per_s and horizon_s must be > 0"};
+  }
+  if (cfg.eval_every_s <= 0.0 || cfg.eval_samples == 0) {
+    throw std::invalid_argument{
+        "make_telemetry_stream: eval cadence and size must be > 0"};
+  }
+  if (vehicles == 0 || vehicles > fleet.vehicle_count()) {
+    throw std::invalid_argument{
+        "make_telemetry_stream: vehicle count out of range for the fleet"};
+  }
+  const std::size_t d = cfg.dims;
+  const std::size_t k = cfg.components;
+
+  // Base mixture: component means spread on a sphere of placement_radius,
+  // equal mixing weights, isotropic `spread` noise.
+  util::Rng mix_rng = rng.fork("mixture");
+  std::vector<double> base_mean(k * d, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    double* m = base_mean.data() + c * d;
+    double norm = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      m[j] = mix_rng.normal();
+      norm += m[j] * m[j];
+    }
+    norm = std::sqrt(norm);
+    const double scale = norm < 1e-12 ? 0.0 : cfg.placement_radius / norm;
+    for (std::size_t j = 0; j < d; ++j) m[j] *= scale;
+  }
+
+  util::Rng dir_rng = rng.fork("drift-directions");
+  const std::vector<double> directions =
+      draw_directions(cfg.drift, k, d, dir_rng);
+  const auto fronts = front_membership(cfg.drift, fleet, vehicles, horizon_s);
+  const MixtureAt mixture{&cfg, &base_mean, &directions};
+
+  const auto per_vehicle =
+      static_cast<std::size_t>(std::floor(cfg.rate_per_s * horizon_s));
+  std::size_t windows = 0;
+  for (double t = 0.0; t < horizon_s; t += cfg.eval_every_s) ++windows;
+
+  const std::size_t total_rows =
+      vehicles * per_vehicle + windows * cfg.eval_samples;
+  if (total_rows == 0) {
+    throw std::invalid_argument{
+        "make_telemetry_stream: rate*horizon yields no samples"};
+  }
+  ml::Tensor features{{total_rows, d}};
+  std::vector<std::int32_t> labels(total_rows, 0);
+
+  std::vector<double> mean(d, 0.0);
+  std::uint32_t row = 0;
+
+  // ----- per-vehicle streams (vehicle-major, time-ascending) ---------------
+  util::Rng sample_rng = rng.fork("samples");
+  TelemetryStream out;
+  std::vector<std::vector<std::uint32_t>> vehicle_rows(vehicles);
+  for (std::size_t v = 0; v < vehicles; ++v) {
+    vehicle_rows[v].reserve(per_vehicle);
+    for (std::size_t s = 0; s < per_vehicle; ++s) {
+      const double t = static_cast<double>(s + 1) / cfg.rate_per_s;
+      const auto c =
+          static_cast<std::size_t>(sample_rng.next_below(k));
+      const auto inside = [&](std::size_t e) {
+        const auto& table = fronts[e];
+        const auto first = static_cast<std::size_t>(
+            std::floor(cfg.drift.events[e].start_s / kFrontBucketS));
+        const auto b =
+            static_cast<std::size_t>(std::floor(t / kFrontBucketS));
+        if (b < first || b - first >= table.size()) return false;
+        const auto& members = table[b - first];
+        return std::binary_search(members.begin(), members.end(), v);
+      };
+      mixture.mean(c, t, mean, inside);
+      float* x = features.data() + static_cast<std::size_t>(row) * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        x[j] = static_cast<float>(mean[j] + cfg.spread * sample_rng.normal());
+      }
+      labels[row] = static_cast<std::int32_t>(c);
+      vehicle_rows[v].push_back(row);
+      ++row;
+    }
+  }
+
+  // ----- held-out eval windows ---------------------------------------------
+  // Window samples use uniform city positions (a held-out score should
+  // reflect the whole city, not where the fleet happens to be); front
+  // membership is the same disc predicate, applied directly.
+  util::Rng eval_rng = rng.fork("eval");
+  std::vector<std::pair<double, std::vector<std::uint32_t>>> window_rows;
+  for (double t = 0.0; t < horizon_s; t += cfg.eval_every_s) {
+    std::vector<std::uint32_t> rows;
+    rows.reserve(cfg.eval_samples);
+    for (std::size_t s = 0; s < cfg.eval_samples; ++s) {
+      const mobility::Position p{eval_rng.uniform(0.0, city_size_m),
+                                 eval_rng.uniform(0.0, city_size_m)};
+      const auto c = static_cast<std::size_t>(eval_rng.next_below(k));
+      const auto inside = [&](std::size_t e) {
+        const DriftEvent& ev = cfg.drift.events[e];
+        const double dx = p.x - ev.x_m;
+        const double dy = p.y - ev.y_m;
+        const double radius = ev.front_radius_at(t);
+        return dx * dx + dy * dy <= radius * radius;
+      };
+      mixture.mean(c, t, mean, inside);
+      float* x = features.data() + static_cast<std::size_t>(row) * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        x[j] = static_cast<float>(mean[j] + cfg.spread * eval_rng.normal());
+      }
+      labels[row] = static_cast<std::int32_t>(c);
+      rows.push_back(row);
+      ++row;
+    }
+    window_rows.emplace_back(t, std::move(rows));
+  }
+
+  auto dataset = std::make_shared<ml::Dataset>(std::move(features),
+                                               std::move(labels), k);
+  out.dataset = dataset;
+  out.vehicle_data.reserve(vehicles);
+  for (std::size_t v = 0; v < vehicles; ++v) {
+    out.vehicle_data.emplace_back(dataset, std::move(vehicle_rows[v]));
+  }
+  out.eval_windows.reserve(window_rows.size());
+  for (auto& [t, rows] : window_rows) {
+    out.eval_windows.push_back(
+        EvalWindow{t, ml::DatasetView{dataset, std::move(rows)}});
+  }
+  return out;
+}
+
+}  // namespace roadrunner::workload

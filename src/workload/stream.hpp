@@ -1,0 +1,61 @@
+// Drift-aware telemetry stream generator (DESIGN.md §13). Synthesizes the
+// whole experiment's sensor data up front — per-vehicle arrival-ordered
+// sample sequences plus timestamped held-out evaluation windows — from a
+// city-wide Gaussian mixture whose parameters move on the scripted
+// DriftPlan:
+//
+//  * abrupt        — all affected components jump at at_s (regime switch);
+//  * gradual_front — a circular front grows from (x_m, y_m); vehicles
+//                    inside it sample the shifted regime (membership is
+//                    resolved per 1 s time bucket through
+//                    mobility::SpatialIndex), and by end_s the front has
+//                    swept the whole city;
+//  * periodic      — sinusoidal day/night-style modulation.
+//
+// Determinism: everything is derived from the single Rng handed in (the
+// scenario forks it as "workload" off the master seed) in a fixed
+// vehicle-major, time-ascending order. Generation happens before the
+// simulator exists, so worker counts, async training, and checkpoints
+// cannot perturb it — the §10.4 contract holds by construction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "mobility/fleet_model.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace roadrunner::workload {
+
+/// A held-out evaluation set valid from start_s until the next window.
+struct EvalWindow {
+  double start_s = 0.0;
+  ml::DatasetView data;
+};
+
+/// The generated stream. `dataset` holds vehicle samples first, then all
+/// eval-window samples; labels are the generating component indices (the
+/// supervised objective's classes), num_classes == cfg.components.
+struct TelemetryStream {
+  std::shared_ptr<const ml::Dataset> dataset;
+  /// Per-vehicle sample views in arrival order: sample j of vehicle v
+  /// arrives at (j+1)/rate_per_s — matching the simulator's data-arrival
+  /// gating, which exposes the first floor(rate·t) entries at time t.
+  std::vector<ml::DatasetView> vehicle_data;
+  /// Ascending by start_s; window w covers [start_s, next window's start).
+  std::vector<EvalWindow> eval_windows;
+};
+
+/// Generates the stream for `vehicles` fleet nodes over [0, horizon_s].
+/// `city_size_m` bounds the uniform positions of eval samples (vehicle
+/// samples use real fleet positions). The drift plan inside `cfg` must
+/// already be scaled(). Throws std::invalid_argument on a non-positive
+/// rate, horizon, dims, or components.
+TelemetryStream make_telemetry_stream(const WorkloadConfig& cfg,
+                                      const mobility::FleetModel& fleet,
+                                      std::size_t vehicles, double horizon_s,
+                                      double city_size_m, util::Rng& rng);
+
+}  // namespace roadrunner::workload

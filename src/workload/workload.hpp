@@ -1,0 +1,81 @@
+// Streaming-workload configuration — the `workload=` scenario switch
+// (DESIGN.md §13). The default ("static") keeps the frozen classification
+// datasets the repo grew up on; "telemetry" replaces the dataset with a
+// continuously-sensed multivariate stream drawn from a city-wide mixture
+// that drifts on a scripted [drift.N] timeline, opening the evaluation
+// axis the paper motivates (§1, "fresh data") but never measures: which
+// learning strategies *track a moving distribution*.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "workload/drift_plan.hpp"
+
+namespace roadrunner::workload {
+
+struct WorkloadConfig {
+  /// "static" (classification datasets, the historical default) or
+  /// "telemetry" (the drift-aware stream generator in workload/stream).
+  std::string kind = "static";
+
+  /// What agents learn from the stream:
+  ///  * "density"    — federated GMM on merge-able sufficient statistics
+  ///                   (ml/gmm); the eval score is held-out mean
+  ///                   log-likelihood.
+  ///  * "supervised" — the existing net (mlp/logreg) classifying the
+  ///                   generating regime, trained online over a sliding
+  ///                   window of recent samples; the eval score is held-out
+  ///                   accuracy.
+  std::string objective = "density";
+
+  /// Telemetry feature dimensionality.
+  std::size_t dims = 4;
+  /// Mixture components in the generating city-wide distribution (also the
+  /// class count of the supervised objective).
+  std::size_t components = 3;
+  /// GMM components fitted by the density objective; 0 = `components`.
+  std::size_t gmm_components = 0;
+  /// EM iterations per local training (the density analogue of epochs).
+  int em_iterations = 5;
+  /// Variance floor for EM and model decoding.
+  double var_floor = 1e-3;
+
+  /// Samples arriving per vehicle per second (drives the simulator's
+  /// data-arrival gating; must be > 0 for a stream to exist).
+  double rate_per_s = 1.0;
+  /// Sliding training window: vehicles train on at most this many of their
+  /// most recently arrived samples, so readaptation is possible at all —
+  /// training on the full history would forever anchor models to stale
+  /// regimes. 0 = unlimited (ablation switch).
+  std::size_t recent_window = 200;
+
+  /// Held-out evaluation: a fresh city-wide sample of `eval_samples` drawn
+  /// every `eval_every_s` simulated seconds. Evaluations at time t score
+  /// against the window covering t, so the score follows the distribution.
+  double eval_every_s = 30.0;
+  std::size_t eval_samples = 200;
+
+  /// A shift counts as re-adapted when the eval score has climbed back
+  /// within this fraction of the post-shift drop (see
+  /// workload/drift_metrics).
+  double recovery_fraction = 0.9;
+
+  /// Base per-dimension standard deviation of each mixture component.
+  double spread = 1.0;
+  /// Radius of the sphere component means are placed on (feature units);
+  /// relative to `spread` this sets how separable regimes are.
+  double placement_radius = 4.0;
+
+  /// Scripted drift timeline ([drift.N] INI sections); `drift.severity`
+  /// scales all magnitudes (the campaign axis).
+  DriftPlan drift;
+
+  [[nodiscard]] bool telemetry() const { return kind == "telemetry"; }
+  [[nodiscard]] bool density() const { return objective == "density"; }
+  [[nodiscard]] std::size_t effective_gmm_components() const {
+    return gmm_components == 0 ? components : gmm_components;
+  }
+};
+
+}  // namespace roadrunner::workload

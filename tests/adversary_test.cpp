@@ -4,7 +4,7 @@
 // jamming geometry / checkpoint state, and the end-to-end guarantees: an
 // adversarial run exports attack+defense counters, a robust aggregator
 // measurably beats the undefended mean under byzantine updates, mid-attack
-// snapshots round-trip bit-identically (format v3), the committed v2 golden
+// snapshots round-trip bit-identically, the committed v2 golden
 // snapshot still restores, and adversarial campaigns stay byte-identical
 // across worker counts and across the distributed coordinator path.
 #include <gtest/gtest.h>
@@ -648,7 +648,7 @@ magnitude = 10
   EXPECT_EQ(uninterrupted.first, snapshotting.first);
   ASSERT_TRUE(fs::exists(snap));
   const checkpoint::SnapshotInfo info = checkpoint::peek(snap.string());
-  EXPECT_EQ(info.format_version, 3U);
+  EXPECT_EQ(info.format_version, checkpoint::kFormatVersion);
 
   checkpoint::RestoredRun resumed = checkpoint::restore(snap.string());
   const auto report = resumed.simulator->run();

@@ -1,0 +1,255 @@
+#include "ml/gmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/fedavg.hpp"
+#include "ml/serialize.hpp"
+
+namespace roadrunner::ml {
+namespace {
+
+/// `n` samples from `k` well-separated spherical Gaussians in `d` dims.
+DatasetView mixture_cloud(std::size_t n, std::size_t k, std::size_t d,
+                          std::uint64_t seed, double radius = 6.0,
+                          double spread = 0.7) {
+  util::Rng rng{seed};
+  Tensor x{{n, d}};
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % k;
+    labels[i] = static_cast<std::int32_t>(c);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double sign = ((c + j) % 2 == 0) ? 1.0 : -1.0;
+      const double center =
+          sign * radius * (1.0 + static_cast<double>(c)) /
+          static_cast<double>(k);
+      x.values()[i * d + j] =
+          static_cast<float>(center + spread * rng.normal());
+    }
+  }
+  return DatasetView::all(std::make_shared<Dataset>(
+      std::move(x), std::move(labels), static_cast<std::size_t>(k)));
+}
+
+TEST(Gmm, EmImprovesLogLikelihood) {
+  auto data = mixture_cloud(300, 3, 4, 11);
+  util::Rng rng{1};
+  GmmModel model = gmm_init(data, 3, rng);
+  const double before = gmm_mean_log_likelihood(model, data);
+  gmm_fit_em(model, data, 10);
+  const double after = gmm_mean_log_likelihood(model, data);
+  EXPECT_GE(after, before - 1e-9);
+  EXPECT_TRUE(std::isfinite(after));
+}
+
+TEST(Gmm, RecoversSeparatedMixture) {
+  auto data = mixture_cloud(600, 3, 2, 12);
+  util::Rng rng{2};
+  GmmModel model = gmm_init(data, 3, rng);
+  gmm_fit_em(model, data, 25);
+  // Every component grabs a share of the mass, and held-out data from the
+  // same mixture scores far above data from a shifted one.
+  double min_weight = 1.0;
+  for (std::size_t c = 0; c < model.k(); ++c) {
+    min_weight = std::min(min_weight, static_cast<double>(model.weight[c]));
+  }
+  EXPECT_GT(min_weight, 0.1);
+  auto held_out = mixture_cloud(200, 3, 2, 13);
+  auto shifted = mixture_cloud(200, 3, 2, 14, /*radius=*/20.0);
+  EXPECT_GT(gmm_mean_log_likelihood(model, held_out),
+            gmm_mean_log_likelihood(model, shifted) + 1.0);
+}
+
+TEST(Gmm, SuffStatMergeIsOrderInsensitive) {
+  auto data = mixture_cloud(400, 3, 4, 15);
+  util::Rng rng{3};
+  GmmModel model = gmm_init(data, 3, rng);
+  gmm_fit_em(model, data, 5);
+
+  // Five disjoint shards accumulated under the same model.
+  std::vector<GmmSuffStats> shards;
+  for (std::size_t s = 0; s < 5; ++s) {
+    std::vector<std::uint32_t> rows;
+    for (std::uint32_t i = static_cast<std::uint32_t>(s); i < 400; i += 5) {
+      rows.push_back(data.indices()[i]);
+    }
+    shards.push_back(gmm_accumulate(
+        model, DatasetView{data.base_ptr(), std::move(rows)}));
+  }
+
+  // Merge under every rotation + the reversed order: identical pooled stats
+  // to double-precision rounding (the gossip/OPP paths merge pairwise in
+  // whatever order encounters happen).
+  std::vector<std::size_t> order(shards.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto merged_in = [&](const std::vector<std::size_t>& idx) {
+    GmmSuffStats acc{3, 4};
+    for (std::size_t i : idx) acc.merge(shards[i]);
+    return acc;
+  };
+  const GmmSuffStats reference = merged_in(order);
+  std::vector<std::vector<std::size_t>> permutations;
+  for (std::size_t r = 1; r < order.size(); ++r) {
+    std::vector<std::size_t> rotated = order;
+    std::rotate(rotated.begin(), rotated.begin() + static_cast<long>(r),
+                rotated.end());
+    permutations.push_back(std::move(rotated));
+  }
+  permutations.emplace_back(order.rbegin(), order.rend());
+  for (const auto& perm : permutations) {
+    const GmmSuffStats merged = merged_in(perm);
+    ASSERT_EQ(merged.k, reference.k);
+    for (std::size_t c = 0; c < merged.n.size(); ++c) {
+      EXPECT_NEAR(merged.n[c], reference.n[c],
+                  1e-9 * (1.0 + std::abs(reference.n[c])));
+    }
+    for (std::size_t i = 0; i < merged.sx.size(); ++i) {
+      EXPECT_NEAR(merged.sx[i], reference.sx[i],
+                  1e-9 * (1.0 + std::abs(reference.sx[i])));
+      EXPECT_NEAR(merged.sxx[i], reference.sxx[i],
+                  1e-9 * (1.0 + std::abs(reference.sxx[i])));
+    }
+  }
+}
+
+TEST(Gmm, MergeValidatesShapes) {
+  GmmSuffStats a{3, 4};
+  GmmSuffStats wrong{2, 4};
+  EXPECT_THROW(a.merge(wrong), std::invalid_argument);
+}
+
+TEST(Gmm, EncodeDecodeRoundTrip) {
+  auto data = mixture_cloud(200, 3, 4, 16);
+  util::Rng rng{4};
+  GmmModel model = gmm_init(data, 3, rng);
+  const GmmSuffStats stats = gmm_accumulate(model, data);
+  const Weights w = gmm_encode(stats);
+  ASSERT_TRUE(gmm_weights_valid(w));
+  ASSERT_TRUE(gmm_has_mass(w));
+  const GmmSuffStats back = gmm_decode(w, stats.total());
+  for (std::size_t c = 0; c < stats.k; ++c) {
+    // float32 transit: ~7 significant digits survive the round trip.
+    EXPECT_NEAR(back.n[c], stats.n[c], 1e-4 * (1.0 + std::abs(stats.n[c])));
+  }
+  for (std::size_t i = 0; i < stats.sx.size(); ++i) {
+    EXPECT_NEAR(back.sx[i], stats.sx[i],
+                1e-4 * (1.0 + std::abs(stats.sx[i])));
+    EXPECT_NEAR(back.sxx[i], stats.sxx[i],
+                1e-4 * (1.0 + std::abs(stats.sxx[i])));
+  }
+}
+
+TEST(Gmm, FedAvgEqualsPooledStatistics) {
+  auto data = mixture_cloud(300, 3, 4, 17);
+  util::Rng rng{5};
+  GmmModel model = gmm_init(data, 3, rng);
+  gmm_fit_em(model, data, 3);
+
+  // Three shards of different sizes, encoded as WeightedModels the way
+  // MlService ships them (normalized stats + data_amount = sample count).
+  std::vector<WeightedModel> contributions;
+  GmmSuffStats pooled{3, 4};
+  std::size_t start = 0;
+  for (const std::size_t count : {50UL, 100UL, 150UL}) {
+    std::vector<std::uint32_t> rows(
+        data.indices().begin() + static_cast<long>(start),
+        data.indices().begin() + static_cast<long>(start + count));
+    start += count;
+    const GmmSuffStats stats =
+        gmm_accumulate(model, DatasetView{data.base_ptr(), std::move(rows)});
+    pooled.merge(stats);
+    contributions.push_back(
+        WeightedModel{gmm_encode(stats), static_cast<double>(count)});
+  }
+
+  const WeightedModel merged = fed_avg(contributions);
+  EXPECT_DOUBLE_EQ(merged.data_amount, 300.0);
+  const GmmSuffStats decoded = gmm_decode(merged.weights, merged.data_amount);
+  for (std::size_t c = 0; c < pooled.k; ++c) {
+    EXPECT_NEAR(decoded.n[c], pooled.n[c],
+                1e-4 * (1.0 + std::abs(pooled.n[c])));
+  }
+  for (std::size_t i = 0; i < pooled.sx.size(); ++i) {
+    EXPECT_NEAR(decoded.sx[i], pooled.sx[i],
+                1e-4 * (1.0 + std::abs(pooled.sx[i])));
+    EXPECT_NEAR(decoded.sxx[i], pooled.sxx[i],
+                1e-4 * (1.0 + std::abs(pooled.sxx[i])));
+  }
+}
+
+TEST(Gmm, ZeroWeightsAreTheUnfitSentinel) {
+  const Weights zero = gmm_zero_weights(3, 4);
+  EXPECT_TRUE(gmm_weights_valid(zero));
+  EXPECT_FALSE(gmm_has_mass(zero));
+  EXPECT_THROW(gmm_model_from_weights(zero), std::invalid_argument);
+
+  // Merging the sentinel into a fitted model is a no-op on the pooled
+  // stats: data_amount 0 contributes nothing.
+  auto data = mixture_cloud(100, 3, 4, 18);
+  util::Rng rng{6};
+  GmmModel model = gmm_init(data, 3, rng);
+  const GmmSuffStats stats = gmm_accumulate(model, data);
+  const WeightedModel fitted{gmm_encode(stats),
+                             static_cast<double>(data.size())};
+  const WeightedModel merged = fed_avg({fitted, WeightedModel{zero, 0.0}});
+  const GmmSuffStats decoded = gmm_decode(merged.weights, merged.data_amount);
+  for (std::size_t c = 0; c < stats.k; ++c) {
+    EXPECT_NEAR(decoded.n[c], stats.n[c], 1e-4 * (1.0 + stats.n[c]));
+  }
+}
+
+TEST(Gmm, SerializeRoundTripsThroughMlSerialize) {
+  auto data = mixture_cloud(150, 3, 4, 19);
+  util::Rng rng{7};
+  GmmModel model = gmm_init(data, 3, rng);
+  const Weights w = gmm_encode(gmm_accumulate(model, data));
+  const Weights back = deserialize_weights(serialize_weights(w));
+  ASSERT_TRUE(gmm_weights_valid(back));
+  ASSERT_EQ(back.size(), w.size());
+  for (std::size_t t = 0; t < w.size(); ++t) {
+    ASSERT_TRUE(back[t].same_shape(w[t]));
+    for (std::size_t i = 0; i < w[t].size(); ++i) {
+      EXPECT_EQ(back[t][i], w[t][i]);  // byte-exact float transit
+    }
+  }
+}
+
+TEST(Gmm, InitWithFewerSamplesThanComponents) {
+  auto data = mixture_cloud(2, 2, 3, 20);
+  util::Rng rng{8};
+  // k = 5 > n = 2: the first two components seed from the samples, the
+  // surplus three get zero weight — the model still has exactly k
+  // components so its encodings stay merge-compatible fleet-wide.
+  GmmModel model = gmm_init(data, 5, rng);
+  ASSERT_EQ(model.k(), 5U);
+  double mass = 0.0;
+  for (std::size_t c = 0; c < 5; ++c) {
+    mass += model.weight[c];
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(gmm_mean_log_likelihood(model, data)));
+  EXPECT_THROW(gmm_init(data, 0, rng), std::invalid_argument);
+}
+
+TEST(Gmm, VarianceFloorHolds) {
+  // Ten copies of the same point: every variance collapses onto the floor
+  // instead of zero (which would blow the log-density to +inf).
+  Tensor x{{10, 2}, std::vector<float>(20, 3.0F)};
+  auto data = DatasetView::all(std::make_shared<Dataset>(
+      std::move(x), std::vector<std::int32_t>(10, 0), 1));
+  util::Rng rng{9};
+  const double floor = 1e-2;
+  GmmModel model = gmm_init(data, 2, rng, floor);
+  gmm_fit_em(model, data, 5, floor);
+  for (std::size_t i = 0; i < model.var.size(); ++i) {
+    EXPECT_GE(model.var[i], static_cast<float>(floor) * 0.999F);
+  }
+  EXPECT_TRUE(std::isfinite(gmm_mean_log_likelihood(model, data)));
+}
+
+}  // namespace
+}  // namespace roadrunner::ml

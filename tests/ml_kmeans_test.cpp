@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "data/gaussian_blobs.hpp"
 
 namespace roadrunner::ml {
@@ -93,6 +96,80 @@ TEST(KMeans, AverageValidates) {
   EXPECT_THROW(kmeans_average({{a, 1.0}, {wrong, 1.0}}),
                std::invalid_argument);
   EXPECT_THROW(kmeans_average({{a, 0.0}}), std::invalid_argument);
+}
+
+// ----- determinism + degenerate inputs (the GMM init path depends on these
+// behaviors: ml::gmm_init seeds its components from k-means) ----------------
+
+TEST(KMeans, EmptyClusterKeepsPreviousCentroid) {
+  auto data = separated_blobs(120, 21);
+  util::Rng rng{6};
+  KMeansModel model = kmeans_init(data, 4, rng);
+  kmeans_fit(model, data);
+  // Plant one centroid far outside the data's support: no point assigns to
+  // it, so the empty-cluster rule must keep it exactly where it was while
+  // the live centroids keep fitting.
+  const std::size_t d = data.base().sample_size();
+  std::vector<float> planted(d, 1.0e6F);
+  std::copy(planted.begin(), planted.end(), model.centroids.data());
+  kmeans_fit(model, data);
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_FLOAT_EQ(model.centroids[j], 1.0e6F);
+  }
+  // The remaining clusters still explain the data (finite, sane inertia).
+  const double inertia = kmeans_inertia(model, data);
+  EXPECT_TRUE(std::isfinite(inertia));
+  const auto assign = kmeans_assign(model, data);
+  EXPECT_EQ(std::count(assign.begin(), assign.end(), 0), 0);
+}
+
+TEST(KMeans, MoreClustersThanPointsThrows) {
+  auto data = separated_blobs(5);
+  util::Rng rng{7};
+  EXPECT_THROW(kmeans_init(data, 6, rng), std::invalid_argument);
+  // k == n is the legal boundary: every point can seed its own centre and
+  // the fit collapses inertia to ~0.
+  KMeansModel model = kmeans_init(data, 5, rng);
+  kmeans_fit(model, data);
+  EXPECT_NEAR(kmeans_inertia(model, data), 0.0, 1e-6);
+}
+
+TEST(KMeans, AllIdenticalPointsDegenerate) {
+  // Every sample equal: k-means++ hits its zero-total branch and must not
+  // divide by zero; the fit converges with zero inertia.
+  auto base = std::make_shared<Dataset>(
+      Tensor{{8, 3}, std::vector<float>(24, 2.5F)},
+      std::vector<std::int32_t>(8, 0), 1);
+  auto data = DatasetView::all(base);
+  util::Rng rng{8};
+  KMeansModel model = kmeans_init(data, 3, rng);
+  const auto report = kmeans_fit(model, data);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(kmeans_inertia(model, data), 0.0, 1e-9);
+}
+
+TEST(KMeans, PermutedInputOrderSameFit) {
+  auto data = separated_blobs(200, 33);
+  util::Rng rng{9};
+  const KMeansModel init = kmeans_init(data, 4, rng);
+
+  // Same init, reversed sample order: Lloyd assignments are per-point and
+  // the centroid sums accumulate in double, so the fitted centroids must
+  // agree to float rounding — input order is not allowed to steer the fit.
+  std::vector<std::uint32_t> reversed(data.indices().rbegin(),
+                                      data.indices().rend());
+  DatasetView permuted{data.base_ptr(), std::move(reversed)};
+
+  KMeansModel a = init;
+  KMeansModel b = init;
+  kmeans_fit(a, data);
+  kmeans_fit(b, permuted);
+  ASSERT_TRUE(a.centroids.same_shape(b.centroids));
+  for (std::size_t i = 0; i < a.centroids.size(); ++i) {
+    EXPECT_NEAR(a.centroids[i], b.centroids[i], 1e-4)
+        << "centroid coordinate " << i << " depends on input order";
+  }
+  EXPECT_NEAR(kmeans_inertia(a, data), kmeans_inertia(b, data), 1e-6);
 }
 
 TEST(KMeans, DeterministicGivenSeed) {

@@ -1,0 +1,11 @@
+// Golden fixture: must produce exactly one `raw-random` finding. Telemetry
+// samples must come from the scenario's forked "workload" util::Rng stream;
+// a raw engine here would synthesize different streams across builds and
+// break the same-seed CSV byte-compare.
+#include <random>
+
+inline double telemetry_sample() {
+  std::mt19937_64 engine{42};  // raw engine outside util/rng: flagged
+  std::normal_distribution<double> dist{0.0, 1.0};
+  return dist(engine);
+}

@@ -1,0 +1,16 @@
+// Golden fixture: must produce exactly one `unordered-iter` finding. Lives
+// under a `workload/` path segment — the stream generator's output order is
+// part of the bit-identical-across-worker-counts contract, so the
+// order-sensitive scope applies.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+inline std::vector<std::size_t> collect_front_members(
+    const std::unordered_map<std::size_t, double>& members) {
+  std::vector<std::size_t> out;
+  for (const auto& [vehicle, radius] : members) {  // bucket order: flagged
+    out.push_back(vehicle);
+  }
+  return out;
+}

@@ -28,6 +28,8 @@ EXPECTED_FAIL = {
     "core/unordered_iter.cpp": "unordered-iter",
     "adversary/unordered_iter.cpp": "unordered-iter",
     "adversary/raw_random.cpp": "raw-random",
+    "workload/unordered_iter.cpp": "unordered-iter",
+    "workload/raw_random.cpp": "raw-random",
     "raw_thread.cpp": "raw-thread",
     "dist/raw_socket.cpp": "raw-thread",
     "metric_name.cpp": "metric-name",

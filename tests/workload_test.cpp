@@ -1,0 +1,747 @@
+// Streaming-workload subsystem tests: drift-plan grammar (parsing,
+// unknown-key rejection, dense numbering, severity scaling, shift times),
+// the telemetry stream generator's determinism and eval-window cadence,
+// the time-to-readapt scorer's math on synthetic series, and the
+// end-to-end guarantees: a drift experiment exports drift_* metrics
+// reproducibly, drift campaigns stay byte-identical across worker counts
+// and across the distributed coordinator path, mid-drift snapshots
+// round-trip bit-identically (format v4), the committed v3 golden snapshot
+// still restores, and checkpoint forks cannot silently swap the workload
+// under saved models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/spec.hpp"
+#include "checkpoint/checkpoint.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "dist/worker.hpp"
+#include "mobility/city_model.hpp"
+#include "scenario/experiment.hpp"
+#include "util/ini.hpp"
+#include "util/rng.hpp"
+#include "workload/drift_metrics.hpp"
+#include "workload/drift_plan.hpp"
+#include "workload/stream.hpp"
+#include "workload/workload.hpp"
+
+#ifndef RR_TEST_DATA_DIR
+#define RR_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace roadrunner {
+namespace {
+
+namespace fs = std::filesystem;
+
+util::IniFile parse(const std::string& text) {
+  return util::IniFile::parse(text);
+}
+
+// ------------------------------------------------------------ parsing -----
+
+TEST(DriftPlanParse, EmptyIniYieldsEmptyPlan) {
+  const workload::DriftPlan plan =
+      workload::plan_from_ini(parse("[scenario]\nvehicles = 3\n"));
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.severity, 1.0);
+}
+
+TEST(DriftPlanParse, FullGrammarRoundTrip) {
+  const workload::DriftPlan plan = workload::plan_from_ini(parse(R"(
+[drift]
+severity = 1.5
+[drift.0]
+kind = abrupt
+at_s = 300
+magnitude = 2.5
+[drift.1]
+kind = gradual_front
+x_m = 100
+y_m = -50
+start_s = 450
+end_s = 600
+reach_m = 6000
+magnitude = 2.0
+component = 1
+[drift.2]
+kind = periodic
+period_s = 120
+magnitude = 0.5
+component = 0
+)"));
+  ASSERT_EQ(plan.events.size(), 3U);
+  EXPECT_DOUBLE_EQ(plan.severity, 1.5);
+
+  const workload::DriftEvent& abrupt = plan.events[0];
+  EXPECT_EQ(abrupt.kind, workload::DriftKind::kAbrupt);
+  EXPECT_DOUBLE_EQ(abrupt.at_s, 300.0);
+  EXPECT_DOUBLE_EQ(abrupt.magnitude, 2.5);
+  EXPECT_EQ(abrupt.component, workload::kAllComponents);
+
+  const workload::DriftEvent& front = plan.events[1];
+  EXPECT_EQ(front.kind, workload::DriftKind::kGradualFront);
+  EXPECT_DOUBLE_EQ(front.x_m, 100.0);
+  EXPECT_DOUBLE_EQ(front.y_m, -50.0);
+  EXPECT_DOUBLE_EQ(front.reach_m, 6000.0);
+  EXPECT_EQ(front.component, 1);
+  EXPECT_DOUBLE_EQ(front.front_radius_at(450.0), 0.0);
+  EXPECT_DOUBLE_EQ(front.front_radius_at(525.0), 3000.0);
+  EXPECT_DOUBLE_EQ(front.front_radius_at(600.0), 6000.0);
+
+  const workload::DriftEvent& periodic = plan.events[2];
+  EXPECT_EQ(periodic.kind, workload::DriftKind::kPeriodic);
+  EXPECT_DOUBLE_EQ(periodic.period_s, 120.0);
+  EXPECT_TRUE(periodic.active_at(1.0e6));
+}
+
+TEST(DriftPlanParse, RejectsUnknownKeysPerKind) {
+  // reach_m belongs to gradual_front; on abrupt it is a typo, not noise.
+  EXPECT_THROW(workload::plan_from_ini(parse(R"(
+[drift.0]
+kind = abrupt
+at_s = 100
+reach_m = 500
+)")),
+               std::runtime_error);
+  EXPECT_THROW(workload::plan_from_ini(parse(R"(
+[drift.0]
+kind = periodic
+period_s = 60
+x_m = 0
+)")),
+               std::runtime_error);
+  EXPECT_THROW(workload::plan_from_ini(parse("[drift]\nseverty = 2\n")),
+               std::runtime_error);
+}
+
+TEST(DriftPlanParse, RejectsUnknownKindAndBadValues) {
+  EXPECT_THROW(
+      workload::plan_from_ini(parse("[drift.0]\nkind = meteor\n")),
+      std::runtime_error);
+  EXPECT_THROW(workload::plan_from_ini(
+                   parse("[drift.0]\nkind = abrupt\nat_s = -5\n")),
+               std::runtime_error);
+  EXPECT_THROW(workload::plan_from_ini(
+                   parse("[drift.0]\nkind = periodic\nperiod_s = 0\n")),
+               std::runtime_error);
+  EXPECT_THROW(
+      workload::plan_from_ini(parse(
+          "[drift.0]\nkind = gradual_front\nreach_m = 100\n"
+          "start_s = 300\nend_s = 200\n")),
+      std::runtime_error);
+  EXPECT_THROW(workload::plan_from_ini(parse(
+                   "[drift.0]\nkind = abrupt\ncomponent = fish\n")),
+               std::runtime_error);
+}
+
+TEST(DriftPlanParse, RejectsNumberingGap) {
+  EXPECT_THROW(workload::plan_from_ini(parse(R"(
+[drift.0]
+kind = abrupt
+at_s = 100
+[drift.2]
+kind = abrupt
+at_s = 200
+)")),
+               std::runtime_error);
+}
+
+TEST(DriftPlanParse, SeverityScalesOnlyMagnitudes) {
+  workload::DriftPlan plan = workload::plan_from_ini(parse(R"(
+[drift]
+severity = 2
+[drift.0]
+kind = abrupt
+at_s = 300
+magnitude = 1.5
+[drift.1]
+kind = gradual_front
+start_s = 400
+end_s = 500
+reach_m = 4000
+magnitude = 1.0
+)"));
+  const workload::DriftPlan scaled = plan.scaled();
+  ASSERT_EQ(scaled.events.size(), 2U);
+  EXPECT_DOUBLE_EQ(scaled.severity, 1.0);
+  EXPECT_DOUBLE_EQ(scaled.events[0].magnitude, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.events[1].magnitude, 2.0);
+  // Timing and geometry are severity-invariant: readapt numbers stay
+  // comparable across the severity axis.
+  EXPECT_DOUBLE_EQ(scaled.events[0].at_s, 300.0);
+  EXPECT_DOUBLE_EQ(scaled.events[1].end_s, 500.0);
+  EXPECT_DOUBLE_EQ(scaled.events[1].reach_m, 4000.0);
+
+  plan.severity = 0.0;
+  EXPECT_TRUE(plan.scaled().empty());
+}
+
+TEST(DriftPlanParse, ShiftTimesSortedDedupedAndClamped) {
+  const workload::DriftPlan plan = workload::plan_from_ini(parse(R"(
+[drift.0]
+kind = abrupt
+at_s = 600
+[drift.1]
+kind = gradual_front
+start_s = 100
+end_s = 300
+reach_m = 5000
+[drift.2]
+kind = abrupt
+at_s = 300
+[drift.3]
+kind = periodic
+period_s = 60
+[drift.4]
+kind = abrupt
+at_s = 2000
+)"));
+  // Front completion (300) collides with the duplicate abrupt time; the
+  // periodic event contributes nothing; at_s = 2000 falls past the horizon.
+  const std::vector<double> times = plan.shift_times(900.0);
+  ASSERT_EQ(times.size(), 2U);
+  EXPECT_DOUBLE_EQ(times[0], 300.0);
+  EXPECT_DOUBLE_EQ(times[1], 600.0);
+}
+
+// ------------------------------------------------------------- stream -----
+
+workload::WorkloadConfig stream_config() {
+  workload::WorkloadConfig cfg;
+  cfg.kind = "telemetry";
+  cfg.dims = 4;
+  cfg.components = 3;
+  cfg.rate_per_s = 1.0;
+  cfg.eval_every_s = 30.0;
+  cfg.eval_samples = 50;
+  cfg.drift = workload::plan_from_ini(parse(R"(
+[drift.0]
+kind = abrupt
+at_s = 120
+magnitude = 2.0
+[drift.1]
+kind = gradual_front
+start_s = 180
+end_s = 240
+reach_m = 6000
+magnitude = 1.5
+)"));
+  return cfg;
+}
+
+mobility::FleetModel test_fleet(std::size_t vehicles, double duration_s) {
+  mobility::CityModelConfig city;
+  city.duration_s = duration_s;
+  city.seed = 5;
+  return mobility::make_city_fleet(vehicles, city);
+}
+
+TEST(TelemetryStream, SameSeedSameBytes) {
+  const workload::WorkloadConfig cfg = stream_config();
+  const mobility::FleetModel fleet = test_fleet(6, 300.0);
+  auto generate = [&] {
+    util::Rng rng = util::Rng{42}.fork("workload");
+    return workload::make_telemetry_stream(cfg, fleet, 6, 300.0, 4000.0,
+                                           rng);
+  };
+  const workload::TelemetryStream a = generate();
+  const workload::TelemetryStream b = generate();
+  ASSERT_EQ(a.dataset->size(), b.dataset->size());
+  const ml::Tensor& xa = a.dataset->features();
+  const ml::Tensor& xb = b.dataset->features();
+  ASSERT_EQ(xa.size(), xb.size());
+  EXPECT_EQ(std::memcmp(xa.data(), xb.data(), xa.size() * sizeof(float)), 0)
+      << "same seed must reproduce the telemetry bit-for-bit";
+  EXPECT_EQ(a.dataset->labels(), b.dataset->labels());
+}
+
+TEST(TelemetryStream, ShapesArrivalOrderAndWindowCadence) {
+  const workload::WorkloadConfig cfg = stream_config();
+  const mobility::FleetModel fleet = test_fleet(6, 300.0);
+  util::Rng rng{7};
+  const workload::TelemetryStream stream =
+      workload::make_telemetry_stream(cfg, fleet, 6, 300.0, 4000.0, rng);
+
+  ASSERT_EQ(stream.vehicle_data.size(), 6U);
+  for (const ml::DatasetView& view : stream.vehicle_data) {
+    // rate 1/s over 300 s: every vehicle senses the same number of samples.
+    EXPECT_EQ(view.size(), 300U);
+  }
+  EXPECT_EQ(stream.dataset->num_classes(), 3U);
+  EXPECT_EQ(stream.dataset->sample_size(), 4U);
+
+  // Eval windows: one at t = 0, then every eval_every_s until the horizon.
+  ASSERT_EQ(stream.eval_windows.size(), 10U);
+  for (std::size_t w = 0; w < stream.eval_windows.size(); ++w) {
+    EXPECT_DOUBLE_EQ(stream.eval_windows[w].start_s, 30.0 * w);
+    EXPECT_EQ(stream.eval_windows[w].data.size(), 50U);
+  }
+
+  // Labels are generating-component indices.
+  for (std::int32_t label : stream.dataset->labels()) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+}
+
+TEST(TelemetryStream, AbruptShiftMovesTheEvalDistribution) {
+  // With a large abrupt jump at 120 s, windows on either side of the shift
+  // must differ: mean feature vectors separate by about the magnitude.
+  workload::WorkloadConfig cfg = stream_config();
+  cfg.drift = workload::plan_from_ini(parse(R"(
+[drift.0]
+kind = abrupt
+at_s = 120
+magnitude = 8.0
+)"));
+  const mobility::FleetModel fleet = test_fleet(4, 300.0);
+  util::Rng rng{11};
+  const workload::TelemetryStream stream =
+      workload::make_telemetry_stream(cfg, fleet, 4, 300.0, 4000.0, rng);
+
+  // Mean feature vector of component-0 samples: the drift displaces it by
+  // a magnitude-8 unit vector, so the two windows' means are ~8 apart.
+  auto component_mean = [&](const workload::EvalWindow& w) {
+    std::vector<double> mean(4, 0.0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < w.data.size(); ++i) {
+      const std::uint32_t row = w.data.indices()[i];
+      if (w.data.base().label(row) != 0) continue;
+      const float* x = w.data.base().sample(row);
+      for (std::size_t j = 0; j < 4; ++j) mean[j] += x[j];
+      ++count;
+    }
+    for (double& m : mean) m /= static_cast<double>(count);
+    return mean;
+  };
+  const std::vector<double> before = component_mean(stream.eval_windows[0]);
+  const std::vector<double> after =
+      component_mean(stream.eval_windows.back());  // t = 270, post-shift
+  double dist2 = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    dist2 += (after[j] - before[j]) * (after[j] - before[j]);
+  }
+  EXPECT_GT(std::sqrt(dist2), 4.0);
+}
+
+TEST(TelemetryStream, ValidatesInput) {
+  workload::WorkloadConfig cfg = stream_config();
+  const mobility::FleetModel fleet = test_fleet(2, 100.0);
+  util::Rng rng{1};
+  cfg.rate_per_s = 0.0;
+  EXPECT_THROW(
+      workload::make_telemetry_stream(cfg, fleet, 2, 100.0, 4000.0, rng),
+      std::invalid_argument);
+  cfg = stream_config();
+  cfg.dims = 0;
+  EXPECT_THROW(
+      workload::make_telemetry_stream(cfg, fleet, 2, 100.0, 4000.0, rng),
+      std::invalid_argument);
+  cfg = stream_config();
+  EXPECT_THROW(
+      workload::make_telemetry_stream(cfg, fleet, 2, 0.0, 4000.0, rng),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------- drift scoring ----
+
+std::vector<workload::DriftScore> series_from(
+    std::initializer_list<std::pair<double, double>> points) {
+  std::vector<workload::DriftScore> out;
+  for (const auto& [t, s] : points) out.push_back({t, s});
+  return out;
+}
+
+TEST(DriftMetrics, DetectsRecoveryTime) {
+  // Score sits at 0.9, craters to 0.1 right after the shift at 100 s, and
+  // climbs back. The recovery baseline is the pre-shift plateau (0.9);
+  // trough 0.1; the 0.9-recovery threshold is 0.1 + 0.9*0.8 = 0.82 —
+  // first crossed at t = 300.
+  const auto series = series_from({{50.0, 0.9},
+                                   {120.0, 0.1},
+                                   {200.0, 0.5},
+                                   {300.0, 0.85},
+                                   {400.0, 0.9},
+                                   {450.0, 0.9}});
+  const workload::DriftSummary summary =
+      workload::summarize_drift(series, {100.0}, 500.0, 0.9);
+  ASSERT_EQ(summary.shifts.size(), 1U);
+  EXPECT_TRUE(summary.shifts[0].recovered);
+  EXPECT_DOUBLE_EQ(summary.shifts[0].shift_s, 100.0);
+  EXPECT_DOUBLE_EQ(summary.shifts[0].readapt_s, 200.0);
+  EXPECT_EQ(summary.unrecovered, 0U);
+  EXPECT_DOUBLE_EQ(summary.mean_time_to_readapt_s, 200.0);
+}
+
+TEST(DriftMetrics, UnrecoveredShiftCountsItsFullSegment) {
+  // Pre-shift plateau 0.9; post-shift the score never climbs back within
+  // 95% of the drop (threshold 0.1 + 0.95*0.8 = 0.86, best post-shift
+  // point is 0.6): unrecovered, and readapt floors at the segment length.
+  const auto series = series_from({{50.0, 0.9},
+                                   {150.0, 0.1},
+                                   {250.0, 0.1},
+                                   {420.0, 0.6},
+                                   {480.0, 0.1}});
+  const workload::DriftSummary summary =
+      workload::summarize_drift(series, {100.0}, 500.0, 0.95);
+  ASSERT_EQ(summary.shifts.size(), 1U);
+  EXPECT_FALSE(summary.shifts[0].recovered);
+  EXPECT_DOUBLE_EQ(summary.shifts[0].readapt_s, 400.0);
+  EXPECT_EQ(summary.unrecovered, 1U);
+
+  // A segment with no eval points at all is unrecovered for its length.
+  const workload::DriftSummary empty_tail =
+      workload::summarize_drift(series_from({{50.0, 0.9}}), {100.0}, 500.0,
+                                0.9);
+  ASSERT_EQ(empty_tail.shifts.size(), 1U);
+  EXPECT_FALSE(empty_tail.shifts[0].recovered);
+  EXPECT_DOUBLE_EQ(empty_tail.shifts[0].readapt_s, 400.0);
+  EXPECT_EQ(empty_tail.unrecovered, 1U);
+}
+
+TEST(DriftMetrics, FlatSegmentReadaptsImmediately) {
+  // Plateau <= trough means the shift cost nothing: readapt is 0.
+  const auto series = series_from(
+      {{150.0, 0.7}, {250.0, 0.7}, {350.0, 0.7}, {450.0, 0.7}});
+  const workload::DriftSummary summary =
+      workload::summarize_drift(series, {100.0}, 500.0, 0.9);
+  ASSERT_EQ(summary.shifts.size(), 1U);
+  EXPECT_TRUE(summary.shifts[0].recovered);
+  EXPECT_DOUBLE_EQ(summary.shifts[0].readapt_s, 0.0);
+}
+
+TEST(DriftMetrics, RegretGrowsWithStaleness) {
+  // Two runs with the same trough and plateau; the slow one spends longer
+  // below the plateau, so its time-weighted regret must be larger.
+  const auto fast = series_from({{150.0, 0.1},
+                                 {200.0, 0.9},
+                                 {300.0, 0.9},
+                                 {400.0, 0.9},
+                                 {480.0, 0.9}});
+  const auto slow = series_from({{150.0, 0.1},
+                                 {200.0, 0.1},
+                                 {300.0, 0.1},
+                                 {400.0, 0.9},
+                                 {480.0, 0.9}});
+  const workload::DriftSummary a =
+      workload::summarize_drift(fast, {100.0}, 500.0, 0.9);
+  const workload::DriftSummary b =
+      workload::summarize_drift(slow, {100.0}, 500.0, 0.9);
+  EXPECT_GT(b.regret, a.regret);
+  EXPECT_GE(a.regret, 0.0);
+}
+
+TEST(DriftMetrics, NoShiftsMeansNoOutcomes) {
+  const auto series = series_from({{50.0, 0.5}, {100.0, 0.6}});
+  const workload::DriftSummary summary =
+      workload::summarize_drift(series, {}, 200.0, 0.9);
+  EXPECT_TRUE(summary.shifts.empty());
+  EXPECT_EQ(summary.unrecovered, 0U);
+  EXPECT_DOUBLE_EQ(summary.mean_time_to_readapt_s, 0.0);
+}
+
+// -------------------------------------------------------- experiments -----
+
+std::string drift_ini(const std::string& strategy_block = R"([strategy]
+name = federated
+rounds = 20
+participants = 4
+round_duration_s = 30
+)") {
+  return R"([scenario]
+vehicles = 8
+rsus = 1
+seed = 17
+horizon_s = 900
+
+[city]
+duration_s = 900
+
+[workload]
+kind = telemetry
+objective = density
+dims = 4
+components = 3
+rate_per_s = 1.0
+recent_window = 120
+eval_every_s = 30
+eval_samples = 150
+
+[drift.0]
+kind = abrupt
+at_s = 300
+magnitude = 2.5
+
+[drift.1]
+kind = gradual_front
+x_m = 0
+y_m = 0
+start_s = 450
+end_s = 600
+reach_m = 6000
+magnitude = 2.0
+
+[train]
+epochs = 1
+
+)" + strategy_block;
+}
+
+TEST(DriftExperiment, ExportsDriftMetrics) {
+  const scenario::RunResult result =
+      scenario::run_experiment(parse(drift_ini()));
+  // Two discrete shifts: the abrupt jump at 300 s, the front completing at
+  // 600 s.
+  EXPECT_DOUBLE_EQ(result.metrics.counter("drift_shifts_total"), 2.0);
+  EXPECT_GE(result.metrics.counter("drift_mean_time_to_readapt_s"), 0.0);
+  EXPECT_GE(result.metrics.counter("drift_regret"), 0.0);
+  ASSERT_TRUE(result.metrics.has_series("drift_eval_score"));
+  EXPECT_GT(result.metrics.series("drift_eval_score").size(), 10U);
+  ASSERT_TRUE(result.metrics.has_series("drift_time_to_readapt_s"));
+  EXPECT_EQ(result.metrics.series("drift_time_to_readapt_s").size(), 2U);
+  // Density scores are mean log-likelihoods: finite, and the final score
+  // must beat the untrained sentinel by a wide margin.
+  EXPECT_TRUE(std::isfinite(result.final_accuracy));
+  EXPECT_GT(result.final_accuracy, -100.0);
+}
+
+TEST(DriftExperiment, SupervisedObjectiveTracksTheRegimes) {
+  // The supervised-under-drift variant: the existing net classifies the
+  // generating mixture component from a sliding window of recent samples.
+  // Scores are held-out accuracies, so they live in [0, 1], and the
+  // regimes are separable enough to beat chance (1/3) comfortably.
+  std::string ini_text = drift_ini();
+  ini_text.replace(ini_text.find("objective = density"),
+                   std::string{"objective = density"}.size(),
+                   "objective = supervised");
+  ini_text.replace(ini_text.find("epochs = 1"),
+                   std::string{"epochs = 1"}.size(),
+                   "model = logreg\nepochs = 1");
+  const scenario::RunResult result =
+      scenario::run_experiment(parse(ini_text));
+  EXPECT_DOUBLE_EQ(result.metrics.counter("drift_shifts_total"), 2.0);
+  ASSERT_TRUE(result.metrics.has_series("drift_eval_score"));
+  for (const auto& point : result.metrics.series("drift_eval_score")) {
+    EXPECT_GE(point.value, 0.0);
+    EXPECT_LE(point.value, 1.0);
+  }
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(DriftExperiment, SameSeedSameMetricsBytes) {
+  const auto ini = parse(drift_ini());
+  const scenario::RunResult a = scenario::run_experiment(ini);
+  const scenario::RunResult b = scenario::run_experiment(ini);
+  std::ostringstream csv_a, csv_b;
+  a.metrics.export_csv(csv_a);
+  b.metrics.export_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+}
+
+TEST(DriftExperiment, StaticWorkloadIsUntouchedByDriftSections) {
+  // The workload switch gates the stream generator: a static-workload
+  // experiment with [drift.N] sections present parses them but never
+  // exports drift metrics (the eval path is the frozen test set).
+  const auto ini = parse(R"([scenario]
+vehicles = 4
+horizon_s = 300
+[city]
+duration_s = 300
+[data]
+dataset = blobs
+train_pool = 200
+test_size = 40
+partition = iid
+samples_per_vehicle = 20
+[train]
+model = logreg
+epochs = 1
+[strategy]
+name = federated
+rounds = 2
+participants = 2
+round_duration_s = 60
+[drift.0]
+kind = abrupt
+at_s = 100
+)");
+  const scenario::RunResult result = scenario::run_experiment(ini);
+  EXPECT_FALSE(result.metrics.has_series("drift_eval_score"));
+  EXPECT_DOUBLE_EQ(result.metrics.counter("drift_shifts_total"), 0.0);
+}
+
+// ---------------------------------------------- campaign determinism ------
+
+/// 2 points x 1 seed drift grid: federated vs gossip tracking the same
+/// drifting stream, small enough for loopback tests.
+campaign::CampaignSpec drift_spec() {
+  campaign::CampaignSpec spec;
+  spec.name = "drift_determinism";
+  spec.base = util::IniFile::parse(drift_ini());
+  spec.grid = {{"strategy", "name", {"federated", "gossip"}}};
+  spec.seeds_per_point = 1;
+  spec.base_seed = 23;
+  return spec;
+}
+
+std::string records_bytes(const std::vector<campaign::JobRecord>& records) {
+  std::string out;
+  for (campaign::JobRecord record : records) {
+    record.wall_seconds = 0.0;  // host wall-clock: outside the contract
+    dist::encode_record(record, out);
+  }
+  return out;
+}
+
+TEST(DriftCampaign, WorkerCountDoesNotChangeTheBytes) {
+  const campaign::CampaignSpec spec = drift_spec();
+  campaign::EngineOptions serial;
+  serial.workers = 1;
+  campaign::EngineOptions wide;
+  wide.workers = 4;
+  const campaign::CampaignResult one = campaign::run_campaign(spec, serial);
+  const campaign::CampaignResult four = campaign::run_campaign(spec, wide);
+  ASSERT_EQ(one.records.size(), 2U);
+  EXPECT_EQ(records_bytes(one.records), records_bytes(four.records));
+  std::ostringstream a, b;
+  campaign::write_aggregate_csv(a, campaign::summarize(one.records));
+  campaign::write_aggregate_csv(b, campaign::summarize(four.records));
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(DriftCampaign, DistributedRunMatchesInProcessEngine) {
+  const campaign::CampaignSpec spec = drift_spec();
+  campaign::EngineOptions local;
+  local.workers = 2;
+  const campaign::CampaignResult reference =
+      campaign::run_campaign(spec, local);
+
+  dist::CoordinatorOptions copts;
+  copts.host = "127.0.0.1";
+  dist::Coordinator coordinator{spec, copts};
+  const std::uint16_t port = coordinator.port();
+  ASSERT_GT(port, 0);
+  dist::CoordinatorResult result;
+  std::thread serve_thread{[&] { result = coordinator.serve(); }};
+  dist::WorkerOptions wopts;
+  wopts.host = "127.0.0.1";
+  wopts.port = port;
+  wopts.name = "drift-worker";
+  const dist::WorkerReport report = dist::run_worker(wopts);
+  serve_thread.join();
+
+  EXPECT_EQ(report.shutdown_reason, "campaign complete");
+  ASSERT_EQ(result.records.size(), reference.records.size());
+  EXPECT_EQ(records_bytes(result.records), records_bytes(reference.records));
+}
+
+// ----------------------------------------------------------- checkpoint ---
+
+TEST(WorkloadCheckpoint, MidDriftRoundTripIsBitIdentical) {
+  const auto ini = parse(drift_ini());
+  const fs::path snap = fs::temp_directory_path() / "rr_drift_roundtrip.rrck";
+  fs::remove(snap);
+
+  auto run_full = [&](const std::string& snap_path) {
+    scenario::Scenario scn{scenario::scenario_from_ini(ini)};
+    auto strategy = scenario::strategy_from_ini(ini);
+    auto sim = scn.make_simulator();
+    sim->set_strategy(strategy);
+    bool saved = false;
+    if (!snap_path.empty()) {
+      // Save inside the post-shift readaptation window: the eval-window
+      // pointer, the sliding data window, and the drift_eval_score series
+      // are all mid-flight.
+      sim->set_autosave(400.0, [&](core::Simulator& s) {
+        if (saved) return;
+        saved = true;
+        checkpoint::save(s, ini, snap_path);
+      });
+    }
+    (void)sim->run();
+    std::ostringstream trace, metrics;
+    sim->trace().export_csv(trace);
+    sim->metrics_view().export_csv(metrics);
+    return std::pair<std::string, std::string>{trace.str(), metrics.str()};
+  };
+
+  const auto uninterrupted = run_full({});
+  const auto snapshotting = run_full(snap.string());
+  EXPECT_EQ(uninterrupted.first, snapshotting.first);
+  ASSERT_TRUE(fs::exists(snap));
+  const checkpoint::SnapshotInfo info = checkpoint::peek(snap.string());
+  EXPECT_EQ(info.format_version, 4U);
+
+  checkpoint::RestoredRun resumed = checkpoint::restore(snap.string());
+  (void)resumed.simulator->run();
+  std::ostringstream trace, metrics;
+  resumed.simulator->trace().export_csv(trace);
+  resumed.simulator->metrics_view().export_csv(metrics);
+  EXPECT_EQ(uninterrupted.first, trace.str());
+  EXPECT_EQ(uninterrupted.second, metrics.str());
+  fs::remove(snap);
+}
+
+TEST(WorkloadCheckpoint, ForkCannotSwapTheWorkload) {
+  const auto ini = parse(drift_ini());
+  const fs::path snap = fs::temp_directory_path() / "rr_drift_fork.rrck";
+  fs::remove(snap);
+  {
+    scenario::Scenario scn{scenario::scenario_from_ini(ini)};
+    auto sim = scn.make_simulator();
+    sim->set_strategy(scenario::strategy_from_ini(ini));
+    checkpoint::save(*sim, ini, snap.string());
+  }
+
+  // Changing the GMM shape or the feature dimensionality under saved agent
+  // models must be rejected by the workload fingerprint.
+  EXPECT_THROW(
+      checkpoint::fork(snap.string(), {{"workload.components", "5"}}),
+      std::runtime_error);
+  EXPECT_THROW(checkpoint::fork(snap.string(), {{"workload.dims", "6"}}),
+               std::runtime_error);
+  // Harmless overrides still fork fine.
+  checkpoint::RestoredRun what_if =
+      checkpoint::fork(snap.string(), {{"network.v2c_loss", "0.2"}});
+  EXPECT_NE(what_if.simulator, nullptr);
+  fs::remove(snap);
+}
+
+TEST(WorkloadCheckpoint, PriorFormatGoldenSnapshotStillRestores) {
+  // Committed fixture generated by the last release that wrote format v3,
+  // BEFORE the workload section existed. Restoring it and finishing must
+  // reproduce a fresh run of its embedded experiment byte-for-byte: format
+  // v4 readers stay backward compatible one version.
+  const fs::path dir{RR_TEST_DATA_DIR};
+  const fs::path snap = dir / "checkpoint_v3_golden.rrck";
+  const fs::path ini_path = dir / "checkpoint_v3_golden.ini";
+  ASSERT_TRUE(fs::exists(snap)) << snap;
+  ASSERT_TRUE(fs::exists(ini_path)) << ini_path;
+
+  const checkpoint::SnapshotInfo info = checkpoint::peek(snap.string());
+  EXPECT_EQ(info.format_version, 3U);
+  EXPECT_LT(info.format_version, checkpoint::kFormatVersion);
+
+  checkpoint::RestoredRun resumed = checkpoint::restore(snap.string());
+  const scenario::RunResult finished = resumed.finish();
+  const scenario::RunResult fresh =
+      scenario::run_experiment(util::IniFile::load(ini_path.string()));
+  EXPECT_DOUBLE_EQ(finished.final_accuracy, fresh.final_accuracy);
+  std::ostringstream a, b;
+  finished.metrics.export_csv(a);
+  fresh.metrics.export_csv(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace roadrunner

@@ -11,10 +11,13 @@ Only higher-is-better metrics are compared: keys ending in ``_per_s``,
 (``wall_s``, ``events``, ``sim_s``) are informational and ignored — they
 change legitimately when workloads change.
 
-Runs are matched by label; labels present on one side only are reported but
-never fail the gate (benches gain and lose runs across PRs). A missing or
-unparseable baseline is a warning and exit 0 — the first PR that adds a
-bench has nothing on main to compare against.
+Runs are matched by label. Labels new in the current file are reported and
+pass (benches gain runs across PRs) — but a label present in the baseline
+and *missing* from the current file is a hard failure, as is a throughput
+metric that vanished from a matched run: a dropped benchmark must never
+read as "no regression". A missing or unparseable baseline is a warning
+and exit 0 — the first PR that adds a bench has nothing on main to compare
+against.
 
 Usage:
   perf_compare.py --baseline main/BENCH_ml.json --current BENCH_ml.json \
@@ -82,6 +85,7 @@ def main(argv=None) -> int:
         return 0
 
     regressions = []
+    dropped = []
     print(f"perf_compare: {bench} vs baseline "
           f"(tolerance {args.tolerance:.0%})")
     for label, metrics in current.items():
@@ -104,13 +108,28 @@ def main(argv=None) -> int:
                 tag = "improved"
             print(f"  {tag:<10} {label} :: {key}: "
                   f"{base:.4g} -> {value:.4g} ({ratio - 1.0:+.1%})")
+        # A throughput metric the baseline tracked but the current run no
+        # longer emits would otherwise silently fall out of the gate.
+        for key, base in sorted(base_metrics.items()):
+            if is_throughput_key(key) and base > 0 and key not in metrics:
+                print(f"  DROPPED    {label} :: {key} (baseline only)")
+                dropped.append(f"{label} :: {key}")
     for label in baseline:
         if label not in current:
-            print(f"  GONE  {label} (baseline only)")
+            print(f"  DROPPED    {label} (baseline only)")
+            dropped.append(label)
 
+    failed = False
+    if dropped:
+        print(f"perf_compare: {len(dropped)} baseline metric(s) missing from "
+              f"the current bench — a dropped benchmark cannot pass the "
+              f"perf gate", file=sys.stderr)
+        failed = True
     if regressions:
         print(f"perf_compare: {len(regressions)} metric(s) regressed more "
               f"than {args.tolerance:.0%}", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("perf_compare: no regressions")
     return 0

@@ -46,7 +46,10 @@ Every stochastic draw must come from a named util::Rng fork
 break the paired-seed comparison contract: std::rand and std::mt19937 are
 stdlib-specific (libstdc++ vs libc++ streams differ), and
 std::random_device is nondeterministic by design, so a single call anywhere
-on a simulation-visible path makes same-seed runs diverge.
+on a simulation-visible path makes same-seed runs diverge. src/workload/ is
+the sharpest case: the stream generator must synthesize bit-identical
+telemetry whatever the worker count, so every draw comes from its forked
+"workload" stream.
 
 Fix: take a util::Rng (or fork one from the component's parent stream).
 For genuinely non-simulation randomness (none known today), suppress with
@@ -71,12 +74,13 @@ legitimately needs a clock read, suppress with
     "unordered-iter": {
         "summary": "iteration over unordered containers in order-sensitive dirs",
         "scope": "src/checkpoint/, src/metrics/, src/core/, src/fault/, "
-                 "src/adversary/",
+                 "src/adversary/, src/workload/",
         "explain": """\
-checkpoint/, metrics/, core/, fault/ and adversary/ feed serialization
-and metric export, where emission order is part of the byte-identical
-contract (adversary/ additionally snapshots its RNG and attack state into
-checkpoints).
+checkpoint/, metrics/, core/, fault/, adversary/ and workload/ feed
+serialization and metric export, where emission order is part of the
+byte-identical contract (adversary/ additionally snapshots its RNG and
+attack state into checkpoints, and workload/ synthesizes the telemetry
+stream that must be bit-identical across --workers counts).
 Iterating a std::unordered_map/set there makes output depend on
 hash-bucket layout — stable on one build, silently different on another
 stdlib or after a rehash, which breaks checkpoint round-trips and
@@ -133,7 +137,7 @@ documented registry of dynamic metric families.""",
 
 # Directories (as posix path fragments) with special roles.
 ORDER_SENSITIVE_DIRS = ("/checkpoint/", "/metrics/", "/core/", "/fault/",
-                        "/adversary/")
+                        "/adversary/", "/workload/")
 WALL_CLOCK_EXEMPT = ("/telemetry/", "/util/")
 RNG_HOME = "/util/rng."
 THREAD_HOME = "/util/thread_pool."
