@@ -13,6 +13,7 @@
 #include "checkpoint/checkpoint.hpp"
 #include "strategy/federated.hpp"
 #include "strategy/learning_strategy.hpp"
+#include "traffic/traffic_plan.hpp"
 #include "util/csv.hpp"
 #include "util/ini.hpp"
 
@@ -181,6 +182,47 @@ int main(int argc, char** argv) {
                             std::max(1e-9, baseline.report.wall_seconds);
     std::printf("checkpoint overhead: %+.2f%% wall clock\n", overhead * 100.0);
     std::remove(snap_path.c_str());
+  }
+
+  // 5. Traffic-shaped mobility (--traffic): the pure-mobility world from
+  // run 1 routed through nine signalized intersections with ten 4-vehicle
+  // platoon convoys on top. The joint queue-aware generation pass and the
+  // signal/maneuver event replay are the only additions, so the delta
+  // against "mobility only, 200 vehicles" is the cost of the traffic
+  // subsystem itself.
+  if (args.get_bool("traffic", false)) {
+    auto cfg = bench::ablation_scenario(31);
+    cfg.vehicles = 200;
+    cfg.train_pool_size = std::max<std::size_t>(9000, 200 * 60 * 2);
+    cfg.horizon_s = fast ? 4000.0 : 20000.0;
+    traffic::TrafficPlan plan;
+    plan.regime = traffic::Regime::kAuto;
+    // 3400 m city at 200 m blocks: an 18x18 intersection grid. Spread the
+    // signals over the middle so the trips actually cross them.
+    for (int gx : {4, 8, 12}) {
+      for (int gy : {4, 8, 12}) {
+        traffic::SignalSpec signal;
+        signal.gx = gx;
+        signal.gy = gy;
+        signal.controller = (gx + gy) % 8 == 0
+                                ? traffic::ControllerKind::kActuated
+                                : traffic::ControllerKind::kFixedTime;
+        plan.signals.push_back(signal);
+      }
+    }
+    plan.platoons.count = 10;
+    plan.platoons.size = 4;
+    plan.platoons.join_probability = 0.5;
+    plan.platoons.leave_probability = 0.5;
+    plan.platoons.split_probability = 0.25;
+    cfg.traffic = plan;
+    scenario::Scenario scenario{cfg};
+    const auto result = scenario.run(std::make_shared<IdleStrategy>());
+    report("traffic: 9 signals + 10 platoons", result);
+    std::printf("  (stops %.0f, phase changes %.0f, maneuvers %.0f)\n",
+                result.metrics.counter("traffic_total_stops"),
+                result.metrics.counter("traffic_phase_changes"),
+                result.metrics.counter("platoon_maneuvers"));
   }
 
   std::printf(

@@ -1,0 +1,178 @@
+// traffic_sweep — how traffic infrastructure reshapes every learning
+// strategy on the streaming telemetry workload. Expands
+// examples/traffic.ini (strategy zip rows x a `traffic.regime` grid axis:
+// free_flow / signalized / platooned), runs the campaign, and prints:
+//
+//   1. the headline table: final held-out log-likelihood per
+//      (strategy, regime) — does queueing at red lights (and convoy
+//      clustering on top of it) help or hurt each coordination pattern;
+//   2. the staleness table: p90 stale-model age per (strategy, regime) —
+//      signals hold vehicles together at intersections, platoons glue
+//      them into convoys, and both shift when models meet; and
+//   3. the traffic scorecard: stops, stop time, queue peaks, and platoon
+//      maneuvers actually experienced per regime (identical across
+//      strategies by construction — the fleet is strategy-independent).
+//
+//   ./examples/traffic_sweep [spec.ini] [--workers=N] [--seeds=N]
+//        [--store=DIR]
+//
+// With --store the campaign is resumable: kill it and rerun to pick up
+// where it left off.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/engine.hpp"
+#include "util/cli.hpp"
+
+using namespace roadrunner;
+
+namespace {
+
+const campaign::SweepAxis* find_axis(const std::vector<campaign::SweepAxis>& axes,
+                                     const std::string& section,
+                                     const std::string& key) {
+  for (const auto& axis : axes) {
+    if (axis.section == section && axis.key == key) return &axis;
+  }
+  return nullptr;
+}
+
+double mean_of(const campaign::PointSummary& s, const std::string& metric) {
+  const auto it = s.metrics.find(metric);
+  return it == s.metrics.end() ? 0.0 : it->second.mean;
+}
+
+int run(int argc, char** argv) {
+  util::CliArgs args{argc, argv};
+  const std::string spec_path = args.positional().empty()
+                                    ? std::string{"examples/traffic.ini"}
+                                    : args.positional().front();
+  if (!std::filesystem::exists(spec_path)) {
+    std::fprintf(stderr, "spec not found: %s (run from the repo root)\n",
+                 spec_path.c_str());
+    return 1;
+  }
+  campaign::CampaignSpec spec =
+      campaign::campaign_from_ini(util::IniFile::load(spec_path));
+  if (args.has("seeds")) {
+    spec.seeds_per_point = static_cast<std::size_t>(
+        args.get_int("seeds", static_cast<std::int64_t>(spec.seeds_per_point)));
+  }
+
+  const campaign::SweepAxis* regimes =
+      find_axis(spec.grid, "traffic", "regime");
+  const campaign::SweepAxis* names = find_axis(spec.zipped, "strategy", "name");
+  const campaign::SweepAxis* rsu_agg =
+      find_axis(spec.zipped, "strategy", "aggregate_at_rsu");
+  if (regimes == nullptr || names == nullptr) {
+    std::fprintf(stderr,
+                 "spec needs a [sweep] traffic.regime axis and a [sweep.zip] "
+                 "strategy.name axis\n");
+    return 1;
+  }
+  const std::size_t n_regime = regimes->values.size();
+  const std::size_t n_strat = names->values.size();
+
+  campaign::EngineOptions options;
+  options.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  options.store_dir = args.get("store", "");
+  options.on_progress = [](const campaign::Progress& p) {
+    std::printf("\r[%zu/%zu] %.2f jobs/s   ", p.resumed + p.completed, p.total,
+                p.jobs_per_s);
+    std::fflush(stdout);
+  };
+
+  std::printf("traffic ablation  %s\n", spec_path.c_str());
+  std::printf("jobs              %zu strategies x %zu regimes x %zu seeds "
+              "= %zu\n",
+              n_strat, n_regime, spec.seeds_per_point,
+              n_strat * n_regime * spec.seeds_per_point);
+
+  const campaign::CampaignResult result =
+      campaign::run_campaign(spec, options);
+  std::printf("\rdone: %zu executed, %zu resumed in %.1f s%20s\n",
+              result.executed, result.resumed, result.wall_seconds, "");
+
+  // point_index = zip_row * n_regime + regime_index (zip rows outermost).
+  std::map<std::size_t, campaign::PointSummary> by_point;
+  for (auto& s : campaign::summarize(result.records)) {
+    by_point[s.point_index] = std::move(s);
+  }
+
+  std::vector<std::string> labels;
+  std::size_t width = 8;  // "strategy"
+  for (std::size_t z = 0; z < n_strat; ++z) {
+    std::string label = names->values[z];
+    if (rsu_agg != nullptr && rsu_agg->values[z] == "true") {
+      label += "+rsu_agg";
+    }
+    width = std::max(width, label.size());
+    labels.push_back(std::move(label));
+  }
+  const int w = static_cast<int>(width);
+
+  const auto table = [&](const char* title, const std::string& metric) {
+    std::printf("\n%s:\n%-*s", title, w, "strategy");
+    for (const auto& regime : regimes->values) {
+      std::printf(" %11s", regime.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t z = 0; z < n_strat; ++z) {
+      std::printf("%-*s", w, labels[z].c_str());
+      for (std::size_t g = 0; g < n_regime; ++g) {
+        const auto it = by_point.find(z * n_regime + g);
+        if (it == by_point.end()) {
+          std::printf(" %11s", "-");
+        } else {
+          std::printf(" %11.3f", mean_of(it->second, metric));
+        }
+      }
+      std::printf("\n");
+    }
+  };
+
+  table("final held-out log-likelihood vs traffic regime", "final_accuracy");
+  table("p90 stale-model age (s) vs traffic regime", "stale_model_age_p90_s");
+
+  // ----- what the fleet actually experienced per regime --------------------
+  // The traffic shape is strategy-independent (the fleet is generated before
+  // any learning), so read the counters off the first zip row.
+  std::printf("\ntraffic scorecard per regime (fleet-level, means over "
+              "seeds):\n");
+  std::printf("%-11s %7s %11s %9s %7s %9s\n", "regime", "stops",
+              "stop_time_s", "mean_stop", "queue", "maneuvers");
+  for (std::size_t g = 0; g < n_regime; ++g) {
+    const auto it = by_point.find(g);
+    if (it == by_point.end()) continue;
+    const campaign::PointSummary& s = it->second;
+    std::printf("%-11s %7.1f %11.1f %9.2f %7.1f %9.1f\n",
+                regimes->values[g].c_str(), mean_of(s, "traffic_total_stops"),
+                mean_of(s, "traffic_total_stop_time_s"),
+                mean_of(s, "traffic_mean_stop_s"),
+                mean_of(s, "traffic_max_queue_len"),
+                mean_of(s, "platoon_maneuvers"));
+  }
+  std::printf(
+      "\nreading: the eval score is held-out mean log-likelihood (higher is\n"
+      "better). free_flow is the unshaped baseline — its traffic counters\n"
+      "are zeros by construction. signalized adds queueing delay but also\n"
+      "parks vehicles side by side at red lights; platooned further glues\n"
+      "convoys together. Watch the staleness table: regimes that cluster\n"
+      "vehicles move models faster than their stop time costs them.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

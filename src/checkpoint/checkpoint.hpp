@@ -44,7 +44,14 @@ namespace roadrunner::checkpoint {
 // guard: restore verifies the rebuilt substrate matches the fingerprint
 // (objective family, GMM shape, eval-window layout) and rejects forks that
 // would silently change the workload under saved agent models.
-inline constexpr std::uint32_t kFormatVersion = 4;
+// Version 5: traffic section (tag 10, present when a traffic timeline is
+// active) — live signal phases, queue occupancy, platoon membership, and
+// the applied-event counters. The timeline itself (phase/maneuver
+// schedules, queue-shaped traces) rebuilds from the embedded INI; the two
+// new SimEvent kinds (kSignalPhase, kPlatoonManeuver) ride in the existing
+// queue section. v4 and older snapshots restore unchanged: they predate
+// [traffic] sections, so the runtime stays inert.
+inline constexpr std::uint32_t kFormatVersion = 5;
 
 /// Oldest snapshot version restore() still accepts. v2 snapshots restore
 /// cleanly: they predate the adversary subsystem (no [adversary.N] in their

@@ -297,7 +297,7 @@ void SimulatorIo::restore_queue(core::Simulator& sim, util::BinReader& in) {
     // kClosureComputation never appears in a snapshot (save() refuses), and
     // anything past the last enumerator is garbage.
     if (kind == static_cast<std::uint8_t>(SimEventKind::kClosureComputation) ||
-        kind > static_cast<std::uint8_t>(SimEventKind::kFaultCrash)) {
+        kind > static_cast<std::uint8_t>(SimEventKind::kPlatoonManeuver)) {
       throw std::runtime_error{"checkpoint: bad event kind in snapshot"};
     }
     ev.kind = static_cast<SimEventKind>(kind);
@@ -338,6 +338,15 @@ void SimulatorIo::save_adversary(const core::Simulator& sim,
 void SimulatorIo::restore_adversary(core::Simulator& sim,
                                     util::BinReader& in) {
   sim.adversary_.load_state(in);
+}
+
+void SimulatorIo::save_traffic(const core::Simulator& sim,
+                               util::BinWriter& out) {
+  sim.traffic_.save_state(out);
+}
+
+void SimulatorIo::restore_traffic(core::Simulator& sim, util::BinReader& in) {
+  sim.traffic_.load_state(in);
 }
 
 void SimulatorIo::save_metrics(const core::Simulator& sim,

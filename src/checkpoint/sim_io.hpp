@@ -18,6 +18,10 @@ class SimulatorIo {
   /// Adversary-controller run state (RNG stream + attack counters); the
   /// snapshot carries this section only when an adversary plan is active.
   static void save_adversary(const core::Simulator& sim, util::BinWriter& out);
+  /// Traffic-runtime dynamic state (live signal phases, queue occupancy,
+  /// platoon membership, applied-event counters); the snapshot carries this
+  /// section only when a traffic timeline is active (format v5).
+  static void save_traffic(const core::Simulator& sim, util::BinWriter& out);
   static void save_metrics(const core::Simulator& sim, util::BinWriter& out);
   static void save_trace(const core::Simulator& sim, util::BinWriter& out);
 
@@ -29,6 +33,7 @@ class SimulatorIo {
                           std::uint32_t version);
   static void restore_queue(core::Simulator& sim, util::BinReader& in);
   static void restore_adversary(core::Simulator& sim, util::BinReader& in);
+  static void restore_traffic(core::Simulator& sim, util::BinReader& in);
   static void restore_metrics(core::Simulator& sim, util::BinReader& in);
   static void restore_trace(core::Simulator& sim, util::BinReader& in);
 

@@ -33,6 +33,10 @@ constexpr std::uint32_t kSectionAdversary = 8;  // since v3; only when active
 // since v4; only for density/drift workloads. Fingerprint, not state: the
 // stream and eval windows rebuild from the embedded INI.
 constexpr std::uint32_t kSectionWorkload = 9;
+// since v5; only when a traffic timeline is active. Dynamic state only
+// (live phases, queue occupancy, platoon membership, counters) — the
+// timeline rebuilds from the embedded INI.
+constexpr std::uint32_t kSectionTraffic = 10;
 
 struct Frame {
   std::uint32_t version = 0;
@@ -229,6 +233,21 @@ RestoredRun restore_impl(const std::string& path,
     util::BinReader adversary_section = frame.section(kSectionAdversary);
     SimulatorIo::restore_adversary(*run.simulator, adversary_section);
   }
+  if (frame.has(kSectionTraffic)) {
+    if (!run.simulator->traffic().enabled()) {
+      throw std::runtime_error{
+          "checkpoint: '" + path +
+          "' carries traffic state but the rebuilt experiment has no active "
+          "traffic plan — overrides must not alter [traffic] or [platoon]"};
+    }
+    util::BinReader traffic_section = frame.section(kSectionTraffic);
+    SimulatorIo::restore_traffic(*run.simulator, traffic_section);
+  } else if (run.simulator->traffic().enabled()) {
+    throw std::runtime_error{
+        "checkpoint: '" + path +
+        "' has no traffic section but the rebuilt experiment activates a "
+        "traffic plan — overrides must not alter [traffic] or [platoon]"};
+  }
   if (frame.has(kSectionWorkload)) {
     util::BinReader workload_section = frame.section(kSectionWorkload);
     verify_workload(*run.simulator, workload_section, path);
@@ -305,6 +324,12 @@ void save(const core::Simulator& sim, const util::IniFile& experiment,
     util::BinWriter workload;
     save_workload(sim, workload);
     add(kSectionWorkload, std::move(workload));
+  }
+
+  if (sim.traffic().enabled()) {
+    util::BinWriter traffic;
+    SimulatorIo::save_traffic(sim, traffic);
+    add(kSectionTraffic, std::move(traffic));
   }
 
   util::BinWriter strategy;

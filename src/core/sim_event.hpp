@@ -31,6 +31,8 @@ enum class SimEventKind : std::uint8_t {
   kTimer = 4,               ///< strategy timer fires (agent, tag)
   kClosureComputation = 5,  ///< closure HU computation ends (work)
   kFaultCrash = 6,          ///< scripted vehicle crash (agent; tag = plan idx)
+  kSignalPhase = 7,         ///< traffic signal phase change (tag = timeline idx)
+  kPlatoonManeuver = 8,     ///< platoon membership change (tag = timeline idx)
 };
 
 struct SimEvent {

@@ -22,6 +22,7 @@ Simulator::Simulator(const mobility::FleetModel& fleet,
       injector_{config.faults.scaled(), util::Rng{config.seed}.fork("fault")},
       adversary_{config.adversaries.scaled(),
                  util::Rng{config.seed}.fork("adversary")},
+      traffic_{config.traffic},
       trace_{config.trace_events},
       master_rng_{config.seed},
       strategy_rng_{master_rng_.fork("strategy")} {
@@ -631,6 +632,12 @@ void Simulator::dispatch(SimEvent ev) {
     case SimEventKind::kFaultCrash:
       apply_crash(ev.agent, static_cast<std::size_t>(ev.tag));
       break;
+    case SimEventKind::kSignalPhase:
+      traffic_.apply_phase(static_cast<std::size_t>(ev.tag), metrics_);
+      break;
+    case SimEventKind::kPlatoonManeuver:
+      traffic_.apply_maneuver(static_cast<std::size_t>(ev.tag), metrics_);
+      break;
   }
 }
 
@@ -789,6 +796,26 @@ Simulator::RunReport Simulator::run() {
       ev.tag = static_cast<int>(idx);
       queue_.schedule(fe.at_s, std::move(ev));
     }
+    // Traffic phase changes and platoon maneuvers replay the same way:
+    // ordinary queue events carrying only a timeline index, so they
+    // serialize into snapshots and restored runs inherit the pending ones.
+    if (traffic_.enabled()) {
+      const traffic::TrafficTimeline& tl = traffic_.timeline();
+      for (std::size_t i = 0; i < tl.phases.size(); ++i) {
+        if (tl.phases[i].time_s > config_.horizon_s) continue;
+        SimEvent ev;
+        ev.kind = SimEventKind::kSignalPhase;
+        ev.tag = static_cast<int>(i);
+        queue_.schedule(tl.phases[i].time_s, std::move(ev));
+      }
+      for (std::size_t i = 0; i < tl.maneuvers.size(); ++i) {
+        if (tl.maneuvers[i].time_s > config_.horizon_s) continue;
+        SimEvent ev;
+        ev.kind = SimEventKind::kPlatoonManeuver;
+        ev.tag = static_cast<int>(i);
+        queue_.schedule(tl.maneuvers[i].time_s, std::move(ev));
+      }
+    }
   }
   // A restored run continues mid-flight: on_start, initial power states,
   // and the tick chain are all part of the reinstated state.
@@ -815,6 +842,7 @@ Simulator::RunReport Simulator::run() {
   strategy_->on_finish(*this);
   export_channel_counters();
   export_adversary_counters();
+  traffic_.export_counters(metrics_);
   export_model_age_metrics(queue_.current_time());
   if (ml_.has_eval_windows()) export_drift_metrics(queue_.current_time());
 

@@ -37,6 +37,7 @@
 #include "core/sim_event.hpp"
 #include "fault/injector.hpp"
 #include "strategy/learning_strategy.hpp"
+#include "traffic/runtime.hpp"
 #include "workload/drift_plan.hpp"
 
 namespace roadrunner::checkpoint {
@@ -102,6 +103,12 @@ struct SimulatorConfig {
   /// Fraction of the post-shift drop that must be regained to count as
   /// readapted (workload::summarize_drift).
   double drift_recovery_fraction = 0.9;
+  /// Traffic timeline produced at fleet-generation time (see
+  /// traffic::make_traffic_fleet). Queue and platoon behaviour is already
+  /// baked into the fleet traces; the simulator only replays the recorded
+  /// phase changes and platoon maneuvers as queue events so live signal /
+  /// membership state stays checkpointable and drives traffic_* metrics.
+  traffic::TrafficTimeline traffic;
 };
 
 class Simulator final : public strategy::StrategyContext {
@@ -158,6 +165,9 @@ class Simulator final : public strategy::StrategyContext {
   }
   [[nodiscard]] const adversary::AdversaryController& adversary() const {
     return adversary_;
+  }
+  [[nodiscard]] const traffic::TrafficRuntime& traffic() const {
+    return traffic_;
   }
   [[nodiscard]] const strategy::LearningStrategy* strategy() const {
     return strategy_.get();
@@ -257,6 +267,9 @@ class Simulator final : public strategy::StrategyContext {
   /// Owns the attack state (compromised sets, attack RNG, counters); inert
   /// without an adversary plan. Answers jamming queries via hook_mux_.
   adversary::AdversaryController adversary_;
+  /// Replays the generation-time traffic timeline (signal phases, platoon
+  /// maneuvers) as queue events; inert without a traffic plan.
+  traffic::TrafficRuntime traffic_;
   /// Fans the network's single FaultHook slot out to the benign injector
   /// (node/region/channel faults) and the adversary (jamming). Wired in the
   /// constructor only when at least one of the two is enabled, so clean runs

@@ -1,6 +1,8 @@
 #include "mobility/trace_file.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 
@@ -12,18 +14,59 @@ namespace {
 
 using util::CsvWriter;
 
-std::vector<std::vector<std::string>> read_rows(const std::string& path) {
+/// A CSV row with the 1-based line it came from, so malformed input is
+/// reported as "<path>:<line>: ..." instead of a bare complaint.
+struct NumberedRow {
+  std::size_t line = 0;
+  std::vector<std::string> fields;
+};
+
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& msg) {
+  throw std::runtime_error{"trace_file: " + path + ":" +
+                           std::to_string(line) + ": " + msg};
+}
+
+std::vector<NumberedRow> read_rows(const std::string& path) {
   std::ifstream in{path};
   if (!in) throw std::runtime_error{"trace_file: cannot open " + path};
-  auto rows = util::read_csv(in);
+  auto raw = util::read_csv(in);
+  std::vector<NumberedRow> rows;
+  rows.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    rows.push_back(NumberedRow{i + 1, std::move(raw[i])});
+  }
   // Drop a header row if the first field is non-numeric.
-  if (!rows.empty() && !rows.front().empty()) {
-    const std::string& head = rows.front().front();
+  if (!rows.empty() && !rows.front().fields.empty()) {
+    const std::string& head = rows.front().fields.front();
     if (head.find_first_not_of("0123456789") != std::string::npos) {
       rows.erase(rows.begin());
     }
   }
   return rows;
+}
+
+std::size_t parse_id(const std::string& path, const NumberedRow& row,
+                     const std::string& value) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    fail(path, row.line, "vehicle id '" + value + "' is not a whole number");
+  }
+  return static_cast<std::size_t>(std::stoull(value));
+}
+
+double parse_value(const std::string& path, const NumberedRow& row,
+                   const std::string& what, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    fail(path, row.line, what + " '" + value + "' is not a number");
+  }
+  if (!std::isfinite(parsed)) {
+    fail(path, row.line, what + " '" + value + "' must be finite");
+  }
+  return parsed;
 }
 
 FleetModel build_fleet(const std::string& traces_path,
@@ -34,25 +77,40 @@ FleetModel build_fleet(const std::string& traces_path,
   };
   std::vector<std::vector<RawSample>> samples;
   for (const auto& row : read_rows(traces_path)) {
-    if (row.size() != 4) {
-      throw std::runtime_error{"trace_file: traces row needs 4 fields"};
+    if (row.fields.size() != 4) {
+      fail(traces_path, row.line,
+           "traces row needs 4 fields (vehicle_id,time_s,x,y), got " +
+               std::to_string(row.fields.size()));
     }
-    const auto id = static_cast<std::size_t>(std::stoull(row[0]));
+    const std::size_t id = parse_id(traces_path, row, row.fields[0]);
     if (id >= samples.size()) samples.resize(id + 1);
     samples[id].push_back(
-        RawSample{std::stod(row[1]), std::stod(row[2]), std::stod(row[3])});
+        RawSample{parse_value(traces_path, row, "time_s", row.fields[1]),
+                  parse_value(traces_path, row, "coordinate", row.fields[2]),
+                  parse_value(traces_path, row, "coordinate", row.fields[3])});
   }
 
   std::vector<std::vector<OnInterval>> intervals(samples.size());
   for (const auto& row : read_rows(ignition_path)) {
-    if (row.size() != 3) {
-      throw std::runtime_error{"trace_file: ignition row needs 3 fields"};
+    if (row.fields.size() != 3) {
+      fail(ignition_path, row.line,
+           "ignition row needs 3 fields (vehicle_id,start_s,end_s), got " +
+               std::to_string(row.fields.size()));
     }
-    const auto id = static_cast<std::size_t>(std::stoull(row[0]));
+    const std::size_t id = parse_id(ignition_path, row, row.fields[0]);
     if (id >= samples.size()) {
-      throw std::runtime_error{"trace_file: ignition row for unknown vehicle"};
+      fail(ignition_path, row.line,
+           "ignition row for unknown vehicle " + std::to_string(id));
     }
-    intervals[id].push_back({std::stod(row[1]), std::stod(row[2])});
+    const double start =
+        parse_value(ignition_path, row, "start_s", row.fields[1]);
+    const double end = parse_value(ignition_path, row, "end_s", row.fields[2]);
+    if (end <= start) {
+      fail(ignition_path, row.line,
+           "ignition interval end " + row.fields[2] +
+               " must be after start " + row.fields[1]);
+    }
+    intervals[id].push_back({start, end});
   }
 
   std::vector<VehicleTrack> tracks;
@@ -76,6 +134,14 @@ FleetModel build_fleet(const std::string& traces_path,
               [](const OnInterval& x, const OnInterval& y) {
                 return x.start_s < y.start_s;
               });
+    for (std::size_t i = 1; i < ivs.size(); ++i) {
+      if (ivs[i].start_s < ivs[i - 1].end_s) {
+        throw std::runtime_error{
+            "trace_file: " + ignition_path + ": vehicle " +
+            std::to_string(id) +
+            " has overlapping ignition intervals (non-monotone schedule)"};
+      }
+    }
     tracks.push_back(VehicleTrack{Trace{std::move(ts)},
                                   IgnitionSchedule{std::move(ivs)}});
   }

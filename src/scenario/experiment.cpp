@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "adversary/adversary_plan.hpp"
+#include "traffic/traffic_plan.hpp"
 #include "strategy/centralized.hpp"
 #include "strategy/federated.hpp"
 #include "strategy/federated_clustering.hpp"
@@ -160,6 +161,8 @@ ScenarioConfig scenario_from_ini(const IniFile& ini) {
   cfg.adversaries = adversary::plan_from_ini(ini);
   // [drift] + [drift.N]
   cfg.workload.drift = workload::plan_from_ini(ini);
+  // [traffic] + [traffic.N] + [platoon]
+  cfg.traffic = traffic::plan_from_ini(ini);
   return cfg;
 }
 

@@ -41,6 +41,11 @@ Scenario::Scenario(ScenarioConfig config) : config_{std::move(config)} {
 
   // ----- fleet ---------------------------------------------------------------
   if (config_.external_fleet) {
+    if (config_.traffic.active()) {
+      throw std::invalid_argument{
+          "Scenario: a traffic plan shapes the synthetic city fleet and "
+          "cannot be combined with an external fleet"};
+    }
     fleet_ = config_.external_fleet;
     if (fleet_->vehicle_count() < config_.vehicles) {
       throw std::invalid_argument{"Scenario: external fleet too small"};
@@ -55,8 +60,13 @@ Scenario::Scenario(ScenarioConfig config) : config_{std::move(config)} {
   } else {
     mobility::CityModelConfig city = config_.city;
     city.seed = config_.seed ^ 0xF1EE7ULL;
-    auto fleet = std::make_shared<mobility::FleetModel>(
-        mobility::make_city_fleet(config_.vehicles, city));
+    // make_traffic_fleet degenerates to make_city_fleet (bit-identical) when
+    // nothing in the plan is active, so one path serves both; the timeline
+    // stays empty in that case.
+    traffic::TrafficFleet tf =
+        traffic::make_traffic_fleet(config_.vehicles, city, config_.traffic);
+    traffic_timeline_ = std::move(tf.timeline);
+    auto fleet = std::make_shared<mobility::FleetModel>(std::move(tf.fleet));
     rsu_nodes_ = mobility::add_grid_rsus(*fleet, city, config_.rsus);
     fleet_ = std::move(fleet);
   }
@@ -166,6 +176,7 @@ std::unique_ptr<core::Simulator> Scenario::make_simulator() const {
       config_.adversaries.resolved(rsu_nodes_, config_.vehicles);
   sim_cfg.drift = config_.workload.drift.scaled();
   sim_cfg.drift_recovery_fraction = config_.workload.recovery_fraction;
+  sim_cfg.traffic = traffic_timeline_;
 
   std::optional<core::MlService> ml_service;
   if (config_.workload.telemetry() && config_.workload.density()) {

@@ -18,6 +18,7 @@
 #include "data/synthetic_images.hpp"
 #include "mobility/city_model.hpp"
 #include "strategy/learning_strategy.hpp"
+#include "traffic/traffic_model.hpp"
 #include "workload/stream.hpp"
 #include "workload/workload.hpp"
 
@@ -96,6 +97,15 @@ struct ScenarioConfig {
   /// `drift.severity` scales all drift magnitudes (the `drift.severity`
   /// campaign axis). The static default leaves everything above untouched.
   workload::WorkloadConfig workload;
+
+  // ----- traffic ------------------------------------------------------------
+  /// Traffic-infrastructure plan ([traffic] / [traffic.N] / [platoon] INI
+  /// sections). When active the synthetic city fleet is generated through
+  /// traffic::make_traffic_fleet — vehicles queue at signalized
+  /// intersections and platoons form headway-held convoys — and the
+  /// resulting timeline is replayed by the simulator for traffic_* metrics
+  /// and checkpoint state. Incompatible with external_fleet.
+  traffic::TrafficPlan traffic;
 };
 
 /// Everything a bench needs from one finished run.
@@ -146,6 +156,11 @@ class Scenario {
   [[nodiscard]] const std::vector<workload::EvalWindow>& eval_windows() const {
     return eval_windows_;
   }
+  /// Signal-phase / platoon-maneuver timeline recorded at fleet generation
+  /// (empty unless the traffic plan is active).
+  [[nodiscard]] const traffic::TrafficTimeline& traffic_timeline() const {
+    return traffic_timeline_;
+  }
 
  private:
   ScenarioConfig config_;
@@ -155,6 +170,7 @@ class Scenario {
   ml::DatasetView test_set_;
   std::vector<ml::DatasetView> vehicle_data_;
   std::vector<workload::EvalWindow> eval_windows_;
+  traffic::TrafficTimeline traffic_timeline_;
   /// Unused (layerless) for the density objective — GMM weights carry their
   /// own shape through the suff-stat codec.
   ml::Network prototype_;

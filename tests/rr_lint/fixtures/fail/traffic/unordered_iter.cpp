@@ -1,0 +1,17 @@
+// Golden fixture: must produce exactly one `unordered-iter` finding. Lives
+// under a `traffic/` path segment — the queue-shaped fleet and the
+// signal/platoon timeline the generator emits are part of the
+// bit-identical-across-worker-counts contract, so the order-sensitive
+// scope applies.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+inline std::vector<std::size_t> collect_queued_vehicles(
+    const std::unordered_map<std::size_t, double>& queued) {
+  std::vector<std::size_t> out;
+  for (const auto& [vehicle, stop_s] : queued) {  // bucket order: flagged
+    out.push_back(vehicle);
+  }
+  return out;
+}

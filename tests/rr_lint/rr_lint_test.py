@@ -30,6 +30,7 @@ EXPECTED_FAIL = {
     "adversary/raw_random.cpp": "raw-random",
     "workload/unordered_iter.cpp": "unordered-iter",
     "workload/raw_random.cpp": "raw-random",
+    "traffic/unordered_iter.cpp": "unordered-iter",
     "raw_thread.cpp": "raw-thread",
     "dist/raw_socket.cpp": "raw-thread",
     "metric_name.cpp": "metric-name",

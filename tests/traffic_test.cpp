@@ -1,0 +1,725 @@
+// Traffic subsystem tests: plan grammar (parsing, unknown-key rejection,
+// dense numbering, regime gating), the queue-aware fleet generator's
+// guarantees (free-flow degenerates to make_city_fleet bit-identically,
+// signal phases are deterministic, queues drain in FIFO order, vehicles
+// that never stop keep bit-identical tracks, platoon followers are
+// headway-shifted leader replays), and the end-to-end contracts: a
+// signalized experiment exports traffic_*/platoon_* counters and measurably
+// shifts the learning outcome vs free-flow, mid-red-phase snapshots
+// round-trip bit-identically (format v5), the committed v4 golden snapshot
+// still restores, forks cannot swap the traffic plan under saved state, and
+// traffic campaigns stay byte-identical across worker counts and across the
+// distributed coordinator path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/spec.hpp"
+#include "checkpoint/checkpoint.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "dist/worker.hpp"
+#include "mobility/city_model.hpp"
+#include "scenario/experiment.hpp"
+#include "traffic/traffic_model.hpp"
+#include "traffic/traffic_plan.hpp"
+#include "util/ini.hpp"
+
+#ifndef RR_TEST_DATA_DIR
+#define RR_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace roadrunner {
+namespace {
+
+namespace fs = std::filesystem;
+
+util::IniFile parse(const std::string& text) {
+  return util::IniFile::parse(text);
+}
+
+// ------------------------------------------------------------ parsing -----
+
+TEST(TrafficPlanParse, EmptyIniYieldsUnconfiguredPlan) {
+  const traffic::TrafficPlan plan =
+      traffic::plan_from_ini(parse("[scenario]\nvehicles = 3\n"));
+  EXPECT_FALSE(plan.configured());
+  EXPECT_FALSE(plan.active());
+  EXPECT_TRUE(plan.signals.empty());
+  EXPECT_EQ(plan.platoons.count, 0U);
+}
+
+TEST(TrafficPlanParse, FullGrammarRoundTrip) {
+  const traffic::TrafficPlan plan = traffic::plan_from_ini(parse(R"(
+[traffic]
+regime = platooned
+headway_s = 2.0
+startup_s = 1.5
+spacing_m = 6.0
+[traffic.0]
+gx = 2
+gy = 3
+controller = fixed
+green_ns_s = 25
+green_ew_s = 35
+offset_s = 10
+[traffic.1]
+gx = 4
+gy = 1
+controller = actuated
+min_green_s = 6
+max_green_s = 50
+extend_s = 3
+[platoon]
+count = 2
+size = 3
+headway_s = 0.8
+join_probability = 0.5
+leave_probability = 0.25
+split_probability = 0.1
+)"));
+  EXPECT_EQ(plan.regime, traffic::Regime::kPlatooned);
+  EXPECT_DOUBLE_EQ(plan.headway_s, 2.0);
+  EXPECT_DOUBLE_EQ(plan.startup_s, 1.5);
+  EXPECT_DOUBLE_EQ(plan.spacing_m, 6.0);
+  ASSERT_EQ(plan.signals.size(), 2U);
+  EXPECT_EQ(plan.signals[0].gx, 2);
+  EXPECT_EQ(plan.signals[0].gy, 3);
+  EXPECT_EQ(plan.signals[0].controller, traffic::ControllerKind::kFixedTime);
+  EXPECT_DOUBLE_EQ(plan.signals[0].green_ns_s, 25.0);
+  EXPECT_DOUBLE_EQ(plan.signals[0].green_ew_s, 35.0);
+  EXPECT_DOUBLE_EQ(plan.signals[0].offset_s, 10.0);
+  EXPECT_EQ(plan.signals[1].controller, traffic::ControllerKind::kActuated);
+  EXPECT_DOUBLE_EQ(plan.signals[1].min_green_s, 6.0);
+  EXPECT_DOUBLE_EQ(plan.signals[1].max_green_s, 50.0);
+  EXPECT_DOUBLE_EQ(plan.signals[1].extend_s, 3.0);
+  EXPECT_EQ(plan.platoons.count, 2U);
+  EXPECT_EQ(plan.platoons.size, 3U);
+  EXPECT_DOUBLE_EQ(plan.platoons.headway_s, 0.8);
+  EXPECT_TRUE(plan.configured());
+  EXPECT_TRUE(plan.signals_active());
+  EXPECT_TRUE(plan.platoons_active());
+}
+
+TEST(TrafficPlanParse, RegimeGatesActivation) {
+  const std::string sections = R"(
+[traffic.0]
+gx = 1
+gy = 1
+[platoon]
+count = 1
+size = 2
+)";
+  const auto with = [&](const std::string& regime) {
+    return traffic::plan_from_ini(
+        parse("[traffic]\nregime = " + regime + "\n" + sections));
+  };
+  const traffic::TrafficPlan free_flow = with("free_flow");
+  EXPECT_TRUE(free_flow.configured());
+  EXPECT_FALSE(free_flow.signals_active());
+  EXPECT_FALSE(free_flow.platoons_active());
+  EXPECT_FALSE(free_flow.active());
+
+  const traffic::TrafficPlan signalized = with("signalized");
+  EXPECT_TRUE(signalized.signals_active());
+  EXPECT_FALSE(signalized.platoons_active());  // isolates the queueing effect
+
+  const traffic::TrafficPlan platooned = with("platooned");
+  EXPECT_TRUE(platooned.signals_active());
+  EXPECT_TRUE(platooned.platoons_active());
+
+  const traffic::TrafficPlan all = with("auto");
+  EXPECT_TRUE(all.signals_active());
+  EXPECT_TRUE(all.platoons_active());
+}
+
+TEST(TrafficPlanParse, RejectsUnknownKeysAndKinds) {
+  EXPECT_THROW(traffic::plan_from_ini(parse("[traffic]\nheadway = 2\n")),
+               std::runtime_error);
+  EXPECT_THROW(traffic::plan_from_ini(parse("[traffic]\nregime = chaos\n")),
+               std::runtime_error);
+  EXPECT_THROW(traffic::plan_from_ini(
+                   parse("[traffic.0]\ngx = 1\ngy = 1\ncolour = red\n")),
+               std::runtime_error);
+  EXPECT_THROW(traffic::plan_from_ini(parse(
+                   "[traffic.0]\ngx = 1\ngy = 1\ncontroller = psychic\n")),
+               std::runtime_error);
+  EXPECT_THROW(
+      traffic::plan_from_ini(parse("[platoon]\ncount = 1\nsze = 3\n")),
+      std::runtime_error);
+}
+
+TEST(TrafficPlanParse, RejectsNumberingGapAndDuplicates) {
+  // [traffic.0] + [traffic.2] skips 1: rejected like fault/adversary plans.
+  EXPECT_THROW(traffic::plan_from_ini(parse(R"(
+[traffic.0]
+gx = 1
+gy = 1
+[traffic.2]
+gx = 2
+gy = 2
+)")),
+               std::runtime_error);
+  // Two signals on the same intersection make queue ownership ambiguous.
+  EXPECT_THROW(traffic::plan_from_ini(parse(R"(
+[traffic.0]
+gx = 1
+gy = 1
+[traffic.1]
+gx = 1
+gy = 1
+)")),
+               std::runtime_error);
+}
+
+TEST(TrafficPlanParse, ValidatesPlatoonShape) {
+  EXPECT_THROW(traffic::plan_from_ini(parse("[platoon]\ncount = -1\n")),
+               std::runtime_error);
+  // A "platoon" of one vehicle is just a vehicle.
+  EXPECT_THROW(
+      traffic::plan_from_ini(parse("[platoon]\ncount = 1\nsize = 1\n")),
+      std::runtime_error);
+}
+
+// ------------------------------------------------------- fleet generation --
+
+mobility::CityModelConfig test_city(std::uint64_t seed = 11) {
+  mobility::CityModelConfig city;
+  city.city_size_m = 600.0;   // 5x5 intersection grid (block 150 m)
+  city.block_size_m = 150.0;
+  city.duration_s = 1800.0;
+  city.seed = seed;
+  return city;
+}
+
+traffic::TrafficPlan signal_plan() {
+  return traffic::plan_from_ini(parse(R"(
+[traffic]
+regime = signalized
+[traffic.0]
+gx = 1
+gy = 1
+green_ns_s = 20
+green_ew_s = 20
+[traffic.1]
+gx = 2
+gy = 2
+controller = actuated
+[traffic.2]
+gx = 3
+gy = 1
+[traffic.3]
+gx = 1
+gy = 3
+[traffic.4]
+gx = 2
+gy = 1
+controller = actuated
+)"));
+}
+
+bool same_track(const mobility::VehicleTrack& a,
+                const mobility::VehicleTrack& b) {
+  const auto& sa = a.trace.samples();
+  const auto& sb = b.trace.samples();
+  if (sa.size() != sb.size()) return false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].time_s != sb[i].time_s || !(sa[i].position == sb[i].position))
+      return false;
+  }
+  const auto& ia = a.ignition.intervals();
+  const auto& ib = b.ignition.intervals();
+  if (ia.size() != ib.size()) return false;
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    if (ia[i].start_s != ib[i].start_s || ia[i].end_s != ib[i].end_s)
+      return false;
+  }
+  return true;
+}
+
+TEST(TrafficFleet, InactivePlanIsBitIdenticalToCityFleet) {
+  const auto city = test_city();
+  traffic::TrafficPlan plan = signal_plan();
+  plan.regime = traffic::Regime::kFreeFlow;  // configured but inert
+  const traffic::TrafficFleet shaped =
+      traffic::make_traffic_fleet(16, city, plan);
+  const mobility::FleetModel baseline = mobility::make_city_fleet(16, city);
+  EXPECT_TRUE(shaped.timeline.configured);
+  EXPECT_TRUE(shaped.timeline.empty());
+  EXPECT_EQ(shaped.timeline.total_stops, 0U);
+  ASSERT_EQ(shaped.fleet.vehicle_count(), baseline.vehicle_count());
+  for (std::size_t v = 0; v < baseline.vehicle_count(); ++v) {
+    EXPECT_TRUE(same_track(shaped.fleet.vehicle(v), baseline.vehicle(v)))
+        << "vehicle " << v;
+  }
+}
+
+TEST(TrafficFleet, SignalizedFleetStopsAndIsDeterministic) {
+  const auto city = test_city();
+  const traffic::TrafficPlan plan = signal_plan();
+  const traffic::TrafficFleet a = traffic::make_traffic_fleet(24, city, plan);
+  const traffic::TrafficFleet b = traffic::make_traffic_fleet(24, city, plan);
+
+  EXPECT_EQ(a.timeline.signal_count, 5U);
+  EXPECT_GT(a.timeline.phases.size(), 10U);
+  EXPECT_GT(a.timeline.total_stops, 0U);
+  EXPECT_GT(a.timeline.max_queue_len, 0U);
+  EXPECT_GT(a.timeline.total_stop_time_s, 0.0);
+  EXPECT_EQ(a.timeline.total_stops, a.timeline.stops.size());
+
+  // Same inputs, same timeline — field for field.
+  ASSERT_EQ(a.timeline.phases.size(), b.timeline.phases.size());
+  for (std::size_t i = 0; i < a.timeline.phases.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.timeline.phases[i].time_s, b.timeline.phases[i].time_s);
+    EXPECT_EQ(a.timeline.phases[i].signal, b.timeline.phases[i].signal);
+    EXPECT_EQ(a.timeline.phases[i].ns_green, b.timeline.phases[i].ns_green);
+    EXPECT_EQ(a.timeline.phases[i].ns_queue, b.timeline.phases[i].ns_queue);
+    EXPECT_EQ(a.timeline.phases[i].ew_queue, b.timeline.phases[i].ew_queue);
+  }
+  ASSERT_EQ(a.timeline.stops.size(), b.timeline.stops.size());
+  for (std::size_t i = 0; i < a.timeline.stops.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.timeline.stops[i].arrive_s,
+                     b.timeline.stops[i].arrive_s);
+    EXPECT_DOUBLE_EQ(a.timeline.stops[i].depart_s,
+                     b.timeline.stops[i].depart_s);
+    EXPECT_EQ(a.timeline.stops[i].vehicle, b.timeline.stops[i].vehicle);
+  }
+  for (std::size_t v = 0; v < a.fleet.vehicle_count(); ++v) {
+    EXPECT_TRUE(same_track(a.fleet.vehicle(v), b.fleet.vehicle(v)));
+  }
+
+  // Phase changes are time-ordered: the runtime schedules them by index.
+  for (std::size_t i = 1; i < a.timeline.phases.size(); ++i) {
+    EXPECT_LE(a.timeline.phases[i - 1].time_s, a.timeline.phases[i].time_s);
+  }
+}
+
+TEST(TrafficFleet, QueuesDrainInFifoOrder) {
+  const traffic::TrafficFleet shaped =
+      traffic::make_traffic_fleet(24, test_city(), signal_plan());
+  ASSERT_GT(shaped.timeline.stops.size(), 0U);
+  // Per approach (signal, axis): sort stops by arrival; departures must
+  // follow the same order — nobody overtakes inside the queue.
+  std::map<std::pair<std::uint32_t, bool>, std::vector<traffic::StopRecord>>
+      approaches;
+  for (const traffic::StopRecord& stop : shaped.timeline.stops) {
+    EXPECT_GT(stop.depart_s, stop.arrive_s);
+    approaches[{stop.signal, stop.ns_axis}].push_back(stop);
+  }
+  for (auto& [key, stops] : approaches) {
+    std::sort(stops.begin(), stops.end(),
+              [](const traffic::StopRecord& a, const traffic::StopRecord& b) {
+                return a.arrive_s < b.arrive_s;
+              });
+    for (std::size_t i = 1; i < stops.size(); ++i) {
+      EXPECT_LT(stops[i - 1].depart_s, stops[i].depart_s)
+          << "overtake at signal " << key.first;
+    }
+  }
+}
+
+TEST(TrafficFleet, UnstoppedVehiclesKeepBitIdenticalTracks) {
+  const auto city = test_city();
+  const traffic::TrafficFleet shaped =
+      traffic::make_traffic_fleet(24, city, signal_plan());
+  const mobility::FleetModel baseline = mobility::make_city_fleet(24, city);
+  std::vector<bool> stopped(24, false);
+  for (const traffic::StopRecord& stop : shaped.timeline.stops) {
+    stopped[stop.vehicle] = true;
+  }
+  std::size_t untouched = 0;
+  for (std::size_t v = 0; v < 24; ++v) {
+    if (stopped[v]) continue;
+    ++untouched;
+    EXPECT_TRUE(same_track(shaped.fleet.vehicle(v), baseline.vehicle(v)))
+        << "vehicle " << v << " never stopped but its track changed";
+  }
+  EXPECT_GT(untouched, 0U);  // the grid is sparse enough that someone cruises
+}
+
+TEST(TrafficFleet, RejectsOffGridSignalsAndOversizedPlatoons) {
+  const auto city = test_city();
+  traffic::TrafficPlan off_grid;
+  off_grid.signals.push_back({.gx = 7, .gy = 0});  // grid is 5x5
+  EXPECT_THROW(traffic::make_traffic_fleet(8, city, off_grid),
+               std::invalid_argument);
+
+  traffic::TrafficPlan too_many;
+  too_many.platoons.count = 3;
+  too_many.platoons.size = 4;  // 12 platoon vehicles out of 8
+  EXPECT_THROW(traffic::make_traffic_fleet(8, city, too_many),
+               std::invalid_argument);
+}
+
+TEST(TrafficFleet, FollowersAreHeadwayShiftedLeaderReplays) {
+  const auto city = test_city(29);
+  traffic::TrafficPlan plan;
+  plan.regime = traffic::Regime::kPlatooned;
+  plan.platoons.count = 2;
+  plan.platoons.size = 3;
+  plan.platoons.headway_s = 1.25;
+  const traffic::TrafficFleet shaped =
+      traffic::make_traffic_fleet(12, city, plan);
+  EXPECT_EQ(shaped.timeline.platoon_count, 2U);
+  // No join/leave/split probability: exactly one formation per platoon.
+  ASSERT_EQ(shaped.timeline.maneuvers.size(), 2U);
+  for (const traffic::Maneuver& m : shaped.timeline.maneuvers) {
+    EXPECT_EQ(m.kind, traffic::ManeuverKind::kFormation);
+    EXPECT_EQ(m.size_after, 3U);
+  }
+  // Platoons own the tail of the vehicle range: leaders at 6 and 9.
+  for (std::size_t p = 0; p < 2; ++p) {
+    const std::size_t leader = 6 + p * 3;
+    const mobility::VehicleTrack& lead = shaped.fleet.vehicle(leader);
+    for (std::size_t k = 1; k < 3; ++k) {
+      const double shift = static_cast<double>(k) * 1.25;
+      const mobility::VehicleTrack& follower =
+          shaped.fleet.vehicle(leader + k);
+      const auto& samples = follower.trace.samples();
+      ASSERT_GT(samples.size(), 2U);
+      for (std::size_t i = 1; i < samples.size(); ++i) {
+        const mobility::Position expect =
+            lead.trace.position_at(samples[i].time_s - shift);
+        EXPECT_NEAR(samples[i].position.x, expect.x, 1e-9);
+        EXPECT_NEAR(samples[i].position.y, expect.y, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TrafficFleet, ManeuverSizesStayConsistent) {
+  const auto city = test_city(31);
+  traffic::TrafficPlan plan;
+  plan.regime = traffic::Regime::kPlatooned;
+  plan.platoons.count = 2;
+  plan.platoons.size = 4;
+  plan.platoons.join_probability = 1.0;
+  plan.platoons.leave_probability = 1.0;
+  plan.platoons.split_probability = 1.0;
+  const traffic::TrafficFleet shaped =
+      traffic::make_traffic_fleet(16, city, plan);
+  // join + leave + split certain: 4 maneuvers per platoon.
+  EXPECT_EQ(shaped.timeline.maneuvers.size(), 8U);
+  std::map<std::uint32_t, std::uint32_t> size_of;
+  for (const traffic::Maneuver& m : shaped.timeline.maneuvers) {
+    switch (m.kind) {
+      case traffic::ManeuverKind::kFormation:
+        size_of[m.platoon] = m.size_after;
+        break;
+      case traffic::ManeuverKind::kJoin:
+        EXPECT_EQ(m.size_after, size_of[m.platoon] + 1);
+        size_of[m.platoon] = m.size_after;
+        break;
+      case traffic::ManeuverKind::kLeave:
+        EXPECT_EQ(m.size_after, size_of[m.platoon] - 1);
+        size_of[m.platoon] = m.size_after;
+        break;
+      case traffic::ManeuverKind::kSplit:
+        EXPECT_LT(m.size_after, size_of[m.platoon]);
+        size_of[m.platoon] = m.size_after;
+        break;
+    }
+    EXPECT_GE(m.size_after, 1U);  // the leader never leaves its own platoon
+  }
+}
+
+// -------------------------------------------------------- experiments -----
+
+std::string traffic_ini(const std::string& regime) {
+  return R"([scenario]
+vehicles = 16
+rsus = 1
+seed = 37
+horizon_s = 900
+
+[city]
+size_m = 600
+block_m = 150
+duration_s = 900
+initial_on = 1.0
+
+[workload]
+kind = telemetry
+objective = density
+dims = 3
+components = 2
+rate_per_s = 1.0
+recent_window = 120
+eval_every_s = 60
+eval_samples = 100
+
+[train]
+epochs = 1
+
+[strategy]
+name = federated
+rounds = 15
+participants = 4
+round_duration_s = 60
+
+[traffic]
+regime = )" + regime +
+         R"(
+[traffic.0]
+gx = 1
+gy = 1
+green_ns_s = 20
+green_ew_s = 20
+[traffic.1]
+gx = 2
+gy = 2
+controller = actuated
+[traffic.2]
+gx = 3
+gy = 1
+[traffic.3]
+gx = 1
+gy = 3
+
+[platoon]
+count = 2
+size = 3
+join_probability = 1.0
+leave_probability = 1.0
+split_probability = 1.0
+)";
+}
+
+TEST(TrafficExperiment, SignalizedRunExportsTrafficCounters) {
+  const scenario::RunResult result =
+      scenario::run_experiment(parse(traffic_ini("platooned")));
+  EXPECT_DOUBLE_EQ(result.metrics.counter("traffic_signals"), 4.0);
+  EXPECT_GT(result.metrics.counter("traffic_phase_changes"), 0.0);
+  EXPECT_GT(result.metrics.counter("traffic_total_stops"), 0.0);
+  EXPECT_GT(result.metrics.counter("traffic_total_stop_time_s"), 0.0);
+  EXPECT_GT(result.metrics.counter("traffic_max_queue_len"), 0.0);
+  EXPECT_GT(result.metrics.counter("traffic_mean_stop_s"), 0.0);
+  EXPECT_DOUBLE_EQ(result.metrics.counter("platoon_count"), 2.0);
+  EXPECT_DOUBLE_EQ(result.metrics.counter("platoon_maneuvers"), 8.0);
+  EXPECT_DOUBLE_EQ(result.metrics.counter("platoon_joins"), 2.0);
+  EXPECT_DOUBLE_EQ(result.metrics.counter("platoon_leaves"), 2.0);
+  EXPECT_DOUBLE_EQ(result.metrics.counter("platoon_splits"), 2.0);
+  ASSERT_TRUE(result.metrics.has_series("traffic_queue_len"));
+  ASSERT_TRUE(result.metrics.has_series("platoon_members"));
+}
+
+TEST(TrafficExperiment, FreeFlowKeepsCountersAtZeroButPresent) {
+  // regime=free_flow must export the same counter set (zeros), so a regime
+  // sweep aggregates into one CSV column set.
+  const scenario::RunResult result =
+      scenario::run_experiment(parse(traffic_ini("free_flow")));
+  EXPECT_DOUBLE_EQ(result.metrics.counter("traffic_total_stops"), 0.0);
+  EXPECT_DOUBLE_EQ(result.metrics.counter("traffic_phase_changes"), 0.0);
+  EXPECT_DOUBLE_EQ(result.metrics.counter("platoon_maneuvers"), 0.0);
+  const std::vector<std::string> names = result.metrics.counter_names();
+  const auto has = [&](const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  EXPECT_TRUE(has("traffic_signals"));
+  EXPECT_TRUE(has("traffic_max_queue_len"));
+  EXPECT_TRUE(has("platoon_count"));
+  EXPECT_TRUE(has("platoon_members_final"));
+}
+
+TEST(TrafficExperiment, SignalsMeasurablyShiftTheOutcome) {
+  const scenario::RunResult free_flow =
+      scenario::run_experiment(parse(traffic_ini("free_flow")));
+  const scenario::RunResult signalized =
+      scenario::run_experiment(parse(traffic_ini("signalized")));
+  // Queueing reshapes encounter opportunities: the metrics streams cannot
+  // be byte-identical, and the final score moves.
+  std::ostringstream a, b;
+  free_flow.metrics.export_csv(a);
+  signalized.metrics.export_csv(b);
+  EXPECT_NE(a.str(), b.str());
+  EXPECT_NE(free_flow.final_accuracy, signalized.final_accuracy);
+}
+
+TEST(TrafficExperiment, SameSeedSameMetricsBytes) {
+  const auto ini = parse(traffic_ini("platooned"));
+  const scenario::RunResult a = scenario::run_experiment(ini);
+  const scenario::RunResult b = scenario::run_experiment(ini);
+  std::ostringstream csv_a, csv_b;
+  a.metrics.export_csv(csv_a);
+  b.metrics.export_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+}
+
+TEST(TrafficExperiment, RejectsTrafficPlanOnExternalFleet) {
+  auto cfg = scenario::scenario_from_ini(parse(traffic_ini("signalized")));
+  cfg.external_fleet = std::make_shared<mobility::FleetModel>(
+      mobility::make_city_fleet(16, test_city()));
+  EXPECT_THROW(scenario::Scenario{cfg}, std::invalid_argument);
+}
+
+// ---------------------------------------------- campaign determinism ------
+
+campaign::CampaignSpec traffic_spec() {
+  campaign::CampaignSpec spec;
+  spec.name = "traffic_determinism";
+  spec.base = util::IniFile::parse(traffic_ini("auto"));
+  spec.grid = {
+      {"traffic", "regime", {"free_flow", "signalized", "platooned"}}};
+  spec.seeds_per_point = 1;
+  spec.base_seed = 41;
+  return spec;
+}
+
+std::string records_bytes(const std::vector<campaign::JobRecord>& records) {
+  std::string out;
+  for (campaign::JobRecord record : records) {
+    record.wall_seconds = 0.0;  // host wall-clock: outside the contract
+    dist::encode_record(record, out);
+  }
+  return out;
+}
+
+TEST(TrafficCampaign, WorkerCountDoesNotChangeTheBytes) {
+  const campaign::CampaignSpec spec = traffic_spec();
+  campaign::EngineOptions serial;
+  serial.workers = 1;
+  campaign::EngineOptions wide;
+  wide.workers = 4;
+  const campaign::CampaignResult one = campaign::run_campaign(spec, serial);
+  const campaign::CampaignResult four = campaign::run_campaign(spec, wide);
+  ASSERT_EQ(one.records.size(), 3U);
+  EXPECT_EQ(records_bytes(one.records), records_bytes(four.records));
+  std::ostringstream a, b;
+  campaign::write_aggregate_csv(a, campaign::summarize(one.records));
+  campaign::write_aggregate_csv(b, campaign::summarize(four.records));
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(TrafficCampaign, DistributedRunMatchesInProcessEngine) {
+  const campaign::CampaignSpec spec = traffic_spec();
+  campaign::EngineOptions local;
+  local.workers = 2;
+  const campaign::CampaignResult reference =
+      campaign::run_campaign(spec, local);
+
+  dist::CoordinatorOptions copts;
+  copts.host = "127.0.0.1";
+  dist::Coordinator coordinator{spec, copts};
+  const std::uint16_t port = coordinator.port();
+  ASSERT_GT(port, 0);
+  dist::CoordinatorResult result;
+  std::thread serve_thread{[&] { result = coordinator.serve(); }};
+  dist::WorkerOptions wopts;
+  wopts.host = "127.0.0.1";
+  wopts.port = port;
+  wopts.name = "traffic-worker";
+  const dist::WorkerReport report = dist::run_worker(wopts);
+  serve_thread.join();
+
+  EXPECT_EQ(report.shutdown_reason, "campaign complete");
+  ASSERT_EQ(result.records.size(), reference.records.size());
+  EXPECT_EQ(records_bytes(result.records), records_bytes(reference.records));
+}
+
+// ----------------------------------------------------------- checkpoint ---
+
+TEST(TrafficCheckpoint, MidRedPhaseRoundTripIsBitIdentical) {
+  const auto ini = parse(traffic_ini("platooned"));
+  const fs::path snap = fs::temp_directory_path() / "rr_traffic_rt.rrck";
+  fs::remove(snap);
+
+  auto run_full = [&](const std::string& snap_path) {
+    scenario::Scenario scn{scenario::scenario_from_ini(ini)};
+    auto strategy = scenario::strategy_from_ini(ini);
+    auto sim = scn.make_simulator();
+    sim->set_strategy(strategy);
+    bool saved = false;
+    if (!snap_path.empty()) {
+      // 450 s: inside the signal cycle (every axis has pending phase
+      // events), platoon maneuvers split across the save point — the live
+      // phase vector, queue gauges, and platoon sizes are all mid-flight.
+      sim->set_autosave(450.0, [&](core::Simulator& s) {
+        if (saved) return;
+        saved = true;
+        checkpoint::save(s, ini, snap_path);
+      });
+    }
+    (void)sim->run();
+    std::ostringstream trace, metrics;
+    sim->trace().export_csv(trace);
+    sim->metrics_view().export_csv(metrics);
+    return std::pair<std::string, std::string>{trace.str(), metrics.str()};
+  };
+
+  const auto uninterrupted = run_full({});
+  const auto snapshotting = run_full(snap.string());
+  EXPECT_EQ(uninterrupted.first, snapshotting.first);
+  ASSERT_TRUE(fs::exists(snap));
+  const checkpoint::SnapshotInfo info = checkpoint::peek(snap.string());
+  EXPECT_EQ(info.format_version, checkpoint::kFormatVersion);
+
+  checkpoint::RestoredRun resumed = checkpoint::restore(snap.string());
+  (void)resumed.simulator->run();
+  std::ostringstream trace, metrics;
+  resumed.simulator->trace().export_csv(trace);
+  resumed.simulator->metrics_view().export_csv(metrics);
+  EXPECT_EQ(uninterrupted.first, trace.str());
+  EXPECT_EQ(uninterrupted.second, metrics.str());
+  fs::remove(snap);
+}
+
+TEST(TrafficCheckpoint, ForkCannotSwapTheTrafficPlan) {
+  const auto ini = parse(traffic_ini("platooned"));
+  const fs::path snap = fs::temp_directory_path() / "rr_traffic_fork.rrck";
+  fs::remove(snap);
+  {
+    scenario::Scenario scn{scenario::scenario_from_ini(ini)};
+    auto sim = scn.make_simulator();
+    sim->set_strategy(scenario::strategy_from_ini(ini));
+    checkpoint::save(*sim, ini, snap.string());
+  }
+  // Deactivating the plan under saved signal/queue state must be rejected:
+  // the snapshot carries a traffic section the rebuilt run cannot absorb.
+  EXPECT_THROW(
+      checkpoint::fork(snap.string(), {{"traffic.regime", "free_flow"}}),
+      std::runtime_error);
+  // Harmless overrides still fork fine.
+  checkpoint::RestoredRun what_if =
+      checkpoint::fork(snap.string(), {{"network.v2c_loss", "0.2"}});
+  EXPECT_NE(what_if.simulator, nullptr);
+  fs::remove(snap);
+}
+
+TEST(TrafficCheckpoint, PriorFormatGoldenSnapshotStillRestores) {
+  // Committed fixture generated by the last release that wrote format v4,
+  // BEFORE the traffic section existed. Restoring it and finishing must
+  // reproduce a fresh run of its embedded experiment byte-for-byte: format
+  // v5 readers stay backward compatible one version.
+  const fs::path dir{RR_TEST_DATA_DIR};
+  const fs::path snap = dir / "checkpoint_v4_golden.rrck";
+  const fs::path ini_path = dir / "checkpoint_v4_golden.ini";
+  ASSERT_TRUE(fs::exists(snap)) << snap;
+  ASSERT_TRUE(fs::exists(ini_path)) << ini_path;
+
+  const checkpoint::SnapshotInfo info = checkpoint::peek(snap.string());
+  EXPECT_EQ(info.format_version, 4U);
+  EXPECT_LT(info.format_version, checkpoint::kFormatVersion);
+
+  checkpoint::RestoredRun resumed = checkpoint::restore(snap.string());
+  const scenario::RunResult finished = resumed.finish();
+  const scenario::RunResult fresh =
+      scenario::run_experiment(util::IniFile::load(ini_path.string()));
+  EXPECT_DOUBLE_EQ(finished.final_accuracy, fresh.final_accuracy);
+  std::ostringstream a, b;
+  finished.metrics.export_csv(a);
+  fresh.metrics.export_csv(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace roadrunner

@@ -680,7 +680,7 @@ TEST(WorkloadCheckpoint, MidDriftRoundTripIsBitIdentical) {
   EXPECT_EQ(uninterrupted.first, snapshotting.first);
   ASSERT_TRUE(fs::exists(snap));
   const checkpoint::SnapshotInfo info = checkpoint::peek(snap.string());
-  EXPECT_EQ(info.format_version, 4U);
+  EXPECT_EQ(info.format_version, checkpoint::kFormatVersion);
 
   checkpoint::RestoredRun resumed = checkpoint::restore(snap.string());
   (void)resumed.simulator->run();

@@ -74,13 +74,14 @@ legitimately needs a clock read, suppress with
     "unordered-iter": {
         "summary": "iteration over unordered containers in order-sensitive dirs",
         "scope": "src/checkpoint/, src/metrics/, src/core/, src/fault/, "
-                 "src/adversary/, src/workload/",
+                 "src/adversary/, src/workload/, src/traffic/",
         "explain": """\
-checkpoint/, metrics/, core/, fault/, adversary/ and workload/ feed
-serialization and metric export, where emission order is part of the
+checkpoint/, metrics/, core/, fault/, adversary/, workload/ and traffic/
+feed serialization and metric export, where emission order is part of the
 byte-identical contract (adversary/ additionally snapshots its RNG and
-attack state into checkpoints, and workload/ synthesizes the telemetry
-stream that must be bit-identical across --workers counts).
+attack state into checkpoints; workload/ synthesizes the telemetry
+stream and traffic/ the queue-shaped fleet + signal/platoon timeline,
+both of which must be bit-identical across --workers counts).
 Iterating a std::unordered_map/set there makes output depend on
 hash-bucket layout — stable on one build, silently different on another
 stdlib or after a rehash, which breaks checkpoint round-trips and
@@ -137,7 +138,7 @@ documented registry of dynamic metric families.""",
 
 # Directories (as posix path fragments) with special roles.
 ORDER_SENSITIVE_DIRS = ("/checkpoint/", "/metrics/", "/core/", "/fault/",
-                        "/adversary/", "/workload/")
+                        "/adversary/", "/workload/", "/traffic/")
 WALL_CLOCK_EXEMPT = ("/telemetry/", "/util/")
 RNG_HOME = "/util/rng."
 THREAD_HOME = "/util/thread_pool."
