@@ -113,6 +113,11 @@ RestoredRun fork(const std::string& path,
 /// Reads and validates only the snapshot's metadata.
 SnapshotInfo peek(const std::string& path);
 
+/// peek() over an in-memory snapshot image instead of a file — the same
+/// magic/version/CRC/section-table validation with "<memory>" standing in
+/// for the path in error messages. Fuzz-harness entry point.
+SnapshotInfo peek_bytes(const std::string& image);
+
 /// Crash-safe experiment driver: if `ckpt_path` exists, resume from it;
 /// otherwise start fresh. Either way, autosave to `ckpt_path` every
 /// `every_s` simulated seconds (<= 0: use the experiment's

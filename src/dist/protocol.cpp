@@ -114,6 +114,13 @@ campaign::JobRecord decode_record(const std::string& payload) {
   record.strategy_name = r.str();
   record.wall_seconds = r.f64();
   const std::uint64_t n = r.u64();
+  // Each metric costs at least 16 payload bytes (u64 name length + f64
+  // value), so a count beyond remaining/16 is a corrupt or hostile prefix —
+  // reject it before reserve() turns it into a giant allocation.
+  if (n > r.remaining() / 16) {
+    throw std::runtime_error{"dist: metric count " + std::to_string(n) +
+                             " exceeds the payload's capacity"};
+  }
   record.metrics.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     std::string name = r.str();

@@ -183,7 +183,13 @@ FleetModel load_fleet_fcd(const std::string& path, const FcdOptions& options) {
   if (!in) throw std::runtime_error{"fcd: cannot open " + path};
   std::ostringstream buf;
   buf << in.rdbuf();
-  XmlScanner scan{buf.str(), path};
+  return load_fleet_fcd_text(buf.str(), options, path);
+}
+
+FleetModel load_fleet_fcd_text(const std::string& xml,
+                               const FcdOptions& options,
+                               const std::string& path) {
+  XmlScanner scan{xml, path};
 
   std::optional<Tag> root = scan.next();
   if (!root || root->closing || root->name != "fcd-export") {

@@ -45,4 +45,11 @@ struct FcdOptions {
 FleetModel load_fleet_fcd(const std::string& path,
                           const FcdOptions& options = {});
 
+/// In-memory variant over raw FCD-XML text — identical validation, with
+/// `path` used only for error-message context. Fuzz-harness entry point;
+/// also convenient for tests that build exports inline.
+FleetModel load_fleet_fcd_text(const std::string& xml,
+                               const FcdOptions& options = {},
+                               const std::string& path = "<fcd>");
+
 }  // namespace roadrunner::mobility

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/csv.hpp"
@@ -27,9 +28,7 @@ struct NumberedRow {
                            std::to_string(line) + ": " + msg};
 }
 
-std::vector<NumberedRow> read_rows(const std::string& path) {
-  std::ifstream in{path};
-  if (!in) throw std::runtime_error{"trace_file: cannot open " + path};
+std::vector<NumberedRow> read_rows(std::istream& in) {
   auto raw = util::read_csv(in);
   std::vector<NumberedRow> rows;
   rows.reserve(raw.size());
@@ -46,13 +45,35 @@ std::vector<NumberedRow> read_rows(const std::string& path) {
   return rows;
 }
 
+std::vector<NumberedRow> read_rows_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"trace_file: cannot open " + path};
+  return read_rows(in);
+}
+
+/// Largest vehicle id a trace row may carry. Ids must be dense 0..N-1
+/// anyway, so this only bounds how much `samples` can grow on a hostile id
+/// before the density check would reject the file — without the cap a
+/// single row saying "99999999999,..." forces a multi-gigabyte resize (or a
+/// std::stoull out_of_range that escapes the fail() contract entirely).
+constexpr std::size_t kMaxVehicleId = 2'000'000;
+
 std::size_t parse_id(const std::string& path, const NumberedRow& row,
                      const std::string& value) {
   if (value.empty() ||
       value.find_first_not_of("0123456789") != std::string::npos) {
     fail(path, row.line, "vehicle id '" + value + "' is not a whole number");
   }
-  return static_cast<std::size_t>(std::stoull(value));
+  std::size_t id = 0;
+  for (const char c : value) {
+    id = id * 10 + static_cast<std::size_t>(c - '0');
+    if (id > kMaxVehicleId) {
+      fail(path, row.line, "vehicle id '" + value + "' exceeds the " +
+                               std::to_string(kMaxVehicleId) +
+                               " vehicle limit");
+    }
+  }
+  return id;
 }
 
 double parse_value(const std::string& path, const NumberedRow& row,
@@ -69,14 +90,16 @@ double parse_value(const std::string& path, const NumberedRow& row,
   return parsed;
 }
 
-FleetModel build_fleet(const std::string& traces_path,
+FleetModel build_fleet(const std::vector<NumberedRow>& trace_rows,
+                       const std::string& traces_path,
+                       const std::vector<NumberedRow>& ignition_rows,
                        const std::string& ignition_path, bool geo,
                        const GeoPoint& reference) {
   struct RawSample {
     double t, a, b;
   };
   std::vector<std::vector<RawSample>> samples;
-  for (const auto& row : read_rows(traces_path)) {
+  for (const auto& row : trace_rows) {
     if (row.fields.size() != 4) {
       fail(traces_path, row.line,
            "traces row needs 4 fields (vehicle_id,time_s,x,y), got " +
@@ -91,7 +114,7 @@ FleetModel build_fleet(const std::string& traces_path,
   }
 
   std::vector<std::vector<OnInterval>> intervals(samples.size());
-  for (const auto& row : read_rows(ignition_path)) {
+  for (const auto& row : ignition_rows) {
     if (row.fields.size() != 3) {
       fail(ignition_path, row.line,
            "ignition row needs 3 fields (vehicle_id,start_s,end_s), got " +
@@ -122,6 +145,16 @@ FleetModel build_fleet(const std::string& traces_path,
     }
     std::sort(raw.begin(), raw.end(),
               [](const RawSample& x, const RawSample& y) { return x.t < y.t; });
+    // Trace's constructor demands strictly increasing timestamps; catch the
+    // duplicate here so the caller gets the documented runtime_error with
+    // file context instead of a bare invalid_argument.
+    for (std::size_t i = 1; i < raw.size(); ++i) {
+      if (raw[i].t == raw[i - 1].t) {
+        throw std::runtime_error{
+            "trace_file: " + traces_path + ": vehicle " + std::to_string(id) +
+            " has two samples at time " + std::to_string(raw[i].t)};
+      }
+    }
     std::vector<TraceSample> ts;
     ts.reserve(raw.size());
     for (const auto& s : raw) {
@@ -152,13 +185,25 @@ FleetModel build_fleet(const std::string& traces_path,
 
 FleetModel load_fleet_csv(const std::string& traces_path,
                           const std::string& ignition_path) {
-  return build_fleet(traces_path, ignition_path, /*geo=*/false, GeoPoint{});
+  return build_fleet(read_rows_file(traces_path), traces_path,
+                     read_rows_file(ignition_path), ignition_path,
+                     /*geo=*/false, GeoPoint{});
 }
 
 FleetModel load_fleet_csv_geo(const std::string& traces_path,
                               const std::string& ignition_path,
                               const GeoPoint& reference) {
-  return build_fleet(traces_path, ignition_path, /*geo=*/true, reference);
+  return build_fleet(read_rows_file(traces_path), traces_path,
+                     read_rows_file(ignition_path), ignition_path,
+                     /*geo=*/true, reference);
+}
+
+FleetModel load_fleet_csv_text(const std::string& traces_csv,
+                               const std::string& ignition_csv) {
+  std::istringstream traces{traces_csv};
+  std::istringstream ignition{ignition_csv};
+  return build_fleet(read_rows(traces), "<traces>", read_rows(ignition),
+                     "<ignition>", /*geo=*/false, GeoPoint{});
 }
 
 void save_fleet_csv(const FleetModel& fleet, const std::string& traces_path,

@@ -32,4 +32,11 @@ FleetModel load_fleet_csv_geo(const std::string& traces_path,
                               const std::string& ignition_path,
                               const GeoPoint& reference);
 
+/// In-memory variant over raw CSV text — identical validation to
+/// load_fleet_csv, with "<traces>"/"<ignition>" standing in for the file
+/// names in error messages. This is the entry point the fuzz harness
+/// drives, and it is handy in tests that do not want temp files.
+FleetModel load_fleet_csv_text(const std::string& traces_csv,
+                               const std::string& ignition_csv);
+
 }  // namespace roadrunner::mobility

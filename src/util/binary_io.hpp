@@ -118,9 +118,16 @@ class BinReader {
   [[nodiscard]] bool done() const { return pos_ == data_.size(); }
 
  private:
-  void need(std::size_t n) const {
-    if (data_.size() - pos_ < n) {
-      throw std::runtime_error{"BinReader: truncated input"};
+  // Length fields come off the wire as u64; the comparison must happen in
+  // 64 bits so a hostile length cannot wrap through a size_t narrowing on
+  // 32-bit hosts. Called before every read/allocation: a length larger
+  // than the remaining bytes is a clean error, never an allocation.
+  void need(std::uint64_t n) const {
+    const std::uint64_t left = data_.size() - pos_;
+    if (n > left) {
+      throw std::runtime_error{
+          "BinReader: truncated input (need " + std::to_string(n) +
+          " byte(s), " + std::to_string(left) + " left)"};
     }
   }
   std::uint64_t len(std::uint64_t n) const {

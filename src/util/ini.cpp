@@ -16,11 +16,14 @@ std::string trim(const std::string& s) {
 }
 
 /// Removes an inline comment: '#' or ';' at line start or preceded by
-/// whitespace begins a comment (values therefore cannot contain " #").
+/// whitespace or '=' begins a comment (values therefore cannot contain
+/// " #", nor *start* with a comment character). The '=' case keeps parse
+/// and to_string symmetric: "k=;x" must not smuggle in a value ";x" that
+/// to_string would re-emit as "k = ;x" — where the ';' reads as a comment.
 std::string strip_comment(const std::string& s) {
   for (std::size_t i = 0; i < s.size(); ++i) {
     if ((s[i] == '#' || s[i] == ';') &&
-        (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+        (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t' || s[i - 1] == '=')) {
       return s.substr(0, i);
     }
   }
@@ -34,6 +37,7 @@ IniFile IniFile::parse(const std::string& text) {
   std::istringstream in{text};
   std::string line;
   std::string section;
+  bool in_section = false;
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
@@ -45,12 +49,27 @@ IniFile IniFile::parse(const std::string& text) {
                                  std::to_string(line_no)};
       }
       section = trim(t.substr(1, t.size() - 2));
+      // "[ ]" would round-trip through to_string() as "[]", which this
+      // very parser rejects — an empty name can never be written, so it
+      // must not be readable either.
+      if (section.empty()) {
+        throw std::runtime_error{"IniFile: empty section name at line " +
+                                 std::to_string(line_no)};
+      }
+      in_section = true;
       ini.data_[section];  // section may stay empty
       continue;
     }
     const auto eq = t.find('=');
     if (eq == std::string::npos) {
       throw std::runtime_error{"IniFile: expected key=value at line " +
+                               std::to_string(line_no)};
+    }
+    // A key before any [section] header would land in a nameless section
+    // no getter can address (and to_string() could not re-emit). Reject it
+    // loudly — it is almost always a typo'd or forgotten header.
+    if (!in_section) {
+      throw std::runtime_error{"IniFile: key outside any [section] at line " +
                                std::to_string(line_no)};
     }
     const std::string key = trim(t.substr(0, eq));

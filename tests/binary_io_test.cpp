@@ -1,0 +1,157 @@
+// Truncation and hostile-length regression tests for util::BinReader /
+// BinWriter — the primitives every untrusted parser (RRCK snapshots, the
+// dist wire protocol) is built on. A length field larger than the
+// remaining bytes must be a clean runtime_error before any allocation,
+// mirroring the dist recv_exact fix.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "util/binary_io.hpp"
+
+namespace roadrunner::util {
+namespace {
+
+TEST(BinaryIo, ScalarRoundTrip) {
+  BinWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.5);
+  w.boolean(true);
+  w.str("hello");
+  w.bytes({1, 2, 3});
+
+  BinReader r{w.buffer()};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEF);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.5);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BinaryIo, LayoutIsLittleEndian) {
+  BinWriter w;
+  w.u32(0x04030201);
+  const std::string& b = w.buffer();
+  ASSERT_EQ(b.size(), 4U);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x04);
+}
+
+TEST(BinaryIo, EmptyReaderThrowsOnEveryScalar) {
+  EXPECT_THROW(BinReader{""}.u8(), std::runtime_error);
+  EXPECT_THROW(BinReader{""}.u32(), std::runtime_error);
+  EXPECT_THROW(BinReader{""}.u64(), std::runtime_error);
+  EXPECT_THROW(BinReader{""}.f64(), std::runtime_error);
+  EXPECT_THROW(BinReader{""}.str(), std::runtime_error);
+  EXPECT_THROW(BinReader{""}.bytes(), std::runtime_error);
+}
+
+TEST(BinaryIo, TruncatedScalarThrows) {
+  BinWriter w;
+  w.u32(7);
+  const std::string buf = w.buffer().substr(0, 3);
+  BinReader r{buf};
+  EXPECT_THROW(r.u32(), std::runtime_error);
+}
+
+// The core hostile-length case: a string whose u64 length prefix claims
+// far more than the remaining bytes. Must throw cleanly — never allocate
+// the claimed size, never assert.
+TEST(BinaryIo, StringLengthBeyondRemainingThrows) {
+  BinWriter w;
+  w.u64(1ULL << 40);  // ~1 TiB claimed, zero payload present
+  BinReader r{w.buffer()};
+  EXPECT_THROW(r.str(), std::runtime_error);
+}
+
+TEST(BinaryIo, StringLengthMaxU64Throws) {
+  BinWriter w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  BinReader r{w.buffer()};
+  // On 32-bit size_t this length would wrap to SIZE_MAX through a
+  // narrowing compare; the 64-bit need() must reject it either way.
+  EXPECT_THROW(r.str(), std::runtime_error);
+}
+
+TEST(BinaryIo, BytesLengthBeyondRemainingThrows) {
+  BinWriter w;
+  w.u64(1ULL << 40);
+  w.raw("xy", 2);
+  BinReader r{w.buffer()};
+  EXPECT_THROW(r.bytes(), std::runtime_error);
+}
+
+TEST(BinaryIo, BytesOffByOneThrows) {
+  BinWriter w;
+  w.u64(3);
+  w.raw("ab", 2);  // one byte short of the claimed 3
+  BinReader r{w.buffer()};
+  EXPECT_THROW(r.bytes(), std::runtime_error);
+}
+
+TEST(BinaryIo, SubReaderBeyondRemainingThrows) {
+  BinWriter w;
+  w.u32(1);
+  BinReader r{w.buffer()};
+  EXPECT_THROW(r.sub(5), std::runtime_error);
+  EXPECT_THROW(r.sub(std::numeric_limits<std::uint64_t>::max()),
+               std::runtime_error);
+}
+
+TEST(BinaryIo, SubReaderIsBoundedView) {
+  BinWriter w;
+  w.u32(0x11111111);
+  w.u32(0x22222222);
+  BinReader r{w.buffer()};
+  BinReader s = r.sub(4);
+  EXPECT_EQ(s.u32(), 0x11111111U);
+  EXPECT_THROW(s.u32(), std::runtime_error);  // view ends, outer data hidden
+  EXPECT_EQ(r.u32(), 0x22222222U);            // outer reader skipped the view
+}
+
+TEST(BinaryIo, TruncationErrorIsActionable) {
+  BinWriter w;
+  w.u64(100);
+  try {
+    BinReader r{w.buffer()};
+    (void)r.str();
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("100"), std::string::npos) << msg;  // needed bytes
+  }
+}
+
+TEST(BinaryIo, ReaderStateSurvivesFailedRead) {
+  BinWriter w;
+  w.u64(1ULL << 40);
+  w.raw("payload", 7);
+  BinReader r{w.buffer()};
+  EXPECT_THROW(r.str(), std::runtime_error);
+  // The failed read consumed only the length prefix; remaining() reflects
+  // the bytes still available (callers treat the stream as poisoned, but
+  // the reader must not have advanced past the end).
+  EXPECT_EQ(r.remaining(), 7U);
+}
+
+TEST(BinaryIo, Crc32MatchesKnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926U);
+  // Incremental seeding composes.
+  const std::uint32_t partial = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, partial), 0xCBF43926U);
+}
+
+}  // namespace
+}  // namespace roadrunner::util

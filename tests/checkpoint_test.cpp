@@ -273,6 +273,44 @@ TEST_F(CheckpointRejection, FutureFormatVersionIsRejected) {
   expect_throw_containing("version");
 }
 
+TEST_F(CheckpointRejection, FutureV6WithUnknownSectionIsAVersionError) {
+  // Forward-compat contract, pinned: a hypothetical v6 snapshot carrying a
+  // section tag this build has never heard of must be refused with the
+  // *version* message ("produced by a newer build?"), not misparsed via
+  // the unknown-tags-are-ignored rule — that rule only licenses skipping
+  // unknown sections within a version we claim to support.
+  std::string bad = bytes_;
+  bad[4] = 6;  // version field, bytes 4..7 little-endian
+  // Append an unknown trailing section (tag 200, 4-byte payload) ahead of
+  // the CRC trailer and bump the section count at bytes 8..11.
+  std::string section;
+  const std::uint32_t tag = 200;
+  const std::uint64_t payload_size = 4;
+  for (int i = 0; i < 4; ++i) {
+    section += static_cast<char>((tag >> (8 * i)) & 0xFF);
+  }
+  for (int i = 0; i < 8; ++i) {
+    section += static_cast<char>((payload_size >> (8 * i)) & 0xFF);
+  }
+  section += "\xDE\xAD\xBE\xEF";
+  bad.insert(bad.size() - 4, section);
+  ++bad[8];  // section counts are tiny; no carry possible
+  const std::uint32_t crc = util::crc32(bad.data(), bad.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    bad[bad.size() - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  spit(snap_, bad);
+  expect_throw_containing("version");
+  // The in-memory peek validates identically.
+  try {
+    checkpoint::peek_bytes(bad);
+    FAIL() << "expected peek_bytes to reject a v6 image";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(CheckpointRejection, PeekValidatesToo) {
   std::string bad = bytes_;
   bad[bytes_.size() / 3] ^= 0x11;

@@ -1,0 +1,45 @@
+// Fuzz target: the distributed-service wire decoders — the bytes a
+// coordinator accepts from any worker (and vice versa) over TCP. The first
+// input byte selects the payload decoder, mirroring the message-type byte
+// of the frame header; the rest is the payload. Contract under test
+// (protocol.hpp): decoders throw std::runtime_error on truncated or
+// malformed payloads — BinReader overruns surface as exceptions, never as
+// garbage reads, and hostile count prefixes must not turn into giant
+// allocations. parse_endpoint (std::invalid_argument) rides along on the
+// same bytes.
+
+#include <stdexcept>
+#include <string>
+
+#include "dist/protocol.hpp"
+
+#include "fuzz_main.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  namespace dist = roadrunner::dist;
+  const std::uint8_t selector = data[0];
+  const std::string payload(reinterpret_cast<const char*>(data + 1),
+                            size - 1);
+  try {
+    switch (selector % 9) {
+      case 0: (void)dist::decode_hello(payload); break;
+      case 1: (void)dist::decode_welcome(payload); break;
+      case 2: (void)dist::decode_job_assign(payload); break;
+      case 3: (void)dist::decode_no_work(payload); break;
+      case 4: (void)dist::decode_job_result(payload); break;
+      case 5: (void)dist::decode_result_ack(payload); break;
+      case 6: (void)dist::decode_heartbeat(payload); break;
+      case 7: (void)dist::decode_shutdown(payload); break;
+      case 8: (void)dist::decode_record(payload); break;
+    }
+  } catch (const std::runtime_error&) {
+    // Documented rejection path for corrupt or truncated payloads.
+  }
+  try {
+    (void)dist::parse_endpoint(payload);
+  } catch (const std::invalid_argument&) {
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared driver for the RR_FUZZ harnesses (DESIGN.md §15). A harness
+// defines only the libFuzzer entry point:
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// Under clang with -fsanitize=fuzzer (RR_FUZZ_LIBFUZZER) that symbol is the
+// whole program and libFuzzer supplies main(). Every other build — notably
+// GCC with ASan/UBSan, the only toolchain guaranteed locally — gets the
+// standalone main() below, which replays the files named on the command
+// line (directories are walked recursively). That is what the
+// fuzz_corpus_* ctest targets run: the checked-in seed corpus plus any
+// minimized crash inputs, under sanitizers, on every RR_FUZZ build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#if !defined(RR_FUZZ_LIBFUZZER)
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-file>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg{argv[i]};
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  for (const fs::path& path : inputs) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+      std::fprintf(stderr, "fuzz: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    const std::string bytes{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("fuzz: replayed %zu input(s) cleanly\n", inputs.size());
+  return 0;
+}
+
+#endif  // !RR_FUZZ_LIBFUZZER

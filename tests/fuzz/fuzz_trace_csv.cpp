@@ -1,0 +1,35 @@
+// Fuzz target: the CSV trace loader (the door through which real GPS data
+// enters the framework). One fuzz input carries both files: everything
+// before the "===IGNITION===" marker line is the traces CSV, everything
+// after it the ignition CSV (no marker: ignition is empty, which the
+// density check rejects unless the traces are empty too).
+//
+// Contract under test: load_fleet_csv_text throws std::runtime_error with
+// "<file>:<line>:" context on malformed rows — hostile vehicle ids must
+// neither overflow the id parser nor force giant resize() allocations.
+
+#include <stdexcept>
+#include <string>
+
+#include "mobility/trace_file.hpp"
+
+#include "fuzz_main.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const std::string kMarker = "\n===IGNITION===\n";
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::string traces = text;
+  std::string ignition;
+  const std::size_t split = text.find(kMarker);
+  if (split != std::string::npos) {
+    traces = text.substr(0, split);
+    ignition = text.substr(split + kMarker.size());
+  }
+  try {
+    (void)roadrunner::mobility::load_fleet_csv_text(traces, ignition);
+  } catch (const std::runtime_error&) {
+    // Clean rejection with file:line context.
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Golden fixture: a checkpoint section tag written on the save path with no
+// matching section()/has() read on restore — dead payload or a missing
+// restore path. Must fire exactly [ckpt-tag-symmetry].
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+constexpr std::uint32_t kSectionMeta = 1;
+constexpr std::uint32_t kSectionOrphan = 2;
+
+struct Writer {};
+
+struct Frame {
+  bool has(std::uint32_t tag) const;
+  const Writer& section(std::uint32_t tag) const;
+};
+
+inline void save(std::vector<std::pair<std::uint32_t, Writer>>& sections) {
+  auto add = [&](std::uint32_t tag, Writer w) {
+    sections.emplace_back(tag, std::move(w));
+  };
+  add(kSectionMeta, Writer{});
+  add(kSectionOrphan, Writer{});
+}
+
+inline void restore(const Frame& frame) {
+  (void)frame.section(kSectionMeta);
+}

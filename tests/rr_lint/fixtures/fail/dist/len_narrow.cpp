@@ -1,0 +1,9 @@
+// Golden fixture: a u32 length field produced by narrowing a 64-bit size
+// with no preceding range check — silently truncates past 4 GiB and lies to
+// the peer about the payload. Must fire exactly [len-narrow].
+#include <cstdint>
+#include <string>
+
+inline std::uint32_t frame_len(const std::string& payload) {
+  return static_cast<std::uint32_t>(payload.size());
+}

@@ -1,0 +1,14 @@
+// Golden fixture: a MsgType switch that covers a strict subset of the
+// enumerators with no default: — a newer peer's frame falls through
+// silently. Must fire exactly [msgtype-exhaustive].
+enum class MsgType : unsigned char { kHello = 1, kResult = 2, kShutdown = 3 };
+
+inline int dispatch(MsgType t) {
+  switch (t) {
+    case MsgType::kHello:
+      return 1;
+    case MsgType::kResult:
+      return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Golden fixture: floating-point accumulation inside unordered iteration.
+// The reduction order depends on hash-bucket layout, so same-seed runs can
+// differ in the last ulp. Must fire exactly [fp-unordered-accum].
+#include <unordered_map>
+
+inline double total_reward(const std::unordered_map<int, double>& rewards) {
+  std::unordered_map<int, double> local = rewards;
+  double sum = 0.0;
+  for (const auto& entry : local) {
+    sum += entry.second;
+  }
+  return sum;
+}

@@ -1,0 +1,19 @@
+// Golden fixture: a parallel_for lambda mutating by-reference captured
+// state with no MutexLock, no atomic, and no index sharding — a data race
+// TSan would only catch on the right interleaving. Must fire exactly
+// [parallel-mutation].
+#include <cstddef>
+#include <vector>
+
+struct ThreadPool {
+  template <typename F>
+  void parallel_for(std::size_t n, F&& body);
+};
+
+inline double racy_total(ThreadPool& pool, const std::vector<double>& xs) {
+  double total = 0.0;
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    total += xs[i];
+  });
+  return total;
+}

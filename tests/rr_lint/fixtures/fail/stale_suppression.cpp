@@ -1,0 +1,6 @@
+// Golden fixture: an allow() trailer for a real rule on a line that no
+// longer violates it — left behind after a fix, it misdocuments the line
+// and would mask a regression. Must fire exactly [stale-suppression].
+inline int add_one(int x) {
+  return x + 1;  // rr-lint: allow(raw-random)
+}

@@ -1,0 +1,8 @@
+// Golden fixture: an allow() trailer naming a rule id that does not exist
+// (the classic underscore-for-dash typo). It silences nothing and reads as
+// if it did. Must fire exactly [unknown-suppression].
+#include <string>
+
+inline std::string shard_label(int shard) {
+  return "shard_" + std::to_string(shard);  // rr-lint: allow(unordered_iter)
+}

@@ -1,0 +1,35 @@
+// Golden fixture: symmetric section tags — the unconditional tag has a
+// section() read, and the conditionally written tag is restored behind a
+// has() presence guard (the shape that keeps kMinRestoreVersion snapshots
+// loadable). Must lint clean.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+constexpr std::uint32_t kSectionMeta = 1;
+constexpr std::uint32_t kSectionExtra = 2;
+
+struct Writer {};
+
+struct Frame {
+  bool has(std::uint32_t tag) const;
+  const Writer& section(std::uint32_t tag) const;
+};
+
+inline void save(std::vector<std::pair<std::uint32_t, Writer>>& sections,
+                 bool extra_enabled) {
+  auto add = [&](std::uint32_t tag, Writer w) {
+    sections.emplace_back(tag, std::move(w));
+  };
+  add(kSectionMeta, Writer{});
+  if (extra_enabled) {
+    add(kSectionExtra, Writer{});
+  }
+}
+
+inline void restore(const Frame& frame) {
+  (void)frame.section(kSectionMeta);
+  if (frame.has(kSectionExtra)) {
+    (void)frame.section(kSectionExtra);
+  }
+}

@@ -1,0 +1,15 @@
+// Golden fixture: the canonical guarded narrowing (send_frame's shape) —
+// the size is compared against the protocol limit and rejected before the
+// cast. Must lint clean.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+constexpr std::size_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+inline std::uint32_t frame_len(const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::runtime_error("frame payload exceeds kMaxFramePayload");
+  }
+  return static_cast<std::uint32_t>(payload.size());
+}

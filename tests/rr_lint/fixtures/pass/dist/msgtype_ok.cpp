@@ -1,0 +1,28 @@
+// Golden fixture: the two sanctioned MsgType switch shapes — a default:
+// that rejects unknown frames, and full enumerator coverage. The enum must
+// stay identical to the fail/dist fixture: the whole-fixture-tree sweep
+// discovers one MsgType definition for all dist files. Must lint clean.
+enum class MsgType : unsigned char { kHello = 1, kResult = 2, kShutdown = 3 };
+
+inline int dispatch_with_default(MsgType t) {
+  switch (t) {
+    case MsgType::kHello:
+      return 1;
+    case MsgType::kResult:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+inline int dispatch_exhaustive(MsgType t) {
+  switch (t) {
+    case MsgType::kHello:
+      return 1;
+    case MsgType::kResult:
+      return 2;
+    case MsgType::kShutdown:
+      return 3;
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Golden fixture: the two idiomatic fixes for unordered FP accumulation —
+// iterate a sorted container, or accumulate in an exact integer domain.
+// Must lint clean.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+inline double total_sorted(const std::map<int, double>& rewards) {
+  double sum = 0.0;
+  for (const auto& entry : rewards) {
+    sum += entry.second;
+  }
+  return sum;
+}
+
+inline std::uint64_t count_positive(const std::unordered_map<int, double>& t) {
+  std::unordered_map<int, double> local = t;
+  std::uint64_t n = 0;
+  for (const auto& entry : local) {
+    n += entry.second > 0.0 ? 1u : 0u;
+  }
+  return n;
+}

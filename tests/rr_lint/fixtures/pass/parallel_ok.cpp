@@ -1,0 +1,41 @@
+// Golden fixture: the three sanctioned shapes for writing shared state from
+// a ThreadPool lambda — element writes sharded by the iteration index, a
+// MutexLock around the mutation, and the named-lambda variant trainer.cpp
+// uses. Must lint clean.
+#include <cstddef>
+#include <vector>
+
+namespace util {
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+}  // namespace util
+
+struct ThreadPool {
+  template <typename F>
+  void parallel_for(std::size_t n, F&& body);
+  template <typename F>
+  void submit(F&& task);
+};
+
+inline void shard_by_index(ThreadPool& pool, std::vector<double>& out,
+                           const std::vector<double>& in) {
+  pool.parallel_for(in.size(), [&](std::size_t i) {
+    out[i] = in[i] * 2.0;
+  });
+}
+
+inline void guarded_total(ThreadPool& pool, util::Mutex& mutex, double& total,
+                          const std::vector<double>& xs) {
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    const double contribution = xs[i] * 0.5;
+    util::MutexLock lock{mutex};
+    total += contribution;
+  });
+}
+
+inline void named_lambda(ThreadPool& pool, std::vector<int>& hits) {
+  auto body = [&](std::size_t i) { hits[i] = static_cast<int>(i); };
+  pool.parallel_for(hits.size(), body);
+}

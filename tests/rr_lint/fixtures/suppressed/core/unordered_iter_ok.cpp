@@ -5,11 +5,11 @@
 inline double commutative_sum(const std::unordered_map<int, double>& table) {
   std::unordered_map<int, double> local = table;
   double sum = 0.0;
-  // Order cannot reach any output: addition over doubles from a bounded
-  // set... actually FP addition is order-sensitive, which is exactly why
-  // real code should sort — but this fixture only tests the trailer.
+  // FP addition is order-sensitive, which is exactly why real code should
+  // sort — this fixture only tests the trailers, so both the iteration and
+  // the accumulation carry one.
   for (const auto& entry : local) {  // rr-lint: allow(unordered-iter)
-    sum += entry.second;
+    sum += entry.second;  // rr-lint: allow(fp-unordered-accum)
   }
   return sum;
 }

@@ -1,0 +1,23 @@
+// Golden fixture: a parallel mutation the analyzer cannot see through
+// (internally synchronized sink), documented with a suppression trailer.
+// Must lint clean.
+#include <cstddef>
+#include <vector>
+
+struct ThreadPool {
+  template <typename F>
+  void parallel_for(std::size_t n, F&& body);
+};
+
+struct ConcurrentSink {
+  void resize(std::size_t n);  // internally synchronized
+  double drain();
+};
+
+inline double pooled(ThreadPool& pool, ConcurrentSink& sink,
+                     const std::vector<double>& xs) {
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    sink.resize(static_cast<std::size_t>(i));  // rr-lint: allow(parallel-mutation) internally synchronized
+  });
+  return sink.drain();
+}

@@ -1,6 +1,8 @@
 // Golden fixture: one would-be violation per rule, each silenced by an
-// `// rr-lint: allow(<rule>)` trailer. Must lint clean — this is the
-// regression test for the suppression syntax itself.
+// allow(<rule>) trailer. Must lint clean — this is the regression test
+// for the suppression syntax itself. (The trailer is spelled out only on
+// real suppression lines below: naming a rule in prose would trip the
+// unknown/stale suppression meta rules.)
 #include <chrono>
 #include <cstdlib>
 #include <random>
@@ -29,7 +31,8 @@ inline int suppressed_socket() {
   return socket(2, 1, 0);  // rr-lint: allow(raw-thread) fixture only
 }
 
-inline void suppressed_metric(roadrunner::metrics::Registry& reg, int shard) {
-  // Two rules on one line, comma-separated.
-  reg.increment("shard_" + std::to_string(shard));  // rr-lint: allow(metric-name,raw-random)
+inline void suppressed_metric(roadrunner::metrics::Registry& reg) {
+  // Two rules on one line, comma-separated: both must actually fire here,
+  // or the stale-suppression meta rule flags the unused half.
+  reg.increment("shard_" + std::to_string(std::rand()));  // rr-lint: allow(metric-name,raw-random)
 }

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""coverage_gate: line-coverage floor for the untrusted-parser files.
+
+Consumes the JSON emitted by ``llvm-cov export -summary-only`` (the
+coverage CI lane produces it from a clang ``-fprofile-instr-generate
+-fcoverage-mapping`` build after running the test suite and the fuzz
+corpora) and compares per-file line coverage against the floors checked in
+at ``tools/coverage_thresholds.json``. A parser file that *drops* below
+its floor — or disappears from the coverage report entirely — fails the
+lane: hardened parsers whose error paths stop being exercised regress
+silently otherwise.
+
+Files not named in the thresholds are informational only; the gate is a
+floor, not a target, so improving coverage never requires touching the
+thresholds. To ratchet the floors up after a genuine improvement, run with
+``--update`` and commit the rewritten thresholds file (each floor is set a
+few points below the measured value to absorb run-to-run jitter).
+
+Usage:
+  coverage_gate.py --summary coverage.json \
+                   [--thresholds tools/coverage_thresholds.json] [--update]
+
+Exit status: 0 = all floors met, 1 = regression, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Floors are keyed by repo-relative path suffix so the gate is independent
+# of the absolute build-tree prefix llvm-cov reports.
+DEFAULT_THRESHOLDS = Path(__file__).resolve().parent / "coverage_thresholds.json"
+
+# Ratchet margin: --update writes measured-minus-margin, floored at 1%.
+UPDATE_MARGIN = 3.0
+
+
+def load_summary(path: Path):
+    """{reported filename: line-coverage percent} from an llvm-cov export."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise ValueError(f"cannot read llvm-cov summary {path}: {e}")
+    if not isinstance(data, dict) or not isinstance(data.get("data"), list):
+        raise ValueError(
+            f"{path} is not an llvm-cov export (missing top-level 'data' "
+            "list) — was it produced by `llvm-cov export -summary-only`?")
+    percents = {}
+    for export in data["data"]:
+        for entry in export.get("files", []):
+            lines = entry.get("summary", {}).get("lines", {})
+            if "percent" in lines:
+                percents[entry.get("filename", "?")] = float(lines["percent"])
+    return percents
+
+
+def match(percents: dict, suffix: str):
+    """The reported file whose path ends with `suffix`, or None."""
+    for name, pct in percents.items():
+        if name.endswith(suffix):
+            return name, pct
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--summary", required=True, type=Path,
+                        help="llvm-cov export -summary-only JSON")
+    parser.add_argument("--thresholds", type=Path, default=DEFAULT_THRESHOLDS,
+                        help="per-file minimum line coverage (JSON object)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the thresholds file from the summary "
+                             "(measured minus margin) instead of gating")
+    args = parser.parse_args(argv)
+
+    try:
+        percents = load_summary(args.summary)
+    except ValueError as e:
+        print(f"coverage_gate: {e}", file=sys.stderr)
+        return 2
+    try:
+        thresholds = json.loads(args.thresholds.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"coverage_gate: cannot read thresholds {args.thresholds}: {e}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(thresholds, dict):
+        print(f"coverage_gate: {args.thresholds} must be a JSON object of "
+              "{file suffix: min percent}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        updated = {}
+        for suffix in thresholds:
+            hit = match(percents, suffix)
+            if hit is None:
+                print(f"coverage_gate: {suffix} not in summary; keeping "
+                      f"existing floor {thresholds[suffix]}")
+                updated[suffix] = thresholds[suffix]
+            else:
+                updated[suffix] = max(1.0, round(hit[1] - UPDATE_MARGIN, 1))
+        args.thresholds.write_text(json.dumps(updated, indent=2) + "\n")
+        print(f"coverage_gate: wrote {len(updated)} floor(s) to "
+              f"{args.thresholds}")
+        return 0
+
+    failed = []
+    for suffix, floor in sorted(thresholds.items()):
+        hit = match(percents, suffix)
+        if hit is None:
+            print(f"  MISSING    {suffix} (floor {floor:.1f}%) — file absent "
+                  "from the coverage report")
+            failed.append(suffix)
+            continue
+        name, pct = hit
+        tag = "ok" if pct >= floor else "BELOW"
+        print(f"  {tag:<10} {suffix}: {pct:.1f}% (floor {floor:.1f}%)")
+        if pct < floor:
+            failed.append(suffix)
+    if failed:
+        print(f"coverage_gate: {len(failed)} file(s) under their line-"
+              "coverage floor — add tests/corpus entries for the lost "
+              "paths, or lower the floor deliberately in "
+              f"{args.thresholds}", file=sys.stderr)
+        return 1
+    print(f"coverage_gate: {len(thresholds)} file(s) at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

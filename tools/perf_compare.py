@@ -39,10 +39,23 @@ def is_throughput_key(key: str) -> bool:
 
 
 def load_runs(path: Path):
-    """Returns {label: {metric: value}} plus {total key: value}."""
+    """Returns {label: {metric: value}} plus {total key: value}.
+
+    Raises ValueError (not an uncaught AttributeError) when the file parses
+    as JSON but is not the BenchJson object shape — e.g. a truncated
+    artifact download that saved an HTML error page as valid-JSON string,
+    or a list where an object was expected."""
     data = json.loads(path.read_text())
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"expected a BenchJson object, got {type(data).__name__} — "
+            "was the artifact download truncated or substituted?")
+    run_list = data.get("runs", [])
+    if not isinstance(run_list, list) or any(
+            not isinstance(r, dict) for r in run_list):
+        raise ValueError("'runs' must be a list of objects")
     runs = {}
-    for run in data.get("runs", []):
+    for run in run_list:
         label = run.get("label", "?")
         runs[label] = {
             k: v for k, v in run.items()
@@ -73,15 +86,21 @@ def main(argv=None) -> int:
         return 2
     try:
         bench, current = load_runs(args.current)
-    except (json.JSONDecodeError, OSError) as e:
+    except (json.JSONDecodeError, ValueError, OSError) as e:
         print(f"perf_compare: cannot read {args.current}: {e}",
+              file=sys.stderr)
+        print("perf_compare: re-run the bench to regenerate the current "
+              "BENCH_*.json; this is a usage error, not a regression",
               file=sys.stderr)
         return 2
 
     try:
         _, baseline = load_runs(args.baseline)
-    except (json.JSONDecodeError, OSError, FileNotFoundError) as e:
-        print(f"perf_compare: no usable baseline ({e}); skipping comparison")
+    except (json.JSONDecodeError, ValueError, OSError) as e:
+        print(f"perf_compare: no usable baseline at {args.baseline} ({e})")
+        print("perf_compare: skipping comparison — expected when main has "
+              "not published this bench yet; otherwise re-download the "
+              "BENCH_*.json artifact from the main-branch perf lane")
         return 0
 
     regressions = []

@@ -6,8 +6,19 @@ conventions no compiler enforces: every random draw flows through a named
 ``util::Rng`` fork, no simulation-visible path reads wall-clock time or
 iterates an unordered container, and all threading goes through
 ``util::ThreadPool``. This tool turns those conventions into machine-checked
-rules using regexes plus lightweight C++ token scanning — no libclang, no
-compile step, runs in milliseconds as a ctest target and a CI gate.
+rules — no libclang, no compile step, runs in milliseconds as a ctest target
+and a CI gate.
+
+v2 adds a token-aware layer on top of the original line regexes: comments,
+strings and raw strings are stripped into a token stream with bracket pair
+maps and enclosing-scope tracking, plus a local ``#include "..."`` graph.
+That enables lightweight flow-sensitive rules: floating-point accumulation
+inside unordered iteration, unguarded shared-state mutation in
+``parallel_for``/``submit`` lambdas, checkpoint section-tag write/read
+symmetry, dist ``MsgType`` switch exhaustiveness, and unguarded narrowing
+of length fields. Suppression hygiene is enforced too: an ``allow(...)``
+naming an unknown rule is an error, and a suppression that no longer
+matches any finding is reported as stale.
 
 Usage:
   rr_lint.py                       # lint src/ and examples/ under --root
@@ -18,6 +29,8 @@ Usage:
 Suppression: append ``// rr-lint: allow(<rule>)`` to the offending line
 (comma-separate several rule ids). Suppressions are deliberate, reviewable
 markers — e.g. a dynamically built metric name that is known newline-free.
+The meta rules ``unknown-suppression`` and ``stale-suppression`` cannot be
+suppressed.
 
 Exit status: 0 = clean, 1 = violations found, 2 = usage error.
 """
@@ -134,6 +147,133 @@ dynamic families (e.g. per-channel counters like transfers_<ch>_failed),
 suppress with `// rr-lint: allow(metric-name)` — the suppression is the
 documented registry of dynamic metric families.""",
     },
+    "fp-unordered-accum": {
+        "summary": "float/double accumulation inside unordered-container iteration",
+        "scope": "src/ and examples/ (all files)",
+        "explain": """\
+Floating-point addition is not associative: summing the same set of
+doubles in two different orders can differ in the last ulp, and those
+ulps compound through training loops into visibly different aggregates.
+Iterating a std::unordered_map/set fixes no order — bucket layout varies
+across stdlibs, load factors, and insertion histories — so a `sum += v`
+inside such a loop is a nondeterministic reduction even though the value
+set is identical. This breaks the §10.4 byte-identical contract in any
+directory, not just the serialization-order-sensitive ones, because the
+accumulated scalar eventually reaches a metric, a weight, or a checkpoint.
+
+Fix: iterate a sorted view (std::map, or copy keys out and sort), or
+accumulate into an integer/fixed-point domain where addition is exact.
+If the accumulator provably never reaches simulation-visible output,
+suppress with `// rr-lint: allow(fp-unordered-accum)` and say why.""",
+    },
+    "parallel-mutation": {
+        "summary": "mutation of by-reference captured state inside "
+                   "parallel_for/submit lambdas without a Mutex guard",
+        "scope": "src/ and examples/ (ThreadPool::parallel_for / submit call sites)",
+        "explain": """\
+A lambda handed to ThreadPool::parallel_for or submit runs concurrently
+with the caller and with its sibling iterations. Writing to a variable it
+captured by reference is a data race unless the write is (a) guarded by an
+annotated util::MutexLock / std::lock_guard in the same scope, (b) an
+element write `v[i] = ...` whose index derives only from the lambda
+parameter or a body-local (the deterministic sharding pattern engine.cpp
+and trainer.cpp use), or (c) a std::atomic. TSan catches the races this
+rule finds — but only on the interleavings CI happens to schedule; the
+lint makes the guard a static requirement.
+
+Fix: take a util::MutexLock on the owning Mutex around the write, shard
+the output by the iteration index, or make the target atomic. For a
+pattern the analyzer cannot see through (e.g. a container with internal
+synchronization), suppress with `// rr-lint: allow(parallel-mutation)`
+and name the synchronization in a comment.""",
+    },
+    "ckpt-tag-symmetry": {
+        "summary": "checkpoint section tags must be written, read back, and "
+                   "presence-guarded when conditional",
+        "scope": "src/checkpoint/ (kSection* tags; add/section/has call sites)",
+        "explain": """\
+The RRCK format is a tagged section table; restore compatibility is
+carried entirely by the write/read symmetry of those tags. A tag that is
+written but never read is dead payload that silently bloats snapshots; a
+tag that is read but never written can only ever throw on fresh
+snapshots; and a *conditionally* written tag (adversary/workload/traffic
+sections exist only when the feature is on) that is restored without a
+`frame.has(tag)` presence guard mis-parses every snapshot from an older
+format version or a run with the feature disabled — the has() check IS
+the version guard that keeps kMinRestoreVersion snapshots loadable.
+
+Fix: every `add(kSectionX, ...)` needs a matching `frame.section(kSectionX)`
+or `frame.has(kSectionX)` on the restore path; writes that sit inside an
+`if` must be read behind `has()`. Remove dead tag constants. If a tag is
+intentionally write-only (e.g. forensic payload), suppress on the write
+line with `// rr-lint: allow(ckpt-tag-symmetry)` and document it.""",
+    },
+    "msgtype-exhaustive": {
+        "summary": "dist MsgType switches must cover every enumerator or have default",
+        "scope": "src/dist/ (switch statements with MsgType:: cases)",
+        "explain": """\
+The dist wire protocol evolves by adding MsgType enumerators; every
+switch over a decoded frame type is a place a new message can silently
+fall through. Unlike -Wswitch, this rule also fires when a `default:`
+was *removed* while enumerators grew, and it checks the protocol enum as
+declared in protocol.hpp via the include graph, so the coordinator and
+worker cannot drift out of sync with the wire format.
+
+Fix: handle every MsgType enumerator explicitly, or add a `default:`
+that rejects/logs the unexpected type (the poll-loop does the latter —
+unknown frames from a newer peer must not crash the coordinator). If a
+switch intentionally handles a subset and falls through, suppress on the
+switch line with `// rr-lint: allow(msgtype-exhaustive)`.""",
+    },
+    "len-narrow": {
+        "summary": "unguarded narrowing cast of a length/size expression on "
+                   "frame or section fields",
+        "scope": "src/dist/, src/checkpoint/, src/util/binary_io.*, src/util/socket.*",
+        "explain": """\
+The wire protocol and the RRCK section table carry u32 length prefixes,
+but in-memory sizes are 64-bit. `static_cast<std::uint32_t>(x.size())`
+truncates silently once x crosses 4 GiB; the peer then reads a frame
+whose length field lies about the payload, which at best desyncs the
+stream and at worst turns into an allocation bomb on the receive side.
+Every narrowing of a length-ish expression (`.size()`, `.length()`,
+`.remaining()`, `u64(...)`, `*_len`/`*_size` identifiers) to a type
+narrower than 64 bits must sit behind an explicit range check against the
+protocol limit (send_frame's `payload.size() > kMaxFramePayload` check is
+the canonical shape).
+
+Fix: compare against the relevant kMax* limit (and throw/reject) before
+the cast, or keep the value 64-bit end to end. For a cast whose range is
+structurally bounded (e.g. a fixed small section list), suppress with
+`// rr-lint: allow(len-narrow)` and state the bound in a comment.""",
+    },
+    "unknown-suppression": {
+        "summary": "rr-lint: allow(...) names a rule this linter does not define",
+        "scope": "every linted file (meta rule; not suppressible)",
+        "explain": """\
+A suppression naming an unknown rule is almost always a typo
+(`allow(unordered_iter)` for `allow(unordered-iter)`) — it silences
+nothing, reads as if it did, and survives refactors unnoticed. Failing
+fast keeps the suppression inventory trustworthy: every allow() in the
+tree refers to a rule that actually exists and can be audited with
+--explain.
+
+Fix: correct the rule id (see --list-rules) or delete the comment. This
+meta rule cannot itself be suppressed.""",
+    },
+    "stale-suppression": {
+        "summary": "rr-lint: allow(...) on a line that no longer triggers that rule",
+        "scope": "every linted file (meta rule; not suppressible)",
+        "explain": """\
+Suppressions are the documented registry of deliberate exceptions; a
+stale one — left behind after the offending code was fixed or moved —
+misdocuments the line and would silently mask a future regression if the
+pattern ever came back. The linter computes findings with suppressions
+ignored and flags any allow(rule) whose (file, line, rule) matches no
+finding.
+
+Fix: delete the stale comment (or move it if the offending code moved).
+This meta rule cannot itself be suppressed.""",
+    },
 }
 
 # Directories (as posix path fragments) with special roles.
@@ -145,6 +285,9 @@ THREAD_HOME = "/util/thread_pool."
 SOCKET_HOME = "/util/socket."
 
 SUPPRESS_RE = re.compile(r"//\s*rr-lint:\s*allow\(([^)]*)\)")
+
+# Rules enforced on the suppression comments themselves; never suppressible.
+META_RULES = ("unknown-suppression", "stale-suppression")
 
 
 class Finding:
@@ -246,7 +389,186 @@ def suppressed_rules(raw_line: str) -> set:
 
 
 # --------------------------------------------------------------------------
-# Per-rule checks.
+# Token layer. A flat token stream over comment-stripped text with bracket
+# pair maps and enclosing-brace tracking gives the flow rules just enough
+# structure to reason about scopes, lambdas, and call arguments without a
+# real parser. Preprocessor lines are skipped during tokenization; local
+# includes are collected separately by regex for the include graph.
+# --------------------------------------------------------------------------
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind  # id | num | str | chr | op
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # debugging aid
+        return f"Tok({self.kind},{self.text!r},{self.line})"
+
+
+_OPS3 = ("<<=", ">>=", "->*", "...")
+_OPS2 = ("::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+         "^=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>")
+
+
+def tokenize(code: str):
+    toks = []
+    i, n, line = 0, len(code), 1
+    at_line_start = True
+    while i < n:
+        c = code[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#" and at_line_start:
+            # Skip the preprocessor logical line, honoring \-continuations.
+            while i < n:
+                j = code.find("\n", i)
+                if j == -1:
+                    i = n
+                    break
+                cont = code[i:j].rstrip().endswith("\\")
+                line += 1
+                i = j + 1
+                if not cont:
+                    break
+            at_line_start = True
+            continue
+        at_line_start = False
+        if c == "R" and code[i : i + 2] == 'R"':
+            j = _skip_raw_string(code, i)
+            toks.append(Tok("str", code[i:j], line))
+            line += code.count("\n", i, j)
+            i = j
+            continue
+        if c == '"' or c == "'":
+            j = _skip_literal(code, i)
+            toks.append(Tok("str" if c == '"' else "chr", code[i:j], line))
+            line += code.count("\n", i, j)
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (code[j].isalnum() or code[j] == "_"):
+                j += 1
+            toks.append(Tok("id", code[i:j], line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and code[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (code[j].isalnum() or code[j] in "._'" or
+                             (code[j] in "+-" and code[j - 1] in "eEpP")):
+                j += 1
+            toks.append(Tok("num", code[i:j], line))
+            i = j
+            continue
+        matched = False
+        for op in _OPS3:
+            if code.startswith(op, i):
+                toks.append(Tok("op", op, line))
+                i += 3
+                matched = True
+                break
+        if matched:
+            continue
+        for op in _OPS2:
+            if code.startswith(op, i):
+                toks.append(Tok("op", op, line))
+                i += 2
+                matched = True
+                break
+        if matched:
+            continue
+        toks.append(Tok("op", c, line))
+        i += 1
+    return toks
+
+
+def bracket_pairs(toks):
+    """Map each (/[/{ token index to its closer and back. Unbalanced
+    brackets are tolerated (left unmapped)."""
+    pair = {}
+    stacks = {"(": [], "[": [], "{": []}
+    closer = {")": "(", "]": "[", "}": "{"}
+    for idx, t in enumerate(toks):
+        if t.kind != "op":
+            continue
+        if t.text in stacks:
+            stacks[t.text].append(idx)
+        elif t.text in closer:
+            st = stacks[closer[t.text]]
+            if st:
+                o = st.pop()
+                pair[o] = idx
+                pair[idx] = o
+    return pair
+
+
+def enclosing_braces(toks):
+    """enc[i] = token index of the innermost '{' containing token i."""
+    enc = [None] * len(toks)
+    stack = []
+    for idx, t in enumerate(toks):
+        if t.kind == "op" and t.text == "}":
+            enc[idx] = stack[-1] if stack else None
+            if stack:
+                stack.pop()
+            continue
+        enc[idx] = stack[-1] if stack else None
+        if t.kind == "op" and t.text == "{":
+            stack.append(idx)
+    return enc
+
+
+class TokFile:
+    """Per-file token view shared by the flow rules."""
+
+    def __init__(self, path: Path, code: str):
+        self.path = path
+        self.code = code
+        self.toks = tokenize(code)
+        self.pair = bracket_pairs(self.toks)
+        self.enc = enclosing_braces(self.toks)
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.M)
+
+
+def resolve_includes(path: Path, root: Path):
+    """Transitive local #include "..." closure of `path`, resolved against
+    the including file's directory and <root>/src."""
+    out = []
+    seen = {path.resolve()}
+    stack = [path]
+    while stack:
+        cur = stack.pop()
+        try:
+            text = cur.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        for m in INCLUDE_RE.finditer(text):
+            for base in (cur.parent, root / "src"):
+                cand = base / m.group(1)
+                if cand.is_file():
+                    r = cand.resolve()
+                    if r not in seen:
+                        seen.add(r)
+                        out.append(cand)
+                        stack.append(cand)
+                    break
+    return out
+
+
+# --------------------------------------------------------------------------
+# Per-rule checks (v1: line-regex rules).
 # --------------------------------------------------------------------------
 
 RAW_RANDOM_RE = re.compile(
@@ -280,7 +602,7 @@ def posix(path: Path) -> str:
     return "/" + path.as_posix().lstrip("/")
 
 
-def check_line_rules(path: Path, raw_lines, code_lines, findings):
+def check_line_rules(path: Path, code_lines, findings):
     p = posix(path)
     scan_random = RNG_HOME not in p
     scan_clock = not any(d in p for d in WALL_CLOCK_EXEMPT)
@@ -289,22 +611,21 @@ def check_line_rules(path: Path, raw_lines, code_lines, findings):
 
     for idx, code in enumerate(code_lines):
         lineno = idx + 1
-        allowed = suppressed_rules(raw_lines[idx])
-        if scan_random and "raw-random" not in allowed:
+        if scan_random:
             m = RAW_RANDOM_RE.search(code)
             if m:
                 findings.append(
                     Finding(path, lineno, "raw-random",
                             f"raw random source `{m.group(0).strip()}` — use a "
                             "named util::Rng fork (see --explain raw-random)"))
-        if scan_clock and "wall-clock" not in allowed:
+        if scan_clock:
             m = WALL_CLOCK_RE.search(code)
             if m:
                 findings.append(
                     Finding(path, lineno, "wall-clock",
                             f"wall-clock read `{m.group(0).strip()}` outside "
                             "telemetry/|util/ — use util::Stopwatch or RR_TSPAN"))
-        if scan_thread and "raw-thread" not in allowed:
+        if scan_thread:
             m = RAW_THREAD_RE.search(code)
             if m:
                 findings.append(
@@ -371,7 +692,7 @@ def unordered_names(code: str) -> set:
     return names
 
 
-def check_unordered_iter(path: Path, raw_lines, code_lines, findings, extra_names):
+def check_unordered_iter(path: Path, code_lines, findings, extra_names):
     p = posix(path)
     if not any(d in p for d in ORDER_SENSITIVE_DIRS):
         return
@@ -382,8 +703,6 @@ def check_unordered_iter(path: Path, raw_lines, code_lines, findings, extra_name
     inline_unordered = re.compile(r"\bfor\s*\([^;)]*?:\s*[^)]*\bunordered_(?:map|set)\b")
     for idx, line in enumerate(code_lines):
         lineno = idx + 1
-        if "unordered-iter" in suppressed_rules(raw_lines[idx]):
-            continue
         hit = None
         m = range_for.search(line)
         if m and m.group(1).rstrip("._") and m.group(1).split(".")[0].split("->")[0] in names:
@@ -435,11 +754,9 @@ def _extract_first_arg(code: str, open_paren: int):
 STRING_LITERAL_ONLY_RE = re.compile(r'^\s*(?:"(?:[^"\\]|\\.)*"\s*)+$')
 
 
-def check_metric_names(path: Path, raw_lines, code, findings):
+def check_metric_names(path: Path, code, findings):
     for m in METRIC_CALL_RE.finditer(code):
         lineno = code.count("\n", 0, m.start()) + 1
-        if "metric-name" in suppressed_rules(raw_lines[lineno - 1]):
-            continue
         arg, ok = _extract_first_arg(code, code.find("(", m.end() - 1))
         if not ok:
             continue
@@ -461,6 +778,618 @@ def check_metric_names(path: Path, raw_lines, code, findings):
 
 
 # --------------------------------------------------------------------------
+# Flow rules (v2, token-based).
+# --------------------------------------------------------------------------
+
+FP_DECL_RE = re.compile(r"\b(?:double|float)\b\s*(?:&|\*)?\s*(\w+)\s*(?:[=;{,)\[]|$)", re.M)
+ATOMIC_DECL_RE = re.compile(r"\batomic(?:_\w+)?\b\s*(?:<[^;{]*?>)?\s*(\w+)\s*[;={(]")
+
+
+def fp_scalar_names(code: str) -> set:
+    return {m.group(1) for m in FP_DECL_RE.finditer(code)}
+
+
+def atomic_names(code: str) -> set:
+    return {m.group(1) for m in ATOMIC_DECL_RE.finditer(code)}
+
+
+def _range_for_info(tf: TokFile, i: int):
+    """If toks[i] starts a range-for, return (open_paren, colon, close_paren);
+    else None."""
+    toks, pair = tf.toks, tf.pair
+    if not (toks[i].kind == "id" and toks[i].text == "for"):
+        return None
+    if i + 1 >= len(toks) or toks[i + 1].text != "(":
+        return None
+    op = i + 1
+    cp = pair.get(op)
+    if cp is None:
+        return None
+    depth = 0
+    for j in range(op + 1, cp):
+        t = toks[j]
+        if t.kind != "op":
+            continue
+        if t.text in "([{":
+            depth += 1
+        elif t.text in ")]}":
+            depth -= 1
+        elif depth == 0 and t.text == ";":
+            return None  # classic for-loop
+        elif depth == 0 and t.text == ":":
+            return (op, j, cp)
+    return None
+
+
+def _stmt_or_block_extent(tf: TokFile, after: int):
+    """Token span (inclusive start, exclusive end) of the statement or block
+    starting at `after`."""
+    toks, pair = tf.toks, tf.pair
+    if after < len(toks) and toks[after].text == "{":
+        return after, pair.get(after, after) + 1
+    j = after
+    while j < len(toks) and toks[j].text != ";":
+        j += 1
+    return after, j + 1
+
+
+def check_fp_unordered_accum(tf: TokFile, unames: set, fpnames: set, findings):
+    toks = tf.toks
+    for i in range(len(toks)):
+        info = _range_for_info(tf, i)
+        if info is None:
+            continue
+        _, colon, cp = info
+        range_ids = [toks[j].text for j in range(colon + 1, cp) if toks[j].kind == "id"]
+        if not (any(x in unames for x in range_ids) or
+                any(x.startswith("unordered_") for x in range_ids)):
+            continue
+        b0, b1 = _stmt_or_block_extent(tf, cp + 1)
+        for j in range(b0, b1):
+            t = toks[j]
+            if t.kind == "op" and t.text in ("+=", "-=") and j > 0:
+                lhs = toks[j - 1]
+                if lhs.kind == "id" and lhs.text in fpnames:
+                    findings.append(Finding(
+                        tf.path, t.line, "fp-unordered-accum",
+                        f"floating-point accumulation `{lhs.text} {t.text}` "
+                        "inside unordered-container iteration — the reduction "
+                        "order depends on hash-bucket layout"))
+
+
+# ---- parallel-mutation ----------------------------------------------------
+
+LOCK_TYPES = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
+MUTATOR_METHODS = {"push_back", "emplace_back", "emplace", "insert", "erase",
+                   "clear", "resize", "assign", "pop_back", "reserve"}
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+_DECL_PREV_BAD = {"else", "return", "co_return", "case", "delete", "new", "throw",
+                  "typedef", "using", "goto", "break", "continue", "operator",
+                  "if", "while", "do", "switch", "sizeof"}
+
+
+def _lambda_spans(tf: TokFile, lb: int):
+    """Given toks[lb] == '[', return (cap_end, param_span, body_span) for the
+    lambda literal starting there, or None if it isn't one."""
+    toks, pair = tf.toks, tf.pair
+    rb = pair.get(lb)
+    if rb is None or rb + 1 >= len(toks):
+        return None
+    nxt = toks[rb + 1].text
+    if nxt not in ("(", "{"):
+        return None
+    params = None
+    body_open = None
+    if nxt == "(":
+        pc = pair.get(rb + 1)
+        if pc is None:
+            return None
+        params = (rb + 2, pc)
+        j = pc + 1
+    else:
+        j = rb + 1
+    # Skip mutable / noexcept / -> <type> up to the body brace.
+    while j < len(toks) and toks[j].text != "{":
+        j += 1
+    if j >= len(toks):
+        return None
+    body_open = j
+    body_close = pair.get(body_open)
+    if body_close is None:
+        return None
+    return (lb + 1, rb), params, (body_open + 1, body_close)
+
+
+def _lambda_captures(toks, cap_span):
+    """Parse a capture list span → (default_ref, default_copy, ref_names,
+    val_names, has_this)."""
+    default_ref = default_copy = has_this = False
+    ref_names, val_names = set(), set()
+    j, end = cap_span
+    while j < end:
+        t = toks[j]
+        if t.kind == "op" and t.text == "&":
+            if j + 1 < end and toks[j + 1].kind == "id":
+                ref_names.add(toks[j + 1].text)
+                j += 2
+                continue
+            default_ref = True
+        elif t.kind == "op" and t.text == "=":
+            default_copy = True
+        elif t.kind == "id" and t.text == "this":
+            has_this = True
+        elif t.kind == "id":
+            val_names.add(t.text)
+        j += 1
+    return default_ref, default_copy, ref_names, val_names, has_this
+
+
+def _param_names(toks, pair, span):
+    """Last identifier of each top-level comma-separated segment."""
+    if span is None:
+        return set()
+    names = set()
+    start, end = span
+    depth = 0
+    last_id = None
+    for j in range(start, end):
+        t = toks[j]
+        if t.kind == "op":
+            if t.text in "([{<":
+                depth += 1
+            elif t.text in ")]}>":
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                if last_id:
+                    names.add(last_id)
+                last_id = None
+            continue
+        if t.kind == "id" and depth == 0:
+            last_id = t.text
+    if last_id:
+        names.add(last_id)
+    return names
+
+
+def _body_locals(toks, body):
+    """Token positions and names of body-local declarations, by the
+    `type-ish name [=;{(]` heuristic."""
+    names, decl_pos = set(), set()
+    b0, b1 = body
+    for j in range(b0, b1):
+        t = toks[j]
+        if t.kind != "id" or j + 1 >= len(toks) or j == 0:
+            continue
+        nxt = toks[j + 1]
+        if not (nxt.kind == "op" and nxt.text in ("=", ";", "{", "(")):
+            continue
+        prev = toks[j - 1]
+        type_ish = ((prev.kind == "id" and prev.text not in _DECL_PREV_BAD) or
+                    (prev.kind == "op" and prev.text in ("&", "*", ">")))
+        if type_ish:
+            names.add(t.text)
+            decl_pos.add(j)
+    return names, decl_pos
+
+
+def _locked_ranges(toks, enc, pair, body):
+    """Spans (start, end) guarded by a MutexLock/lock_guard declared inside
+    the lambda body: from the declaration to the end of its enclosing block."""
+    ranges = []
+    b0, b1 = body
+    for j in range(b0, b1):
+        t = toks[j]
+        if t.kind == "id" and t.text in LOCK_TYPES:
+            blk = enc[j]
+            end = pair.get(blk, b1) if blk is not None else b1
+            ranges.append((j, min(end, b1)))
+    return ranges
+
+
+def _lvalue_base(toks, pair, j):
+    """Walk left from token j (end of an lvalue chain) to its base id index."""
+    guard = 0
+    while j >= 0 and guard < 64:
+        guard += 1
+        t = toks[j]
+        if t.kind == "op" and t.text in ("]", ")"):
+            o = pair.get(j)
+            if o is None:
+                return None
+            j = o - 1
+        elif t.kind == "id":
+            if j >= 1 and toks[j - 1].kind == "op" and toks[j - 1].text in (".", "->", "::"):
+                j -= 2
+            else:
+                return j
+        else:
+            return None
+    return None
+
+
+def _index_span_ids(toks, pair, j):
+    """If toks[j] == ']', ids inside the [...] span; else None."""
+    if not (toks[j].kind == "op" and toks[j].text == "]"):
+        return None
+    o = pair.get(j)
+    if o is None:
+        return None
+    return {toks[k].text for k in range(o + 1, j) if toks[k].kind == "id"}
+
+
+def _find_lambda_in_call(tf: TokFile, op: int, cp: int):
+    """First lambda literal between call parens (op, cp), or a lambda bound
+    earlier via `auto name = [...]` and passed by name."""
+    toks, pair = tf.toks, tf.pair
+    for j in range(op + 1, cp):
+        if toks[j].kind == "op" and toks[j].text == "[":
+            spans = _lambda_spans(tf, j)
+            if spans is not None:
+                return spans
+    # Named-lambda arguments: resolve `auto name = [...]` defined earlier.
+    for j in range(op + 1, cp):
+        t = toks[j]
+        if t.kind != "id":
+            continue
+        if j + 1 < len(toks) and toks[j + 1].text == "(":
+            continue  # a call, not a lambda name
+        for k in range(op - 1, 1, -1):
+            if (toks[k].kind == "id" and toks[k].text == t.text and
+                    toks[k - 1].kind == "id" and toks[k - 1].text == "auto" and
+                    k + 2 < len(toks) and toks[k + 1].text == "=" and
+                    toks[k + 2].text == "["):
+                spans = _lambda_spans(tf, k + 2)
+                if spans is not None:
+                    return spans
+    return None
+
+
+def check_parallel_mutation(tf: TokFile, atomics: set, findings):
+    toks, pair, enc = tf.toks, tf.pair, tf.enc
+    for i in range(1, len(toks) - 1):
+        t = toks[i]
+        if not (t.kind == "id" and t.text in ("parallel_for", "submit")):
+            continue
+        if not (toks[i - 1].kind == "op" and toks[i - 1].text in (".", "->")):
+            continue
+        if toks[i + 1].text != "(":
+            continue
+        op = i + 1
+        cp = pair.get(op)
+        if cp is None:
+            continue
+        spans = _find_lambda_in_call(tf, op, cp)
+        if spans is None:
+            continue
+        cap_span, param_span, body = spans
+        default_ref, default_copy, ref_names, val_names, _ = \
+            _lambda_captures(toks, cap_span)
+        if not default_ref and not ref_names:
+            continue  # nothing captured by reference
+        params = _param_names(toks, pair, param_span)
+        locals_, decl_pos = _body_locals(toks, body)
+        locked = _locked_ranges(toks, enc, pair, body)
+        b0, b1 = body
+
+        def is_guarded(j):
+            return any(s <= j <= e for s, e in locked)
+
+        def is_shared(name):
+            if name in params or name in locals_ or name in atomics:
+                return False
+            if name in ref_names:
+                return True
+            if name in val_names or default_copy:
+                return False
+            return default_ref
+
+        def report(j, name, what):
+            findings.append(Finding(
+                tf.path, toks[j].line, "parallel-mutation",
+                f"{what} of `{name}` captured by reference inside a "
+                f"{t.text} lambda without a MutexLock guard — shard by the "
+                "iteration index or lock the owning Mutex"))
+
+        for j in range(b0, b1):
+            tj = toks[j]
+            if tj.kind == "op" and tj.text in ASSIGN_OPS:
+                if tj.text == "=" and j - 1 in decl_pos:
+                    continue  # initializer of a body-local declaration
+                base = _lvalue_base(toks, pair, j - 1)
+                if base is None:
+                    continue
+                name = toks[base].text
+                if not is_shared(name) or is_guarded(j):
+                    continue
+                idx_ids = _index_span_ids(toks, pair, j - 1)
+                if idx_ids is not None and idx_ids and all(
+                        x in params or x in locals_ for x in idx_ids):
+                    continue  # element write sharded by param/local index
+                report(j, name, f"assignment `{tj.text}`")
+            elif tj.kind == "op" and tj.text in ("++", "--"):
+                k = j - 1 if (j > b0 and toks[j - 1].kind in ("id",) or
+                              (toks[j - 1].kind == "op" and toks[j - 1].text in ("]", ")"))) else j + 1
+                base = _lvalue_base(toks, pair, k)
+                if base is None:
+                    continue
+                name = toks[base].text
+                if is_shared(name) and not is_guarded(j):
+                    report(j, name, f"increment `{tj.text}`")
+            elif (tj.kind == "id" and tj.text in MUTATOR_METHODS and
+                  j + 1 < len(toks) and toks[j + 1].text == "(" and
+                  toks[j - 1].kind == "op" and toks[j - 1].text in (".", "->")):
+                base = _lvalue_base(toks, pair, j - 2)
+                if base is None:
+                    continue
+                name = toks[base].text
+                if is_shared(name) and not is_guarded(j):
+                    report(j, name, f"mutating call `.{tj.text}()`")
+
+
+# ---- ckpt-tag-symmetry ----------------------------------------------------
+
+SECTION_CONST_RE = re.compile(
+    r"\bconstexpr\s+(?:std\s*::\s*)?uint32_t\s+(kSection\w+)\s*=")
+
+CKPT_WRITE_FNS = {"add", "emplace_back", "push_back"}
+CKPT_READ_FNS = {"section", "has"}
+
+
+def _enclosed_by_if(tf: TokFile, j: int) -> bool:
+    """True if token j sits inside an `if (...) { ... }` block."""
+    toks, pair, enc = tf.toks, tf.pair, tf.enc
+    blk = enc[j]
+    guard = 0
+    while blk is not None and guard < 64:
+        guard += 1
+        # The token before the block's '{' should close an if-condition.
+        k = blk - 1
+        if k >= 0 and toks[k].kind == "op" and toks[k].text == ")":
+            o = pair.get(k)
+            if o is not None and o >= 1 and toks[o - 1].kind == "id" and \
+                    toks[o - 1].text == "if":
+                return True
+        blk = enc[blk]
+    return False
+
+
+def check_ckpt_tag_symmetry(tokfiles, findings):
+    """Cross-file pass over the linted src/checkpoint/ files: every written
+    kSection* tag needs a read, and conditional writes need a has() guard."""
+    group = [tf for tf in tokfiles if "/checkpoint/" in posix(tf.path)]
+    if not group:
+        return
+    declared = {}   # tag -> (tf, line)
+    writes = {}     # tag -> list of (tf, line, conditional)
+    reads = {}      # tag -> set of fn names used ("section"/"has")
+    for tf in group:
+        for m in SECTION_CONST_RE.finditer(tf.code):
+            line = tf.code.count("\n", 0, m.start()) + 1
+            declared.setdefault(m.group(1), (tf, line))
+        toks, pair = tf.toks, tf.pair
+        for i, t in enumerate(toks):
+            if t.kind != "id" or i + 1 >= len(toks) or toks[i + 1].text != "(":
+                continue
+            op = i + 1
+            # First argument token that is a kSection identifier.
+            cp = pair.get(op, op)
+            tag = None
+            for j in range(op + 1, min(cp, op + 6)):
+                tj = toks[j]
+                if tj.kind == "id" and tj.text.startswith("kSection"):
+                    tag = tj.text
+                    break
+                if tj.kind == "op" and tj.text == ",":
+                    break
+            if tag is None:
+                continue
+            if t.text in CKPT_WRITE_FNS:
+                writes.setdefault(tag, []).append(
+                    (tf, t.line, _enclosed_by_if(tf, i)))
+            elif t.text in CKPT_READ_FNS:
+                reads.setdefault(tag, set()).add(t.text)
+    for tag, sites in sorted(writes.items()):
+        tf, line, _ = sites[0]
+        if tag not in reads:
+            findings.append(Finding(
+                tf.path, line, "ckpt-tag-symmetry",
+                f"section tag `{tag}` is written but never read back via "
+                "section()/has() — dead payload or missing restore path"))
+            continue
+        if any(cond for _, _, cond in sites) and "has" not in reads[tag]:
+            findings.append(Finding(
+                tf.path, line, "ckpt-tag-symmetry",
+                f"section tag `{tag}` is conditionally written but restored "
+                "without a has() presence guard — older or feature-off "
+                "snapshots will mis-parse"))
+    for tag, fns in sorted(reads.items()):
+        if tag not in writes and tag in declared:
+            tf, line = declared[tag]
+            findings.append(Finding(
+                tf.path, line, "ckpt-tag-symmetry",
+                f"section tag `{tag}` is read via {'/'.join(sorted(fns))}() "
+                "but never written — restore can only ever fail or skip"))
+    for tag, (tf, line) in sorted(declared.items()):
+        if tag not in writes and tag not in reads:
+            findings.append(Finding(
+                tf.path, line, "ckpt-tag-symmetry",
+                f"section tag `{tag}` is declared but neither written nor "
+                "read — delete the dead constant"))
+
+
+# ---- msgtype-exhaustive ---------------------------------------------------
+
+MSGTYPE_ENUM_RE = re.compile(
+    r"\benum\s+class\s+MsgType\s*(?::\s*[\w:\s]+?)?\{([^}]*)\}")
+
+
+def msgtype_enumerators(code: str):
+    m = MSGTYPE_ENUM_RE.search(code)
+    if not m:
+        return None
+    names = []
+    for seg in m.group(1).split(","):
+        sm = re.match(r"\s*(\w+)", seg)
+        if sm:
+            names.append(sm.group(1))
+    return set(names) or None
+
+
+def check_msgtype_exhaustive(tf: TokFile, enumerators: set, findings):
+    if "/dist/" not in posix(tf.path) or not enumerators:
+        return
+    toks, pair, enc = tf.toks, tf.pair, tf.enc
+    for i, t in enumerate(toks):
+        if not (t.kind == "id" and t.text == "switch"):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        cp = pair.get(i + 1)
+        if cp is None or cp + 1 >= len(toks) or toks[cp + 1].text != "{":
+            continue
+        body_open = cp + 1
+        body_close = pair.get(body_open)
+        if body_close is None:
+            continue
+        covered = set()
+        has_default = False
+        uses_msgtype = False
+        for j in range(body_open + 1, body_close):
+            if enc[j] != body_open:
+                continue  # nested block/switch
+            tj = toks[j]
+            if tj.kind == "id" and tj.text == "case":
+                k = j + 1
+                label = None
+                while k < body_close and not (toks[k].kind == "op" and
+                                              toks[k].text == ":"):
+                    if toks[k].kind == "id":
+                        if toks[k].text == "MsgType":
+                            uses_msgtype = True
+                        label = toks[k].text
+                    k += 1
+                if label is not None:
+                    covered.add(label)
+            elif tj.kind == "id" and tj.text == "default":
+                has_default = True
+        if not uses_msgtype:
+            continue
+        missing = sorted(enumerators - covered)
+        if missing and not has_default:
+            findings.append(Finding(
+                tf.path, t.line, "msgtype-exhaustive",
+                "switch over MsgType misses "
+                f"{', '.join('MsgType::' + m for m in missing)} and has no "
+                "default: — a newer peer's frame would fall through"))
+
+
+# ---- len-narrow -----------------------------------------------------------
+
+NARROW_TARGETS = {"uint32_t", "uint16_t", "uint8_t", "int32_t", "int16_t",
+                  "int8_t", "int", "short", "unsigned", "unsignedint",
+                  "unsignedshort", "char", "unsignedchar"}
+LEN_ID_RE = re.compile(r"(?:^|_)(?:len|length|size|count|bytes)(?:_|$)")
+LEN_GUARD_LINE_RE = re.compile(
+    r"(?:<=|>=|<|>)\s*.*?(?:kMax|Max[A-Z_]|_max|limit|Limit|\b\d)|"
+    r"(?:kMax|Max[A-Z_]|_max|limit|Limit|\b\d).*?(?:<=|>=|<|>)")
+
+
+def _len_narrow_scope(p: str) -> bool:
+    return ("/dist/" in p or "/checkpoint/" in p or
+            "/util/binary_io" in p or "/util/socket" in p)
+
+
+def _find_close_angle(toks, i):
+    depth = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "op":
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return i
+            elif t.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i
+            elif t.text in (";", "{", "}"):
+                return None
+        i += 1
+    return None
+
+
+def check_len_narrow(tf: TokFile, code_lines, findings):
+    if not _len_narrow_scope(posix(tf.path)):
+        return
+    toks, pair = tf.toks, tf.pair
+    for i, t in enumerate(toks):
+        if not (t.kind == "id" and t.text == "static_cast"):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "<":
+            continue
+        ca = _find_close_angle(toks, i + 1)
+        if ca is None or ca + 1 >= len(toks) or toks[ca + 1].text != "(":
+            continue
+        ttype = "".join(toks[j].text for j in range(i + 2, ca)
+                        if toks[j].kind == "id" and toks[j].text != "std")
+        if ttype not in NARROW_TARGETS:
+            continue
+        op = ca + 1
+        cp = pair.get(op)
+        if cp is None:
+            continue
+        expr_ids = []
+        lenish = False
+        for j in range(op + 1, cp):
+            tj = toks[j]
+            if tj.kind != "id":
+                continue
+            expr_ids.append(tj.text)
+            nxt_call = j + 1 < len(toks) and toks[j + 1].text == "("
+            member = j >= 1 and toks[j - 1].kind == "op" and \
+                toks[j - 1].text in (".", "->")
+            if nxt_call and member and tj.text in ("size", "length", "remaining"):
+                lenish = True
+            elif nxt_call and tj.text == "u64":
+                lenish = True
+            elif LEN_ID_RE.search(tj.text):
+                lenish = True
+        if not lenish:
+            continue
+        # Explicit truncation masks (`& 0xff`) count as intentional.
+        if any(toks[j].kind == "op" and toks[j].text == "&" and
+               j + 1 < cp and toks[j + 1].kind == "num"
+               for j in range(op + 1, cp)):
+            continue
+        # std::min(...) inside the cast bounds the value.
+        if "min" in expr_ids:
+            continue
+        # Range-guard scan: a comparison involving one of the expression's
+        # identifiers against a kMax*/limit/numeric bound in the preceding
+        # lines (send_frame's `if (payload.size() > kMaxFramePayload)` shape).
+        guarded = False
+        lineno = t.line
+        lo = max(0, lineno - 13)
+        bases = [x for x in expr_ids
+                 if x not in ("size", "length", "remaining", "u64", "std")]
+        for raw in code_lines[lo:lineno - 1]:
+            if not any(b in raw for b in bases):
+                continue
+            if LEN_GUARD_LINE_RE.search(raw):
+                guarded = True
+                break
+        if guarded:
+            continue
+        findings.append(Finding(
+            tf.path, lineno, "len-narrow",
+            f"narrowing cast of length expression to {ttype or '<int>'} "
+            "without a preceding range check — compare against the protocol "
+            "limit (kMax*) before truncating"))
+
+
+# --------------------------------------------------------------------------
 # Driver.
 # --------------------------------------------------------------------------
 
@@ -476,8 +1405,40 @@ def collect_files(root: Path):
     return files
 
 
-def lint_files(files):
-    findings = []
+def _discover_msgtype_enum(files, texts, root: Path):
+    """MsgType enumerators from the linted files, falling back to the
+    include graph of the dist/ files (protocol.hpp owns the enum)."""
+    for path in files:
+        e = msgtype_enumerators(strip_comments(texts[path]))
+        if e:
+            return e
+    seen = set()
+    for path in files:
+        if "/dist/" not in posix(path):
+            continue
+        for inc in resolve_includes(path, root):
+            r = inc.resolve()
+            if r in seen:
+                continue
+            seen.add(r)
+            try:
+                e = msgtype_enumerators(
+                    strip_comments(inc.read_text(encoding="utf-8",
+                                                 errors="replace")))
+            except OSError:
+                continue
+            if e:
+                return e
+    return None
+
+
+def lint_files(files, root=None):
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    texts = {}
+    for path in files:
+        texts[path] = path.read_text(encoding="utf-8", errors="replace")
+
     # Pre-pass: unordered-typed member names declared in headers of the
     # order-sensitive dirs, visible to their .cpp files.
     shared_names = {}
@@ -485,21 +1446,69 @@ def lint_files(files):
         p = posix(path)
         for d in ORDER_SENSITIVE_DIRS:
             if d in p and path.suffix in (".hpp", ".h", ".hh"):
-                code = strip_comments(path.read_text(encoding="utf-8", errors="replace"))
+                code = strip_comments(texts[path])
                 shared_names.setdefault(d, set()).update(unordered_names(code))
+
+    msgtype_enum = _discover_msgtype_enum(files, texts, root)
+
+    unsuppressed = []   # all findings, before suppression accounting
+    raw_map = {}
+    tokfiles = []
     for path in files:
-        text = path.read_text(encoding="utf-8", errors="replace")
+        text = texts[path]
         raw_lines = text.split("\n")
+        raw_map[path] = raw_lines
         code = strip_comments(text)
         nostr = blank_strings(code)
         code_lines = nostr.split("\n")
-        check_line_rules(path, raw_lines, code_lines, findings)
+        check_line_rules(path, code_lines, unsuppressed)
         extra = set()
         for d in ORDER_SENSITIVE_DIRS:
             if d in posix(path):
                 extra |= shared_names.get(d, set())
-        check_unordered_iter(path, raw_lines, code_lines, findings, extra)
-        check_metric_names(path, raw_lines, code, findings)
+        check_unordered_iter(path, code_lines, unsuppressed, extra)
+        check_metric_names(path, code, unsuppressed)
+
+        tf = TokFile(path, code)
+        tokfiles.append(tf)
+        unames = unordered_names(code) | extra
+        check_fp_unordered_accum(tf, unames, fp_scalar_names(code), unsuppressed)
+        check_parallel_mutation(tf, atomic_names(code), unsuppressed)
+        check_msgtype_exhaustive(tf, msgtype_enum, unsuppressed)
+        check_len_narrow(tf, code_lines, unsuppressed)
+
+    check_ckpt_tag_symmetry(tokfiles, unsuppressed)
+
+    # Suppression accounting: filter findings whose line carries a matching
+    # allow(), track which suppressions fired, and report unknown or stale
+    # suppression comments (the meta rules are never themselves filtered).
+    findings = []
+    consumed = set()
+    for f in unsuppressed:
+        raw_lines = raw_map.get(f.path, [])
+        raw = raw_lines[f.line - 1] if 0 < f.line <= len(raw_lines) else ""
+        if f.rule in suppressed_rules(raw):
+            consumed.add((str(f.path), f.line, f.rule))
+        else:
+            findings.append(f)
+    for path, raw_lines in raw_map.items():
+        for idx, raw in enumerate(raw_lines):
+            rules = suppressed_rules(raw)
+            if not rules:
+                continue
+            lineno = idx + 1
+            for r in sorted(rules):
+                if r not in RULES or r in META_RULES:
+                    findings.append(Finding(
+                        path, lineno, "unknown-suppression",
+                        f"allow({r}) names no known rule — fix the id "
+                        "(see --list-rules) or delete the comment"))
+                elif (str(path), lineno, r) not in consumed:
+                    findings.append(Finding(
+                        path, lineno, "stale-suppression",
+                        f"allow({r}) no longer matches any `{r}` finding on "
+                        "this line — delete the stale suppression"))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
     return findings
 
 
@@ -538,7 +1547,7 @@ def main(argv=None) -> int:
         for f in missing:
             print(f"rr-lint: no such file: {f}", file=sys.stderr)
         return 2
-    findings = lint_files(files)
+    findings = lint_files(files, args.root)
     for finding in findings:
         print(finding)
     if not args.quiet:
@@ -552,3 +1561,7 @@ def main(argv=None) -> int:
 
 if __name__ == "__main__":
     sys.exit(main())
+
+
+
+
